@@ -1,0 +1,96 @@
+// Shared plumbing for the reproduction benches: campaign sizing via the
+// PROXIMA_RUNS environment variable, aligned table printing, and the
+// standard campaign configurations (operation-like for Figure 2 / Table I,
+// analysis-like for Figure 3 / the margin comparison).
+#pragma once
+
+#include "casestudy/campaign.hpp"
+#include "mbpta/mbpta.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace proxima::bench {
+
+/// Campaign size: PROXIMA_RUNS env var, or the given default.
+inline std::uint32_t campaign_runs(std::uint32_t fallback) {
+  if (const char* env = std::getenv("PROXIMA_RUNS")) {
+    const long value = std::strtol(env, nullptr, 10);
+    if (value > 10) {
+      return static_cast<std::uint32_t>(value);
+    }
+  }
+  return fallback;
+}
+
+/// Operation-like campaign: random inputs every activation (Figure 2,
+/// Table I conditions).
+inline casestudy::CampaignConfig operation_config(
+    casestudy::Randomisation randomisation, std::uint32_t runs) {
+  casestudy::CampaignConfig config;
+  config.runs = runs;
+  config.randomisation = randomisation;
+  return config;
+}
+
+/// Analysis-like campaign: pinned stress input (recovery path on), so the
+/// measured variability is the platform's (MBPTA methodology, Figure 3).
+inline casestudy::CampaignConfig analysis_config(
+    casestudy::Randomisation randomisation, std::uint32_t runs) {
+  casestudy::CampaignConfig config;
+  config.runs = runs;
+  config.randomisation = randomisation;
+  config.fixed_inputs = true;
+  config.control.corrupt_rate = 1.0;
+  return config;
+}
+
+/// EVT configuration scaled to the campaign size: ~40 block maxima.
+inline mbpta::MbptaConfig analysis_mbpta(std::uint32_t runs) {
+  mbpta::MbptaConfig config;
+  config.block_size = std::max(10u, runs / 40u);
+  return config;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n============================================================\n"
+              "%s\n"
+              "============================================================\n",
+              title.c_str());
+}
+
+inline void print_summary_row(const char* label,
+                              const mbpta::Summary& summary) {
+  std::printf("%-22s %10.0f %12.1f %10.0f %10.1f\n", label, summary.min,
+              summary.mean, summary.max, summary.stddev);
+}
+
+inline void print_summary_table_header() {
+  std::printf("%-22s %10s %12s %10s %10s\n", "configuration", "min",
+              "average", "MOET", "stddev");
+}
+
+/// Min-max of a per-run counter over a campaign.
+template <typename Get>
+std::pair<std::uint64_t, std::uint64_t>
+counter_range(const casestudy::CampaignResult& result, Get get) {
+  std::uint64_t lo = ~std::uint64_t{0};
+  std::uint64_t hi = 0;
+  for (const casestudy::RunSample& sample : result.samples) {
+    const std::uint64_t value = get(sample);
+    lo = std::min(lo, value);
+    hi = std::max(hi, value);
+  }
+  return {lo, hi};
+}
+
+inline std::string range_text(std::pair<std::uint64_t, std::uint64_t> range) {
+  if (range.first == range.second) {
+    return std::to_string(range.first);
+  }
+  return std::to_string(range.first) + "-" + std::to_string(range.second);
+}
+
+} // namespace proxima::bench

@@ -1,0 +1,115 @@
+// Quickstart: dynamic software randomisation in ~100 lines.
+//
+// Builds a small program for the LEON3-class platform, applies the DSR
+// compiler pass, and runs it under a sequence of partition reboots — each
+// with a fresh random memory layout — printing where the code landed and
+// how the execution time moved.
+//
+//   $ ./quickstart
+#include "core/dsr_pass.hpp"
+#include "core/dsr_runtime.hpp"
+#include "isa/builder.hpp"
+#include "isa/linker.hpp"
+#include "mem/guest_memory.hpp"
+#include "mem/hierarchy.hpp"
+#include "rng/mwc.hpp"
+#include "vm/vm.hpp"
+
+#include <cstdio>
+
+using namespace proxima;
+
+namespace {
+
+/// A toy workload: sum an array through a helper function.
+isa::Program make_program() {
+  isa::Program program;
+  {
+    isa::FunctionBuilder fb("main");
+    fb.prologue(96);
+    fb.li(isa::kO0, 0);              // accumulator
+    fb.li(isa::kL0, 64);             // iterations
+    fb.label("loop");
+    fb.call("accumulate");           // o0 = accumulate(o0)
+    fb.subcci(isa::kL0, 1);
+    fb.subi(isa::kL0, isa::kL0, 1);
+    fb.bg("loop");
+    fb.load_address(isa::kO1, "result");
+    fb.st(isa::kO0, isa::kO1, 0);
+    fb.halt();
+    program.functions.push_back(std::move(fb).build());
+  }
+  {
+    isa::FunctionBuilder fb("accumulate");
+    fb.prologue(96);
+    fb.load_address(isa::kL0, "table");
+    fb.li(isa::kL1, 256); // words
+    fb.label("sum");
+    fb.ld(isa::kO0, isa::kL0, 0);
+    fb.add(isa::kI0, isa::kI0, isa::kO0);
+    fb.addi(isa::kL0, isa::kL0, 4);
+    fb.subcci(isa::kL1, 1);
+    fb.subi(isa::kL1, isa::kL1, 1);
+    fb.bg("sum");
+    fb.epilogue();
+    program.functions.push_back(std::move(fb).build());
+  }
+  std::vector<std::uint8_t> init;
+  for (int i = 0; i < 1024; ++i) {
+    init.push_back(static_cast<std::uint8_t>(i));
+  }
+  program.data.push_back(isa::DataObject{
+      .name = "table", .size = 1024, .align = 64, .init = std::move(init)});
+  program.data.push_back(
+      isa::DataObject{.name = "result", .size = 4, .align = 4});
+  program.entry = "main";
+  return program;
+}
+
+} // namespace
+
+int main() {
+  // 1. Compile with the DSR pass: calls become table-indirect, prologues
+  //    pick up the per-function random stack offset, metadata is emitted.
+  isa::Program program = make_program();
+  const dsr::PassReport report = dsr::apply_pass(program);
+  std::printf("DSR pass: %u calls rewritten, %u prologues rewritten, "
+              "code growth %.1f%%\n",
+              report.calls_rewritten, report.prologues_rewritten,
+              100.0 * report.overhead_ratio());
+
+  // 2. Link and load onto the LEON3-class platform.
+  const isa::LinkedImage image = isa::link(program);
+  mem::GuestMemory memory;
+  mem::MemoryHierarchy hierarchy(mem::leon3_hierarchy_config());
+  vm::Vm cpu(memory, hierarchy);
+  image.load_into(memory);
+
+  // 3. Attach the DSR runtime: eager relocation from a randomised pool.
+  rng::Mwc random(2017);
+  dsr::DsrRuntime runtime(memory, hierarchy, image, random, {});
+  runtime.initialise();
+  runtime.attach(cpu);
+
+  // 4. Partition reboots: every run gets a fresh layout; the results never
+  //    change, the timing does.
+  std::printf("\n%-5s %-12s %-12s %-10s %-10s %-8s\n", "run", "main @",
+              "accumulate @", "stack off", "cycles", "result");
+  for (int run = 0; run < 8; ++run) {
+    if (run > 0) {
+      runtime.rerandomise();
+    }
+    hierarchy.flush_all();
+    cpu.reset(runtime.entry_address(), 0x4080'0000);
+    cpu.run();
+    std::printf("%-5d 0x%08x   0x%08x   %-10u %-10llu %u\n", run,
+                runtime.function_address("main"),
+                runtime.function_address("accumulate"),
+                runtime.stack_offset(image.function("accumulate").id),
+                static_cast<unsigned long long>(cpu.cycles()),
+                memory.read_u32(image.symbol("result").addr));
+  }
+  std::printf("\nSame result every run; different addresses and times —\n"
+              "that variability is what MBPTA models with EVT.\n");
+  return 0;
+}

@@ -1,0 +1,144 @@
+#include "pool.hpp"
+
+#include <algorithm>
+
+namespace proxima::alloc {
+
+PageAllocator::PageAllocator(Region region, rng::RandomSource& random)
+    : region_(region), random_(random) {
+  if (region_.base % kPageBytes != 0 || region_.size % kPageBytes != 0) {
+    throw AllocError("pool region must be page-aligned");
+  }
+  if (region_.size == 0) {
+    throw AllocError("pool region must not be empty");
+  }
+  used_.assign(region_.size / kPageBytes, false);
+  free_count_ = static_cast<std::uint32_t>(used_.size());
+}
+
+std::uint32_t PageAllocator::take_pages(std::uint32_t pages,
+                                        std::uint32_t align_pages) {
+  if (pages == 0) {
+    throw AllocError("zero-page allocation");
+  }
+  if (align_pages == 0) {
+    align_pages = 1;
+  }
+  const std::uint32_t total = total_pages();
+  if (pages > free_count_ || align_pages > total) {
+    throw AllocError("pool exhausted");
+  }
+  // Random first-fit over aligned candidate bases, wrapping once.  The
+  // region base is page-aligned; candidates are relative to it, so a
+  // way-aligned region yields way-aligned chunks.
+  const std::uint32_t candidates = total / align_pages;
+  const std::uint32_t start = random_.next_below(candidates);
+  for (std::uint32_t step = 0; step < candidates; ++step) {
+    const std::uint32_t first = ((start + step) % candidates) * align_pages;
+    if (first + pages > total) {
+      continue; // must not wrap the region boundary
+    }
+    bool free_run = true;
+    for (std::uint32_t p = first; p < first + pages; ++p) {
+      if (used_[p]) {
+        free_run = false;
+        break;
+      }
+    }
+    if (!free_run) {
+      continue;
+    }
+    for (std::uint32_t p = first; p < first + pages; ++p) {
+      used_[p] = true;
+    }
+    free_count_ -= pages;
+    return region_.base + first * kPageBytes;
+  }
+  throw AllocError("pool fragmented: no contiguous run of requested size");
+}
+
+void PageAllocator::release(std::uint32_t addr, std::uint32_t pages) {
+  if (addr < region_.base || addr % kPageBytes != 0) {
+    throw AllocError("release of address not owned by this pool");
+  }
+  const std::uint32_t first = (addr - region_.base) / kPageBytes;
+  if (first + pages > total_pages()) {
+    throw AllocError("release beyond pool region");
+  }
+  for (std::uint32_t p = first; p < first + pages; ++p) {
+    if (!used_[p]) {
+      throw AllocError("double release of pool page");
+    }
+    used_[p] = false;
+  }
+  free_count_ += pages;
+}
+
+void PageAllocator::reset() {
+  std::fill(used_.begin(), used_.end(), false);
+  free_count_ = total_pages();
+}
+
+RandomObjectPool::RandomObjectPool(PageAllocator& pages,
+                                   rng::RandomSource& random,
+                                   std::uint32_t way_bytes,
+                                   std::uint32_t alignment,
+                                   std::uint32_t chunk_align_bytes)
+    : pages_(pages), random_(random), way_bytes_(way_bytes),
+      alignment_(alignment),
+      chunk_align_bytes_(chunk_align_bytes == 0 ? way_bytes
+                                                : chunk_align_bytes) {
+  if (alignment_ == 0 || (alignment_ & (alignment_ - 1)) != 0) {
+    throw AllocError("alignment must be a power of two");
+  }
+  if (way_bytes_ == 0 || way_bytes_ % alignment_ != 0) {
+    throw AllocError("way size must be a non-zero multiple of the alignment");
+  }
+}
+
+RandomObjectPool::Allocation RandomObjectPool::allocate(std::uint32_t size) {
+  if (size == 0) {
+    throw AllocError("zero-byte allocation");
+  }
+  // Reserve enough for the object at ANY offset in [0, way_bytes).  The
+  // chunk base is aligned to the way size so that the random offset alone
+  // decides the object's position within the cache way (Section III.B.3:
+  // "the starting offset is between zero and the maximum way size to
+  // ensure that the memory object can be mapped in any cache line inside
+  // a cache way").
+  const std::uint32_t span = way_bytes_ + size;
+  const std::uint32_t chunk_pages =
+      (span + PageAllocator::kPageBytes - 1) / PageAllocator::kPageBytes;
+  const std::uint32_t align_pages = std::max<std::uint32_t>(
+      1, chunk_align_bytes_ / PageAllocator::kPageBytes);
+  const std::uint32_t chunk = pages_.take_pages(chunk_pages, align_pages);
+  const std::uint32_t offset = random_.next_offset(way_bytes_, alignment_);
+  Allocation allocation{chunk + offset, chunk, chunk_pages, offset};
+  live_.push_back(allocation);
+  ++stats_.allocations;
+  stats_.bytes_requested += size;
+  stats_.bytes_reserved +=
+      static_cast<std::uint64_t>(chunk_pages) * PageAllocator::kPageBytes;
+  return allocation;
+}
+
+void RandomObjectPool::free(const Allocation& allocation) {
+  const auto it =
+      std::find_if(live_.begin(), live_.end(), [&](const Allocation& a) {
+        return a.chunk_base == allocation.chunk_base;
+      });
+  if (it == live_.end()) {
+    throw AllocError("free of allocation not owned by this pool");
+  }
+  pages_.release(it->chunk_base, it->chunk_pages);
+  live_.erase(it);
+}
+
+void RandomObjectPool::reset() {
+  for (const Allocation& allocation : live_) {
+    pages_.release(allocation.chunk_base, allocation.chunk_pages);
+  }
+  live_.clear();
+}
+
+} // namespace proxima::alloc

@@ -1,0 +1,120 @@
+// HeapLayers-style memory pools for the DSR runtime.
+//
+// The paper's runtime places software objects "inside memory chunks
+// obtained using a memory allocator based on HeapLayers [11]", with the
+// starting offset "between zero and the maximum way size to ensure that the
+// memory object can be mapped in any cache line inside a cache way"
+// (Section III.B.3), and uses "two separate memory pools for code and data
+// ... comprised by a diverse set of pages, which effectively randomises
+// both Instruction and Data TLBs" (Section III.B.5, after DieHard [5]).
+//
+// Two composable layers reproduce this:
+//   PageAllocator     — page-granular chunks at random positions inside a
+//                       guest region (page diversity -> TLB randomisation)
+//   RandomObjectPool  — objects placed at a random aligned offset within
+//                       [0, way_bytes) inside a fresh chunk (cache-layout
+//                       randomisation at every cache level whose way size
+//                       divides way_bytes)
+#pragma once
+
+#include "rng/random_source.hpp"
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace proxima::alloc {
+
+class AllocError : public std::runtime_error {
+public:
+  explicit AllocError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A region of guest address space owned by a pool.
+struct Region {
+  std::uint32_t base = 0;
+  std::uint32_t size = 0;
+};
+
+/// Page-granular allocator with randomised placement (DieHard-flavoured):
+/// each request probes the page bitmap from a random position, so
+/// successive chunks land on unpredictable, diverse pages.
+class PageAllocator {
+public:
+  static constexpr std::uint32_t kPageBytes = 4096;
+
+  PageAllocator(Region region, rng::RandomSource& random);
+
+  /// Allocate `pages` contiguous pages whose base is aligned to
+  /// `align_pages` pages; returns the base address.  Throws AllocError
+  /// when no free run exists.
+  std::uint32_t take_pages(std::uint32_t pages, std::uint32_t align_pages = 1);
+
+  /// Return a chunk previously obtained from take_pages.
+  void release(std::uint32_t addr, std::uint32_t pages);
+
+  /// Release everything (partition reboot resets the pools).
+  void reset();
+
+  std::uint32_t total_pages() const noexcept {
+    return static_cast<std::uint32_t>(used_.size());
+  }
+  std::uint32_t free_pages() const noexcept { return free_count_; }
+  bool page_free(std::uint32_t index) const { return !used_.at(index); }
+  const Region& region() const noexcept { return region_; }
+
+private:
+  Region region_;
+  rng::RandomSource& random_;
+  std::vector<bool> used_;
+  std::uint32_t free_count_ = 0;
+};
+
+/// DSR object pool: every allocation sits at `chunk + offset` where offset
+/// is a uniformly random multiple of `alignment` in [0, way_bytes).
+class RandomObjectPool {
+public:
+  struct Allocation {
+    std::uint32_t addr = 0;       // where the object starts
+    std::uint32_t chunk_base = 0; // page-aligned chunk backing it
+    std::uint32_t chunk_pages = 0;
+    std::uint32_t offset = 0;     // addr - chunk_base
+  };
+
+  struct Stats {
+    std::uint64_t allocations = 0;
+    std::uint64_t bytes_requested = 0;
+    std::uint64_t bytes_reserved = 0; // including way-size slack
+  };
+
+  /// way_bytes: the random-offset range — the paper sets this to the L2 way
+  /// size (32 KiB) so *all* cache levels get their layout randomised
+  /// (Section III.B.4).  alignment: 8 (SPARC doubleword).
+  /// chunk_align_bytes: chunk base alignment — the platform's *largest*
+  /// way size, so the offset alone decides the object's position within
+  /// every cache way (0 = use way_bytes).
+  RandomObjectPool(PageAllocator& pages, rng::RandomSource& random,
+                   std::uint32_t way_bytes, std::uint32_t alignment = 8,
+                   std::uint32_t chunk_align_bytes = 0);
+
+  Allocation allocate(std::uint32_t size);
+  void free(const Allocation& allocation);
+
+  /// Drop all outstanding chunks (pool reset between runs).
+  void reset();
+
+  const Stats& stats() const noexcept { return stats_; }
+  std::uint32_t way_bytes() const noexcept { return way_bytes_; }
+  std::uint32_t alignment() const noexcept { return alignment_; }
+
+private:
+  PageAllocator& pages_;
+  rng::RandomSource& random_;
+  std::uint32_t way_bytes_;
+  std::uint32_t alignment_;
+  std::uint32_t chunk_align_bytes_;
+  Stats stats_;
+  std::vector<Allocation> live_;
+};
+
+} // namespace proxima::alloc

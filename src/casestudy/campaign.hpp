@@ -1,0 +1,78 @@
+// Measurement campaign driver: the paper's experimental protocol.
+//
+// For every measurement run (Section IV/V):
+//   1. re-randomise the layout (DSR partition reboot) / reseed the
+//      hardware-randomised caches / re-link (static randomisation),
+//      depending on the configuration under test;
+//   2. stage a fresh random input vector (sensor + spacecraft bus data);
+//   3. flush all cache levels and TLBs (PikeOS partition start);
+//   4. execute one activation of the control task on the LEON3-class core;
+//   5. extract the UoA execution time from the RVS-style trace and snapshot
+//      the performance counters (Table I);
+//   6. verify the functional outputs against the host golden model.
+#pragma once
+
+#include "casestudy/control_task.hpp"
+#include "core/dsr_pass.hpp"
+#include "core/dsr_runtime.hpp"
+#include "mem/counters.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace proxima::casestudy {
+
+enum class Randomisation : std::uint8_t {
+  kNone,     // the COTS platform: fixed layout, input variation only
+  kDsr,      // dynamic software randomisation (the paper's technology)
+  kStatic,   // static software randomisation: re-link per run (TASA-style)
+  kHardware, // hardware time-randomised caches (random placement/replacement)
+};
+
+enum class PrngKind : std::uint8_t { kMwc, kLfsr };
+
+struct CampaignConfig {
+  ControlParams control;
+  Layout layout = Layout::kCotsBad;
+  Randomisation randomisation = Randomisation::kNone;
+  std::uint32_t runs = 1000;
+  /// Extra unmeasured activations before the campaign (each measured run
+  /// already gets its own same-layout warm-up; this is rarely needed).
+  std::uint32_t warmup_runs = 0;
+  std::uint64_t input_seed = 2017;
+  std::uint64_t layout_seed = 611085; // PROXIMA grant number
+  PrngKind prng = PrngKind::kMwc;
+  dsr::PassOptions pass_options;
+  dsr::RuntimeOptions dsr_options;
+  /// Optional link-order override (incremental-integration experiment).
+  std::vector<std::string> function_order;
+  /// Compare guest outputs against the golden model every run.
+  bool verify_outputs = true;
+  /// Analysis-time input control (MBPTA methodology): draw ONE input
+  /// vector and replay it every run, so the measured variability is the
+  /// platform's (cache layout) rather than the program's (paths).  Combine
+  /// with control.corrupt_rate = 1.0 to pin the recovery path — the
+  /// stressful scenario a validation expert would design.
+  bool fixed_inputs = false;
+};
+
+struct RunSample {
+  double uoa_cycles = 0.0;
+  bool corrupt_input = false;
+  mem::PerfCounters counters; // per-run snapshot
+};
+
+struct CampaignResult {
+  std::vector<double> times; // UoA execution times, one per run
+  std::vector<RunSample> samples;
+  dsr::PassReport pass_report;     // meaningful for kDsr
+  std::uint32_t code_bytes = 0;    // image code size
+  std::uint64_t verified_runs = 0; // golden-model matches
+};
+
+/// Execute the campaign.  Throws on any functional mismatch or platform
+/// fault — a measurement campaign must never silently produce bad data.
+CampaignResult run_control_campaign(const CampaignConfig& config);
+
+} // namespace proxima::casestudy

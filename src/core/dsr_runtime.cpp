@@ -1,0 +1,191 @@
+#include "dsr_runtime.hpp"
+
+namespace proxima::dsr {
+
+DsrRuntime::DsrRuntime(mem::GuestMemory& memory,
+                       mem::MemoryHierarchy& hierarchy,
+                       const isa::LinkedImage& image,
+                       rng::RandomSource& random, RuntimeOptions options)
+    : memory_(memory), hierarchy_(hierarchy), image_(image), random_(random),
+      options_(options), pages_(options_.code_pool, random_),
+      pool_(pages_, random_, options_.offset_range, options_.alignment,
+            options_.chunk_align) {
+  if (!image_.has_symbol(kFunctabSymbol) ||
+      !image_.has_symbol(kStackoffSymbol)) {
+    throw DsrError(
+        "image lacks DSR metadata tables: run apply_pass before linking");
+  }
+  functab_addr_ = image_.symbol(kFunctabSymbol).addr;
+  stackoff_addr_ = image_.symbol(kStackoffSymbol).addr;
+
+  const auto& records = image_.functions();
+  current_address_.assign(records.size(), 0);
+  stack_offsets_.assign(records.size(), 0);
+  relocated_.assign(records.size(), false);
+  stub_of_.assign(records.size(), std::nullopt);
+
+  bool entry_found = false;
+  for (const isa::FunctionRecord& record : records) {
+    if (record.addr == image_.entry_addr()) {
+      entry_id_ = record.id;
+      entry_found = true;
+    }
+    if (is_stub_name(record.name)) {
+      continue;
+    }
+    const std::string stub_name = std::string(kStubPrefix) + record.name;
+    for (const isa::FunctionRecord& candidate : records) {
+      if (candidate.name == stub_name) {
+        stub_of_[record.id] = candidate.id;
+        break;
+      }
+    }
+  }
+  if (!entry_found) {
+    throw DsrError("entry function not found among the image records");
+  }
+  if (!options_.eager) {
+    for (const isa::FunctionRecord& record : records) {
+      if (!is_stub_name(record.name) && !stub_of_[record.id]) {
+        throw DsrError("lazy relocation requested but function '" +
+                       record.name +
+                       "' has no stub: pass lazy_stubs=true to apply_pass");
+      }
+    }
+  }
+}
+
+bool DsrRuntime::is_real(std::uint32_t id) const {
+  return !is_stub_name(image_.functions().at(id).name);
+}
+
+std::uint32_t DsrRuntime::managed_functions() const {
+  std::uint32_t count = 0;
+  for (const isa::FunctionRecord& record : image_.functions()) {
+    if (!is_stub_name(record.name)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+void DsrRuntime::write_table_u32(std::uint32_t table_addr, std::uint32_t id,
+                                 std::uint32_t value) {
+  const std::uint32_t slot = table_addr + 4 * id;
+  memory_.write_u32(slot, value);
+  // Host-side write behind the caches: mark and (normally) invalidate.
+  hierarchy_.note_memory_written(slot, 4);
+  if (options_.run_invalidation_routine) {
+    stats_.lines_invalidated += hierarchy_.invalidate_range(slot, 4);
+  }
+}
+
+void DsrRuntime::relocate(std::uint32_t id) {
+  const isa::FunctionRecord& record = image_.functions().at(id);
+  const alloc::RandomObjectPool::Allocation allocation =
+      pool_.allocate(record.size_bytes);
+  memory_.copy(allocation.addr, record.addr, record.size_bytes);
+  hierarchy_.note_memory_written(allocation.addr, record.size_bytes);
+  if (options_.run_invalidation_routine) {
+    // The SPARC-compliant invalidation routine (Section III.B.1): write
+    // back + invalidate every line of the new range, and drop any stale
+    // IL1/L2 entries still covering the *old* location.
+    stats_.lines_invalidated +=
+        hierarchy_.invalidate_range(allocation.addr, record.size_bytes);
+    stats_.lines_invalidated +=
+        hierarchy_.invalidate_range(record.addr, record.size_bytes);
+  }
+  current_address_[id] = allocation.addr;
+  relocated_[id] = true;
+  live_chunks_.emplace_back(allocation.chunk_base,
+                            allocation.chunk_pages *
+                                alloc::PageAllocator::kPageBytes);
+  write_table_u32(functab_addr_, id, allocation.addr);
+  ++stats_.relocations;
+  stats_.bytes_copied += record.size_bytes;
+}
+
+void DsrRuntime::initialise() {
+  // Release the previous layout: the freed chunks' cache lines must be
+  // written back and invalidated (the invalidation routine's other half —
+  // stale code from a dead layout must never survive in the warm L2).
+  if (options_.run_invalidation_routine) {
+    for (const auto& [base, length] : live_chunks_) {
+      stats_.lines_invalidated += hierarchy_.invalidate_range(base, length);
+    }
+  }
+  live_chunks_.clear();
+  pool_.reset();
+  std::fill(relocated_.begin(), relocated_.end(), false);
+
+  for (const isa::FunctionRecord& record : image_.functions()) {
+    if (!is_real(record.id)) {
+      continue;
+    }
+    // Stack offsets: positive multiples of 8 below the way size, drawn for
+    // every function with a frame (Section III.B.2).
+    std::uint32_t offset = 0;
+    if (record.has_prologue && options_.randomise_stack) {
+      offset = random_.next_offset(options_.offset_range, options_.alignment);
+    }
+    stack_offsets_[record.id] = offset;
+    write_table_u32(stackoff_addr_, record.id, offset);
+
+    if (!options_.randomise_code) {
+      current_address_[record.id] = record.addr;
+      write_table_u32(functab_addr_, record.id, record.addr);
+    } else if (options_.eager) {
+      relocate(record.id);
+    } else {
+      // Lazy: route the first call through the stub.
+      const std::uint32_t stub_id = stub_of_[record.id].value();
+      const std::uint32_t stub_addr = image_.functions().at(stub_id).addr;
+      current_address_[record.id] = stub_addr;
+      write_table_u32(functab_addr_, record.id, stub_addr);
+    }
+  }
+  initialised_ = true;
+}
+
+void DsrRuntime::rerandomise() { initialise(); }
+
+std::uint64_t DsrRuntime::handle_lazy_trap(std::uint32_t id) {
+  ++stats_.lazy_traps;
+  if (id >= relocated_.size() || !is_real(id)) {
+    throw DsrError("lazy trap with invalid function id");
+  }
+  if (relocated_[id]) {
+    return 0; // lost race with an earlier call: table already updated
+  }
+  const std::uint32_t size = image_.functions().at(id).size_bytes;
+  relocate(id);
+  // Charge the on-line cost: copy loop plus the invalidation routine.
+  const std::uint64_t words = size / 4;
+  return words * options_.lazy_copy_cycles_per_word;
+}
+
+void DsrRuntime::attach(vm::Vm& cpu) {
+  cpu.set_reloc_trap_sink(
+      [this](std::uint32_t id) { return handle_lazy_trap(id); });
+}
+
+std::uint32_t DsrRuntime::entry_address() const {
+  if (!initialised_) {
+    throw DsrError("entry_address() before initialise()");
+  }
+  return current_address_.at(entry_id_);
+}
+
+std::uint32_t DsrRuntime::function_address(std::uint32_t id) const {
+  return current_address_.at(id);
+}
+
+std::uint32_t DsrRuntime::function_address(const std::string& name) const {
+  return current_address_.at(image_.function(name).id);
+}
+
+std::uint32_t DsrRuntime::stack_offset(std::uint32_t id) const {
+  return stack_offsets_.at(id);
+}
+
+} // namespace proxima::dsr

@@ -1,0 +1,40 @@
+#include "static_rand.hpp"
+
+#include "alloc/pool.hpp"
+
+namespace proxima::dsr {
+
+isa::LinkOptions random_layout(const isa::Program& program,
+                               rng::RandomSource& random,
+                               const StaticRandOptions& options) {
+  isa::LinkOptions link_options;
+
+  alloc::PageAllocator code_pages(
+      alloc::Region{options.code_region_base, options.code_region_size},
+      random);
+  alloc::RandomObjectPool code_pool(code_pages, random, options.offset_range,
+                                    options.alignment);
+  for (const isa::Function& function : program.functions) {
+    link_options.placement[function.name] =
+        code_pool.allocate(std::max<std::uint32_t>(function.size_bytes(), 4))
+            .addr;
+  }
+
+  if (options.randomise_data) {
+    alloc::PageAllocator data_pages(
+        alloc::Region{options.data_region_base, options.data_region_size},
+        random);
+    alloc::RandomObjectPool data_pool(data_pages, random, options.offset_range,
+                                      options.alignment);
+    for (const isa::DataObject& object : program.data) {
+      // Respect the object's own alignment when it exceeds the pool's.
+      const std::uint32_t addr =
+          data_pool.allocate(std::max<std::uint32_t>(object.size, 4)).addr;
+      const std::uint32_t align = std::max<std::uint32_t>(object.align, 1);
+      link_options.placement[object.name] = addr & ~(align - 1);
+    }
+  }
+  return link_options;
+}
+
+} // namespace proxima::dsr

@@ -1,0 +1,38 @@
+// Static software randomisation (TASA-flavoured), for comparison with DSR.
+//
+// The paper (Section III) contrasts dynamic randomisation with the static
+// variant used in automotive [19][16]: instead of moving objects at run
+// time, each *binary* is linked with a different random memory layout, and
+// the analysis collects one measurement per binary.  Both variants are
+// "equivalent in enabling MBPTA"; the ablation bench A5/A3 companions use
+// this to demonstrate that equivalence on our platform.
+//
+// Implemented as a layout generator: given a program and a random source,
+// produce LinkOptions that place every function (and optionally every data
+// object) at an independently random, alignment-preserving address inside
+// dedicated regions — the link-time analogue of the DSR pools.
+#pragma once
+
+#include "isa/linker.hpp"
+#include "rng/random_source.hpp"
+
+namespace proxima::dsr {
+
+struct StaticRandOptions {
+  std::uint32_t code_region_base = 0x4100'0000;
+  std::uint32_t code_region_size = 32 * 1024 * 1024;
+  std::uint32_t data_region_base = 0x4300'0000;
+  std::uint32_t data_region_size = 32 * 1024 * 1024;
+  /// Random-offset range per object (L2 way size, as for DSR).
+  std::uint32_t offset_range = 32 * 1024;
+  std::uint32_t alignment = 8;
+  bool randomise_data = true;
+};
+
+/// Produce a random layout for `program`.  Each call with a fresh random
+/// stream yields a distinct "pre-compiled binary" layout.
+isa::LinkOptions random_layout(const isa::Program& program,
+                               rng::RandomSource& random,
+                               const StaticRandOptions& options = {});
+
+} // namespace proxima::dsr

@@ -1,0 +1,485 @@
+#include "assembler.hpp"
+
+#include "builder.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <optional>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+namespace proxima::isa {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexing helpers.
+// ---------------------------------------------------------------------------
+
+std::string strip(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return std::string(text.substr(begin, end - begin));
+}
+
+/// Split an operand list on commas that are outside brackets.
+std::vector<std::string> split_operands(const std::string& text) {
+  std::vector<std::string> out;
+  std::string current;
+  int depth = 0;
+  for (const char c : text) {
+    if (c == '[' || c == '(') {
+      ++depth;
+    } else if (c == ']' || c == ')') {
+      --depth;
+    }
+    if (c == ',' && depth == 0) {
+      out.push_back(strip(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  const std::string tail = strip(current);
+  if (!tail.empty()) {
+    out.push_back(tail);
+  }
+  return out;
+}
+
+std::optional<std::uint8_t> parse_register(const std::string& token) {
+  static const std::map<std::string, std::uint8_t> kAliases = {
+      {"%sp", kSp}, {"%fp", kFp}};
+  if (const auto it = kAliases.find(token); it != kAliases.end()) {
+    return it->second;
+  }
+  if (token.size() < 3 || token[0] != '%') {
+    return std::nullopt;
+  }
+  const char bank = token[1];
+  const std::string index_text = token.substr(2);
+  if (index_text.empty() ||
+      !std::all_of(index_text.begin(), index_text.end(), [](char c) {
+        return std::isdigit(static_cast<unsigned char>(c));
+      })) {
+    return std::nullopt;
+  }
+  const int index = std::stoi(index_text);
+  if (index < 0 || index > 7) {
+    if (bank == 'f' && index <= 15) {
+      return static_cast<std::uint8_t>(index); // FP register
+    }
+    return std::nullopt;
+  }
+  switch (bank) {
+  case 'g':
+    return static_cast<std::uint8_t>(index);
+  case 'o':
+    return static_cast<std::uint8_t>(8 + index);
+  case 'l':
+    return static_cast<std::uint8_t>(16 + index);
+  case 'i':
+    return static_cast<std::uint8_t>(24 + index);
+  case 'f':
+    return static_cast<std::uint8_t>(index);
+  default:
+    return std::nullopt;
+  }
+}
+
+std::optional<std::int64_t> parse_integer(const std::string& token) {
+  if (token.empty()) {
+    return std::nullopt;
+  }
+  std::size_t pos = 0;
+  try {
+    const std::int64_t value = std::stoll(token, &pos, 0);
+    if (pos != token.size()) {
+      return std::nullopt;
+    }
+    return value;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+/// "%hi(symbol)" / "%lo(symbol)" reference.
+struct HiLoRef {
+  bool is_hi = false;
+  std::string symbol;
+};
+
+std::optional<HiLoRef> parse_hilo(const std::string& token) {
+  const bool hi = token.rfind("%hi(", 0) == 0;
+  const bool lo = token.rfind("%lo(", 0) == 0;
+  if ((!hi && !lo) || token.back() != ')') {
+    return std::nullopt;
+  }
+  return HiLoRef{hi, strip(token.substr(4, token.size() - 5))};
+}
+
+/// "[%reg+imm]" / "[%reg-imm]" / "[%reg]" memory operand.
+struct MemOperand {
+  std::uint8_t base = 0;
+  std::int32_t offset = 0;
+};
+
+// ---------------------------------------------------------------------------
+// The assembler proper.
+// ---------------------------------------------------------------------------
+
+class Assembler {
+public:
+  explicit Assembler(std::string_view source) : source_(source) {}
+
+  Program run() {
+    std::istringstream stream{std::string(source_)};
+    std::string raw_line;
+    while (std::getline(stream, raw_line)) {
+      ++line_;
+      std::string line = raw_line;
+      if (const std::size_t comment = line.find('!');
+          comment != std::string::npos) {
+        line.resize(comment);
+      }
+      line = strip(line);
+      if (line.empty()) {
+        continue;
+      }
+      if (line[0] == '.') {
+        directive(line);
+        continue;
+      }
+      if (line.back() == ':') {
+        define_label(strip(line.substr(0, line.size() - 1)));
+        continue;
+      }
+      instruction(line);
+    }
+    finish_function();
+    if (!entry_.empty()) {
+      program_.entry = entry_;
+    }
+    return std::move(program_);
+  }
+
+private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw AsmError(line_, what);
+  }
+
+  void require(bool condition, const std::string& what) const {
+    if (!condition) {
+      fail(what);
+    }
+  }
+
+  std::uint8_t reg(const std::string& token) const {
+    const auto value = parse_register(token);
+    if (!value) {
+      fail("bad register '" + token + "'");
+    }
+    return *value;
+  }
+
+  std::int32_t imm(const std::string& token) const {
+    const auto value = parse_integer(token);
+    if (!value) {
+      fail("bad immediate '" + token + "'");
+    }
+    return static_cast<std::int32_t>(*value);
+  }
+
+  MemOperand mem(const std::string& token) const {
+    if (token.size() < 3 || token.front() != '[' || token.back() != ']') {
+      fail("bad memory operand '" + token + "'");
+    }
+    const std::string inner = strip(token.substr(1, token.size() - 2));
+    const std::size_t sign = inner.find_first_of("+-", 1);
+    MemOperand operand;
+    if (sign == std::string::npos) {
+      operand.base = reg(strip(inner));
+      return operand;
+    }
+    operand.base = reg(strip(inner.substr(0, sign)));
+    operand.offset = imm(strip(inner.substr(sign)));
+    return operand;
+  }
+
+  void directive(const std::string& line) {
+    std::istringstream iss(line);
+    std::string name;
+    iss >> name;
+    std::string rest;
+    std::getline(iss, rest);
+    const std::vector<std::string> args = split_operands(strip(rest));
+    if (name == ".global") {
+      require(args.size() == 1, ".global needs one symbol");
+      entry_ = args[0];
+    } else if (name == ".data") {
+      require(args.size() >= 2 && args.size() <= 3,
+              ".data needs name, size [, align]");
+      DataObject object;
+      object.name = args[0];
+      object.size = static_cast<std::uint32_t>(imm(args[1]));
+      object.align = args.size() == 3
+                         ? static_cast<std::uint32_t>(imm(args[2]))
+                         : 8;
+      program_.data.push_back(std::move(object));
+    } else if (name == ".word") {
+      require(!program_.data.empty(), ".word outside a .data object");
+      DataObject& object = program_.data.back();
+      for (const std::string& arg : args) {
+        const std::uint32_t value = static_cast<std::uint32_t>(imm(arg));
+        for (int shift = 24; shift >= 0; shift -= 8) {
+          object.init.push_back(static_cast<std::uint8_t>(value >> shift));
+        }
+      }
+      require(object.init.size() <= object.size,
+              ".word contents exceed the object size");
+    } else {
+      fail("unknown directive '" + name + "'");
+    }
+  }
+
+  void define_label(const std::string& name) {
+    require(!name.empty(), "empty label");
+    if (builder_ == nullptr || at_function_boundary_) {
+      // A label at a function boundary opens a new function.
+      finish_function();
+      builder_ = std::make_unique<FunctionBuilder>(name);
+      at_function_boundary_ = false;
+      return;
+    }
+    builder_->label(name);
+  }
+
+  void finish_function() {
+    if (builder_ != nullptr) {
+      Function function = builder_->build();
+      for (const PendingFixup& pending : pending_fixups_) {
+        function.fixups.push_back(
+            Fixup{pending.index, pending.kind, pending.symbol, 0});
+      }
+      pending_fixups_.clear();
+      program_.functions.push_back(std::move(function));
+      builder_ = nullptr;
+    }
+  }
+
+  void instruction(const std::string& line) {
+    require(builder_ != nullptr, "instruction outside a function");
+    std::istringstream iss(line);
+    std::string mnemonic;
+    iss >> mnemonic;
+    std::string rest;
+    std::getline(iss, rest);
+    const std::vector<std::string> ops = split_operands(strip(rest));
+    emit(mnemonic, ops);
+  }
+
+  /// rd-rs1-operand2 style ALU instruction with reg/imm variants.
+  void alu(Opcode reg_op, Opcode imm_op, const std::vector<std::string>& ops) {
+    require(ops.size() == 3, "expected 'rs1, operand2, rd'");
+    const std::uint8_t rs1 = reg(ops[0]);
+    const std::uint8_t rd = reg(ops[2]);
+    if (const auto rs2 = parse_register(ops[1])) {
+      builder_->op3(reg_op, rd, rs1, *rs2);
+    } else {
+      builder_->opi(imm_op, rd, rs1, imm(ops[1]));
+    }
+  }
+
+  void emit(const std::string& m, const std::vector<std::string>& ops) {
+    FunctionBuilder& fb = *builder_;
+    if (m == "add") {
+      alu(Opcode::kAdd, Opcode::kAddi, ops);
+    } else if (m == "sub") {
+      alu(Opcode::kSub, Opcode::kSubi, ops);
+    } else if (m == "and") {
+      alu(Opcode::kAnd, Opcode::kAndi, ops);
+    } else if (m == "or") {
+      // %lo(sym) in the immediate slot becomes an ORLO with a fixup.
+      if (ops.size() == 3) {
+        if (const auto hilo = parse_hilo(ops[1]); hilo && !hilo->is_hi) {
+          // Reuse load_address's fixup form: emit orlo with a kLo13 fixup.
+          fb.emit(make_i(Opcode::kOrlo, reg(ops[2]), reg(ops[0]), 0));
+          fixup_last(FixupKind::kLo13, hilo->symbol);
+          return;
+        }
+      }
+      alu(Opcode::kOr, Opcode::kOri, ops);
+    } else if (m == "xor") {
+      alu(Opcode::kXor, Opcode::kXori, ops);
+    } else if (m == "sll") {
+      alu(Opcode::kSll, Opcode::kSlli, ops);
+    } else if (m == "srl") {
+      alu(Opcode::kSrl, Opcode::kSrli, ops);
+    } else if (m == "sra") {
+      alu(Opcode::kSra, Opcode::kSrai, ops);
+    } else if (m == "smul" || m == "mul") {
+      alu(Opcode::kMul, Opcode::kMuli, ops);
+    } else if (m == "sdiv" || m == "div") {
+      alu(Opcode::kDiv, Opcode::kDivi, ops);
+    } else if (m == "addcc") {
+      alu(Opcode::kAddcc, Opcode::kAddcci, ops);
+    } else if (m == "subcc") {
+      alu(Opcode::kSubcc, Opcode::kSubcci, ops);
+    } else if (m == "cmp") {
+      require(ops.size() == 2, "cmp rs1, operand2");
+      if (const auto rs2 = parse_register(ops[1])) {
+        fb.op3(Opcode::kSubcc, kG0, reg(ops[0]), *rs2);
+      } else {
+        fb.opi(Opcode::kSubcci, kG0, reg(ops[0]), imm(ops[1]));
+      }
+    } else if (m == "mov") {
+      require(ops.size() == 2, "mov src, rd");
+      if (const auto rs = parse_register(ops[0])) {
+        fb.mov(reg(ops[1]), *rs);
+      } else {
+        fb.li(reg(ops[1]), imm(ops[0]));
+      }
+    } else if (m == "set") {
+      require(ops.size() == 2, "set value|symbol, rd");
+      if (const auto value = parse_integer(ops[0])) {
+        fb.li(reg(ops[1]), static_cast<std::int32_t>(*value));
+      } else {
+        fb.load_address(reg(ops[1]), ops[0]);
+      }
+    } else if (m == "sethi") {
+      require(ops.size() == 2, "sethi %hi(sym)|imm, rd");
+      if (const auto hilo = parse_hilo(ops[0]); hilo && hilo->is_hi) {
+        fb.emit(make_sethi(reg(ops[1]), 0));
+        fixup_last(FixupKind::kHi19, hilo->symbol);
+      } else {
+        fb.emit(make_sethi(reg(ops[1]),
+                           static_cast<std::uint32_t>(imm(ops[0]))));
+      }
+    } else if (m == "ld" || m == "ldub" || m == "ldd" || m == "lddf") {
+      require(ops.size() == 2, m + " [mem], rd");
+      const MemOperand operand = mem(ops[0]);
+      const Opcode op = m == "ld"     ? Opcode::kLd
+                        : m == "ldub" ? Opcode::kLdb
+                        : m == "ldd"  ? Opcode::kLdd
+                                      : Opcode::kLdf;
+      fb.opi(op, reg(ops[1]), operand.base, operand.offset);
+    } else if (m == "st" || m == "stb" || m == "std" || m == "stdf") {
+      require(ops.size() == 2, m + " rs, [mem]");
+      const MemOperand operand = mem(ops[1]);
+      const Opcode op = m == "st"    ? Opcode::kSt
+                        : m == "stb" ? Opcode::kStb
+                        : m == "std" ? Opcode::kStd
+                                     : Opcode::kStf;
+      fb.opi(op, reg(ops[0]), operand.base, operand.offset);
+    } else if (m == "call") {
+      require(ops.size() == 1, "call target");
+      fb.call(ops[0]);
+    } else if (m == "save") {
+      require(ops.size() == 3, "save rs1, operand2, rd");
+      const std::int32_t frame = -imm(ops[1]);
+      require(parse_register(ops[0]) == kSp && reg(ops[2]) == kSp,
+              "only 'save %sp, -N, %sp' prologues are supported");
+      fb.prologue(static_cast<std::uint32_t>(frame));
+    } else if (m == "restore") {
+      fb.op3(Opcode::kRestore, kG0, kG0, kG0);
+    } else if (m == "ret") {
+      fb.emit(make_i(Opcode::kJmpl, kG0, kO7, 4));
+      at_function_boundary_ = true;
+    } else if (m == "retl") {
+      fb.ret_leaf();
+      at_function_boundary_ = true;
+    } else if (m == "jmpl") {
+      require(ops.size() == 2, "jmpl [mem], rd");
+      const MemOperand operand = mem(ops[0]);
+      fb.opi(Opcode::kJmpl, reg(ops[1]), operand.base, operand.offset);
+    } else if (m == "nop") {
+      fb.nop();
+    } else if (m == "halt") {
+      fb.halt();
+      at_function_boundary_ = true;
+    } else if (m == "ipoint") {
+      require(ops.size() == 1, "ipoint id");
+      fb.ipoint(imm(ops[0]));
+    } else if (m == "flush") {
+      require(ops.size() == 1, "flush [mem]");
+      const MemOperand operand = mem(ops[0]);
+      fb.flush(operand.base, operand.offset);
+    } else if (m == "rd" || m == "rdtick") {
+      require(ops.size() >= 1, "rdtick rd");
+      fb.op3(Opcode::kRdtick, reg(ops.back()), 0, 0);
+    } else if (branch_opcode(m)) {
+      require(ops.size() == 1, m + " label");
+      fb.branch(*branch_opcode(m), ops[0]);
+    } else if (m == "faddd" || m == "fsubd" || m == "fmuld" || m == "fdivd") {
+      require(ops.size() == 3, m + " f1, f2, fd");
+      const Opcode op = m == "faddd"   ? Opcode::kFaddd
+                        : m == "fsubd" ? Opcode::kFsubd
+                        : m == "fmuld" ? Opcode::kFmuld
+                                       : Opcode::kFdivd;
+      fb.op3(op, reg(ops[2]), reg(ops[0]), reg(ops[1]));
+    } else if (m == "fcmpd") {
+      require(ops.size() == 2, "fcmpd f1, f2");
+      fb.fcmpd(reg(ops[0]), reg(ops[1]));
+    } else if (m == "fitod") {
+      require(ops.size() == 2, "fitod rs, fd");
+      fb.fitod(reg(ops[1]), reg(ops[0]));
+    } else if (m == "fdtoi") {
+      require(ops.size() == 2, "fdtoi f, rd");
+      fb.fdtoi(reg(ops[1]), reg(ops[0]));
+    } else {
+      fail("unknown mnemonic '" + m + "'");
+    }
+  }
+
+  static std::optional<Opcode> branch_opcode(const std::string& m) {
+    static const std::map<std::string, Opcode> kBranches = {
+        {"ba", Opcode::kBa},     {"bn", Opcode::kBn},
+        {"be", Opcode::kBe},     {"bne", Opcode::kBne},
+        {"bg", Opcode::kBg},     {"ble", Opcode::kBle},
+        {"bge", Opcode::kBge},   {"bl", Opcode::kBl},
+        {"bgu", Opcode::kBgu},   {"bleu", Opcode::kBleu},
+        {"bcc", Opcode::kBcc},   {"bcs", Opcode::kBcs},
+        {"bpos", Opcode::kBpos}, {"bneg", Opcode::kBneg},
+        {"fbe", Opcode::kFbe},   {"fbne", Opcode::kFbne},
+        {"fbl", Opcode::kFbl},   {"fbg", Opcode::kFbg},
+        {"fble", Opcode::kFble}, {"fbge", Opcode::kFbge}};
+    const auto it = kBranches.find(m);
+    return it == kBranches.end() ? std::nullopt
+                                 : std::optional<Opcode>(it->second);
+  }
+
+  /// Attach a link-time fixup to the instruction just emitted; folded into
+  /// the Function when it is finished.
+  void fixup_last(FixupKind kind, const std::string& symbol) {
+    pending_fixups_.push_back(
+        PendingFixup{builder_->size() - 1, kind, symbol});
+  }
+
+  struct PendingFixup {
+    std::size_t index;
+    FixupKind kind;
+    std::string symbol;
+  };
+
+  std::string_view source_;
+  Program program_;
+  std::unique_ptr<FunctionBuilder> builder_;
+  std::vector<PendingFixup> pending_fixups_;
+  std::string entry_;
+  std::size_t line_ = 0;
+  bool at_function_boundary_ = false;
+};
+
+} // namespace
+
+Program assemble(std::string_view source) { return Assembler(source).run(); }
+
+} // namespace proxima::isa

@@ -1,0 +1,49 @@
+// Text assembler for the mini-SPARC ISA.
+//
+// The builder API (builder.hpp) is the primary authoring path; this text
+// front-end exists for tooling, tests and examples that want to keep
+// guest programs as readable assembly.  Syntax follows SPARC conventions:
+//
+//   ! line comment
+//   .global main            ! entry point (defaults to "main")
+//   .data table, 1024, 64   ! name, size, align
+//   .word 1, 2, 3           ! initial contents of the last .data object
+//
+//   main:                   ! function definition
+//     save %sp, -96, %sp    ! prologue (tracked for DSR)
+//     ld [%l0+4], %o0
+//     add %o0, %o1, %o2
+//     sethi %hi(table), %g1
+//     or %g1, %lo(table), %g1
+//     call helper
+//     cmp %o0, 7            ! subcc %o0, 7, %g0
+//     be done
+//     nop
+//   done:
+//     restore
+//     retl                  ! jmpl %o7+4, %g0
+//
+// Labels are function-local; `call` targets and %hi/%lo arguments are
+// global symbols, resolved at link time.
+#pragma once
+
+#include "program.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace proxima::isa {
+
+class AsmError : public std::runtime_error {
+public:
+  AsmError(std::size_t line, const std::string& what)
+      : std::runtime_error("asm line " + std::to_string(line) + ": " + what),
+        line_number(line) {}
+  std::size_t line_number;
+};
+
+/// Assemble a whole translation unit into a Program.
+Program assemble(std::string_view source);
+
+} // namespace proxima::isa

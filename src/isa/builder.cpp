@@ -1,0 +1,120 @@
+#include "builder.hpp"
+
+namespace proxima::isa {
+
+FunctionBuilder::FunctionBuilder(std::string name) {
+  function_.name = std::move(name);
+}
+
+FunctionBuilder& FunctionBuilder::prologue(std::uint32_t frame_bytes) {
+  if (frame_bytes < 64 || frame_bytes % 8 != 0) {
+    throw BuildError(function_.name +
+                     ": frame must be >= 64 bytes (window save area) and "
+                     "8-byte aligned");
+  }
+  if (function_.has_prologue) {
+    throw BuildError(function_.name + ": duplicate prologue");
+  }
+  function_.has_prologue = true;
+  function_.frame_bytes = frame_bytes;
+  function_.prologue_index = function_.code.size();
+  return emit(make_i(Opcode::kSave, kSp, kSp,
+                     -static_cast<std::int32_t>(frame_bytes)));
+}
+
+FunctionBuilder& FunctionBuilder::epilogue() {
+  emit(make_r(Opcode::kRestore, kG0, kG0, kG0));
+  return emit(make_i(Opcode::kJmpl, kG0, kO7, 4));
+}
+
+FunctionBuilder& FunctionBuilder::ret_leaf() {
+  return emit(make_i(Opcode::kJmpl, kG0, kO7, 4));
+}
+
+FunctionBuilder& FunctionBuilder::label(const std::string& name) {
+  if (function_.labels.contains(name)) {
+    throw BuildError(function_.name + ": duplicate label '" + name + "'");
+  }
+  function_.labels.emplace(name, function_.code.size());
+  return *this;
+}
+
+FunctionBuilder& FunctionBuilder::call(const std::string& function_name) {
+  function_.fixups.push_back(
+      Fixup{function_.code.size(), FixupKind::kCall, function_name, 0});
+  return emit(make_b(Opcode::kCall, 0));
+}
+
+FunctionBuilder& FunctionBuilder::branch(Opcode branch_op,
+                                         const std::string& target) {
+  if (!is_branch(branch_op)) {
+    throw BuildError(function_.name + ": not a branch opcode");
+  }
+  function_.fixups.push_back(
+      Fixup{function_.code.size(), FixupKind::kBranch, target, 0});
+  return emit(make_b(branch_op, 0));
+}
+
+FunctionBuilder& FunctionBuilder::li(std::uint8_t rd, std::int32_t value) {
+  if (value >= kSimm14Min && value <= kSimm14Max) {
+    return opi(Opcode::kAddi, rd, kG0, value);
+  }
+  const HiLo parts = split_hi_lo(static_cast<std::uint32_t>(value));
+  emit(make_sethi(rd, parts.hi));
+  if (parts.lo != 0) {
+    opi(Opcode::kOrlo, rd, rd, static_cast<std::int32_t>(parts.lo));
+  }
+  return *this;
+}
+
+FunctionBuilder& FunctionBuilder::load_address(std::uint8_t rd,
+                                               const std::string& symbol,
+                                               std::int32_t addend) {
+  function_.fixups.push_back(
+      Fixup{function_.code.size(), FixupKind::kHi19, symbol, addend});
+  emit(make_sethi(rd, 0));
+  function_.fixups.push_back(
+      Fixup{function_.code.size(), FixupKind::kLo13, symbol, addend});
+  return opi(Opcode::kOrlo, rd, rd, 0);
+}
+
+FunctionBuilder& FunctionBuilder::mov(std::uint8_t rd, std::uint8_t rs) {
+  return op3(Opcode::kOr, rd, rs, kG0);
+}
+
+FunctionBuilder& FunctionBuilder::emit(const Instruction& instr) {
+  if (built_) {
+    throw BuildError(function_.name + ": builder already finalised");
+  }
+  function_.code.push_back(instr);
+  return *this;
+}
+
+FunctionBuilder& FunctionBuilder::op3(Opcode op, std::uint8_t rd,
+                                      std::uint8_t rs1, std::uint8_t rs2) {
+  return emit(make_r(op, rd, rs1, rs2));
+}
+
+FunctionBuilder& FunctionBuilder::opi(Opcode op, std::uint8_t rd,
+                                      std::uint8_t rs1, std::int32_t imm) {
+  return emit(make_i(op, rd, rs1, imm));
+}
+
+Function FunctionBuilder::build() {
+  if (built_) {
+    throw BuildError(function_.name + ": build() called twice");
+  }
+  // Verify every local branch target exists now, so errors point at the
+  // function author rather than at link time.
+  for (const Fixup& fixup : function_.fixups) {
+    if (fixup.kind == FixupKind::kBranch &&
+        !function_.labels.contains(fixup.symbol)) {
+      throw BuildError(function_.name + ": undefined label '" + fixup.symbol +
+                       "'");
+    }
+  }
+  built_ = true;
+  return std::move(function_);
+}
+
+} // namespace proxima::isa

@@ -1,0 +1,189 @@
+// Ergonomic construction of mini-SPARC functions.
+//
+// The builder plays the role of the compiler back-end: application code
+// (the space case study, tests, examples) is written against this API and
+// emitted as relocatable Functions.  Branches take label names; calls and
+// address materialisations take symbol names; everything stays symbolic
+// until link time.
+#pragma once
+
+#include "program.hpp"
+
+#include <string>
+#include <vector>
+
+namespace proxima::isa {
+
+class BuildError : public std::runtime_error {
+public:
+  explicit BuildError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class FunctionBuilder {
+public:
+  explicit FunctionBuilder(std::string name);
+
+  // --- structure -----------------------------------------------------
+
+  /// Standard prologue: save %sp, -frame_bytes, %sp.  The frame always
+  /// reserves the 64-byte register-window save area the SPARC ABI demands
+  /// (window spills write there), so frame_bytes must be >= 64 and a
+  /// multiple of 8.
+  FunctionBuilder& prologue(std::uint32_t frame_bytes);
+
+  /// Standard epilogue for non-leaf functions: restore; jmpl %o7+4, %g0.
+  FunctionBuilder& epilogue();
+
+  /// Leaf return: jmpl %o7+4, %g0 (no window rotation).
+  FunctionBuilder& ret_leaf();
+
+  /// Bind a label to the next emitted instruction.
+  FunctionBuilder& label(const std::string& name);
+
+  // --- control flow ---------------------------------------------------
+
+  FunctionBuilder& call(const std::string& function_name);
+  FunctionBuilder& branch(Opcode branch_op, const std::string& label);
+  FunctionBuilder& ba(const std::string& l) { return branch(Opcode::kBa, l); }
+  FunctionBuilder& be(const std::string& l) { return branch(Opcode::kBe, l); }
+  FunctionBuilder& bne(const std::string& l) { return branch(Opcode::kBne, l); }
+  FunctionBuilder& bg(const std::string& l) { return branch(Opcode::kBg, l); }
+  FunctionBuilder& bge(const std::string& l) { return branch(Opcode::kBge, l); }
+  FunctionBuilder& bl(const std::string& l) { return branch(Opcode::kBl, l); }
+  FunctionBuilder& ble(const std::string& l) { return branch(Opcode::kBle, l); }
+  FunctionBuilder& bgu(const std::string& l) { return branch(Opcode::kBgu, l); }
+  FunctionBuilder& bleu(const std::string& l) { return branch(Opcode::kBleu, l); }
+
+  // --- data movement ---------------------------------------------------
+
+  /// rd <- 32-bit constant (one or two instructions as needed).
+  FunctionBuilder& li(std::uint8_t rd, std::int32_t value);
+
+  /// rd <- absolute address of `symbol` + addend (sethi/orlo pair with
+  /// link-time fixups).
+  FunctionBuilder& load_address(std::uint8_t rd, const std::string& symbol,
+                                std::int32_t addend = 0);
+
+  FunctionBuilder& mov(std::uint8_t rd, std::uint8_t rs);
+
+  // --- raw emission ----------------------------------------------------
+
+  FunctionBuilder& emit(const Instruction& instr);
+  FunctionBuilder& op3(Opcode op, std::uint8_t rd, std::uint8_t rs1,
+                       std::uint8_t rs2);
+  FunctionBuilder& opi(Opcode op, std::uint8_t rd, std::uint8_t rs1,
+                       std::int32_t imm);
+
+  // Common instructions, immediate and register forms.
+  FunctionBuilder& add(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2) {
+    return op3(Opcode::kAdd, rd, rs1, rs2);
+  }
+  FunctionBuilder& addi(std::uint8_t rd, std::uint8_t rs1, std::int32_t imm) {
+    return opi(Opcode::kAddi, rd, rs1, imm);
+  }
+  FunctionBuilder& sub(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2) {
+    return op3(Opcode::kSub, rd, rs1, rs2);
+  }
+  FunctionBuilder& subi(std::uint8_t rd, std::uint8_t rs1, std::int32_t imm) {
+    return opi(Opcode::kSubi, rd, rs1, imm);
+  }
+  FunctionBuilder& subcc(std::uint8_t rs1, std::uint8_t rs2) {
+    return op3(Opcode::kSubcc, kG0, rs1, rs2);
+  }
+  FunctionBuilder& subcci(std::uint8_t rs1, std::int32_t imm) {
+    return opi(Opcode::kSubcci, kG0, rs1, imm);
+  }
+  FunctionBuilder& muli(std::uint8_t rd, std::uint8_t rs1, std::int32_t imm) {
+    return opi(Opcode::kMuli, rd, rs1, imm);
+  }
+  FunctionBuilder& mul(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2) {
+    return op3(Opcode::kMul, rd, rs1, rs2);
+  }
+  FunctionBuilder& slli(std::uint8_t rd, std::uint8_t rs1, std::int32_t imm) {
+    return opi(Opcode::kSlli, rd, rs1, imm);
+  }
+  FunctionBuilder& srli(std::uint8_t rd, std::uint8_t rs1, std::int32_t imm) {
+    return opi(Opcode::kSrli, rd, rs1, imm);
+  }
+  FunctionBuilder& andi(std::uint8_t rd, std::uint8_t rs1, std::int32_t imm) {
+    return opi(Opcode::kAndi, rd, rs1, imm);
+  }
+
+  // Loads/stores (immediate addressing).
+  FunctionBuilder& ld(std::uint8_t rd, std::uint8_t base, std::int32_t off) {
+    return opi(Opcode::kLd, rd, base, off);
+  }
+  FunctionBuilder& st(std::uint8_t rs, std::uint8_t base, std::int32_t off) {
+    return opi(Opcode::kSt, rs, base, off);
+  }
+  FunctionBuilder& ldb(std::uint8_t rd, std::uint8_t base, std::int32_t off) {
+    return opi(Opcode::kLdb, rd, base, off);
+  }
+  FunctionBuilder& stb(std::uint8_t rs, std::uint8_t base, std::int32_t off) {
+    return opi(Opcode::kStb, rs, base, off);
+  }
+  FunctionBuilder& ldf(std::uint8_t frd, std::uint8_t base, std::int32_t off) {
+    return opi(Opcode::kLdf, frd, base, off);
+  }
+  FunctionBuilder& stf(std::uint8_t frs, std::uint8_t base, std::int32_t off) {
+    return opi(Opcode::kStf, frs, base, off);
+  }
+  // Register-indexed forms.
+  FunctionBuilder& ldx(std::uint8_t rd, std::uint8_t b, std::uint8_t idx) {
+    return op3(Opcode::kLdx, rd, b, idx);
+  }
+  FunctionBuilder& stx(std::uint8_t rs, std::uint8_t b, std::uint8_t idx) {
+    return op3(Opcode::kStx, rs, b, idx);
+  }
+  FunctionBuilder& ldfx(std::uint8_t frd, std::uint8_t b, std::uint8_t idx) {
+    return op3(Opcode::kLdfx, frd, b, idx);
+  }
+  FunctionBuilder& stfx(std::uint8_t frs, std::uint8_t b, std::uint8_t idx) {
+    return op3(Opcode::kStfx, frs, b, idx);
+  }
+
+  // Floating point.
+  FunctionBuilder& faddd(std::uint8_t fd, std::uint8_t f1, std::uint8_t f2) {
+    return op3(Opcode::kFaddd, fd, f1, f2);
+  }
+  FunctionBuilder& fsubd(std::uint8_t fd, std::uint8_t f1, std::uint8_t f2) {
+    return op3(Opcode::kFsubd, fd, f1, f2);
+  }
+  FunctionBuilder& fmuld(std::uint8_t fd, std::uint8_t f1, std::uint8_t f2) {
+    return op3(Opcode::kFmuld, fd, f1, f2);
+  }
+  FunctionBuilder& fdivd(std::uint8_t fd, std::uint8_t f1, std::uint8_t f2) {
+    return op3(Opcode::kFdivd, fd, f1, f2);
+  }
+  FunctionBuilder& fcmpd(std::uint8_t f1, std::uint8_t f2) {
+    return op3(Opcode::kFcmpd, 0, f1, f2);
+  }
+  FunctionBuilder& fitod(std::uint8_t fd, std::uint8_t int_rs) {
+    return op3(Opcode::kFitod, fd, int_rs, 0);
+  }
+  FunctionBuilder& fdtoi(std::uint8_t int_rd, std::uint8_t f1) {
+    return op3(Opcode::kFdtoi, int_rd, f1, 0);
+  }
+
+  FunctionBuilder& nop() { return emit(make_b(Opcode::kNop, 0)); }
+  FunctionBuilder& halt() { return emit(make_b(Opcode::kHalt, 0)); }
+  FunctionBuilder& ipoint(std::int32_t id) {
+    return emit(make_b(Opcode::kIpoint, id));
+  }
+  FunctionBuilder& flush(std::uint8_t base, std::int32_t off) {
+    return opi(Opcode::kFlush, kG0, base, off);
+  }
+
+  /// Number of instructions emitted so far.
+  std::size_t size() const noexcept { return function_.code.size(); }
+
+  /// Finalise: verifies all referenced labels exist and returns the
+  /// function.  The builder must not be reused afterwards.
+  Function build();
+
+private:
+  Function function_;
+  bool built_ = false;
+};
+
+} // namespace proxima::isa

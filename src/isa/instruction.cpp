@@ -1,0 +1,162 @@
+#include "instruction.hpp"
+
+#include <sstream>
+
+namespace proxima::isa {
+
+namespace {
+constexpr std::uint32_t kFieldRd = 19;
+constexpr std::uint32_t kFieldRs1 = 14;
+constexpr std::uint32_t kFieldRs2 = 9;
+constexpr std::uint32_t kMask5 = 0x1f;
+constexpr std::uint32_t kMask14 = 0x3fff;
+constexpr std::uint32_t kMask19 = 0x7ffff;
+constexpr std::uint32_t kMask24 = 0xffffff;
+
+std::int32_t sign_extend(std::uint32_t value, unsigned bits) {
+  const std::uint32_t sign = 1U << (bits - 1);
+  return static_cast<std::int32_t>((value ^ sign)) -
+         static_cast<std::int32_t>(sign);
+}
+
+[[noreturn]] void field_error(const Instruction& instr, const char* what) {
+  std::ostringstream oss;
+  oss << opcode_info(instr.op).name << ": " << what;
+  throw DecodeError(oss.str());
+}
+} // namespace
+
+std::uint32_t encode(const Instruction& instr) {
+  const auto raw_op = static_cast<std::uint32_t>(instr.op);
+  if (!is_valid_opcode(static_cast<std::uint8_t>(raw_op))) {
+    throw DecodeError("encode: invalid opcode");
+  }
+  if (instr.rd >= kRegisterCount || instr.rs1 >= kRegisterCount ||
+      instr.rs2 >= kRegisterCount) {
+    field_error(instr, "register index out of range");
+  }
+  std::uint32_t word = raw_op << 24;
+  switch (opcode_info(instr.op).format) {
+  case Format::kR:
+    word |= static_cast<std::uint32_t>(instr.rd) << kFieldRd;
+    word |= static_cast<std::uint32_t>(instr.rs1) << kFieldRs1;
+    word |= static_cast<std::uint32_t>(instr.rs2) << kFieldRs2;
+    break;
+  case Format::kI:
+    if (instr.imm < kSimm14Min || instr.imm > kSimm14Max) {
+      field_error(instr, "simm14 out of range");
+    }
+    word |= static_cast<std::uint32_t>(instr.rd) << kFieldRd;
+    word |= static_cast<std::uint32_t>(instr.rs1) << kFieldRs1;
+    word |= static_cast<std::uint32_t>(instr.imm) & kMask14;
+    break;
+  case Format::kB:
+    if (instr.imm < kDisp24Min || instr.imm > kDisp24Max) {
+      field_error(instr, "disp24 out of range");
+    }
+    word |= static_cast<std::uint32_t>(instr.imm) & kMask24;
+    break;
+  case Format::kH:
+    if (static_cast<std::uint32_t>(instr.imm) > kImm19Max) {
+      field_error(instr, "imm19 out of range");
+    }
+    word |= static_cast<std::uint32_t>(instr.rd) << kFieldRd;
+    word |= static_cast<std::uint32_t>(instr.imm) & kMask19;
+    break;
+  }
+  return word;
+}
+
+Instruction decode(std::uint32_t word) {
+  const std::uint8_t raw_op = static_cast<std::uint8_t>(word >> 24);
+  if (!is_valid_opcode(raw_op)) {
+    std::ostringstream oss;
+    oss << "decode: invalid opcode byte 0x" << std::hex
+        << static_cast<unsigned>(raw_op);
+    throw DecodeError(oss.str());
+  }
+  Instruction instr;
+  instr.op = static_cast<Opcode>(raw_op);
+  switch (opcode_info(instr.op).format) {
+  case Format::kR:
+    instr.rd = static_cast<std::uint8_t>((word >> kFieldRd) & kMask5);
+    instr.rs1 = static_cast<std::uint8_t>((word >> kFieldRs1) & kMask5);
+    instr.rs2 = static_cast<std::uint8_t>((word >> kFieldRs2) & kMask5);
+    break;
+  case Format::kI:
+    instr.rd = static_cast<std::uint8_t>((word >> kFieldRd) & kMask5);
+    instr.rs1 = static_cast<std::uint8_t>((word >> kFieldRs1) & kMask5);
+    instr.imm = sign_extend(word & kMask14, 14);
+    break;
+  case Format::kB:
+    instr.imm = sign_extend(word & kMask24, 24);
+    break;
+  case Format::kH:
+    instr.rd = static_cast<std::uint8_t>((word >> kFieldRd) & kMask5);
+    instr.imm = static_cast<std::int32_t>(word & kMask19);
+    break;
+  }
+  return instr;
+}
+
+std::string disassemble(const Instruction& instr) {
+  const OpcodeInfo& info = opcode_info(instr.op);
+  std::ostringstream oss;
+  oss << info.name;
+  const bool fp = uses_fp_registers(instr.op);
+  auto rn = [fp](std::uint8_t reg) -> std::string {
+    if (fp) {
+      return "%f" + std::to_string(reg);
+    }
+    return std::string(register_name(reg));
+  };
+  switch (info.format) {
+  case Format::kR:
+    if (instr.op == Opcode::kRdtick) {
+      oss << ' ' << rn(instr.rd);
+    } else if (instr.op == Opcode::kFitod || instr.op == Opcode::kFdtoi) {
+      // Mixed register files: fitod reads an integer register, fdtoi
+      // writes one.
+      if (instr.op == Opcode::kFitod) {
+        oss << ' ' << register_name(instr.rs1) << ", %f"
+            << static_cast<unsigned>(instr.rd);
+      } else {
+        oss << " %f" << static_cast<unsigned>(instr.rs1) << ", "
+            << register_name(instr.rd);
+      }
+    } else {
+      oss << ' ' << rn(instr.rs1) << ", " << rn(instr.rs2) << ", "
+          << rn(instr.rd);
+    }
+    break;
+  case Format::kI:
+    if (instr.op == Opcode::kLd || instr.op == Opcode::kLdb ||
+        instr.op == Opcode::kLdd || instr.op == Opcode::kLdf) {
+      oss << " [" << register_name(instr.rs1) << (instr.imm >= 0 ? "+" : "")
+          << instr.imm << "], " << rn(instr.rd);
+    } else if (instr.op == Opcode::kSt || instr.op == Opcode::kStb ||
+               instr.op == Opcode::kStd || instr.op == Opcode::kStf) {
+      oss << ' ' << rn(instr.rd) << ", [" << register_name(instr.rs1)
+          << (instr.imm >= 0 ? "+" : "") << instr.imm << ']';
+    } else if (instr.op == Opcode::kFlush) {
+      oss << " [" << register_name(instr.rs1) << (instr.imm >= 0 ? "+" : "")
+          << instr.imm << ']';
+    } else {
+      oss << ' ' << rn(instr.rs1) << ", " << instr.imm << ", " << rn(instr.rd);
+    }
+    break;
+  case Format::kB:
+    if (instr.op == Opcode::kNop || instr.op == Opcode::kHalt) {
+      break;
+    }
+    oss << ' ' << instr.imm;
+    break;
+  case Format::kH:
+    oss << ' ' << rn(instr.rd) << ", 0x" << std::hex
+        << (static_cast<std::uint32_t>(instr.imm) << 13);
+    break;
+  }
+  return oss.str();
+}
+
+} // namespace proxima::isa

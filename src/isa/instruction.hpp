@@ -1,0 +1,88 @@
+// Instruction word: decoded form, binary encoding, and disassembly.
+//
+// Encodings (32-bit big-endian words):
+//   R: op[31:24] rd[23:19] rs1[18:14] rs2[13:9] zero[8:0]
+//   I: op[31:24] rd[23:19] rs1[18:14] simm14[13:0]
+//   B: op[31:24] disp24[23:0]   (signed word displacement / raw imm24)
+//   H: op[31:24] rd[23:19] imm19[18:0]  (rd = imm19 << 13)
+//
+// Code is stored in guest memory as encoded words; the DSR runtime moves
+// functions as opaque byte ranges, exactly like the real relocation loop.
+#pragma once
+
+#include "opcode.hpp"
+#include "registers.hpp"
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace proxima::isa {
+
+class DecodeError : public std::runtime_error {
+public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  std::uint8_t rd = 0;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  /// I-form: simm14 (sign-extended). B-form: disp24 (sign-extended, in
+  /// words for branches/call; raw id for ipoint). H-form: imm19 (raw).
+  std::int32_t imm = 0;
+
+  friend bool operator==(const Instruction&, const Instruction&) = default;
+};
+
+/// Encode to a 32-bit instruction word.  Throws DecodeError if a field is
+/// out of range for the opcode's format (e.g. simm14 overflow) — the
+/// assembler relies on this to reject unreachable branch targets.
+std::uint32_t encode(const Instruction& instr);
+
+/// Decode a 32-bit word.  Throws DecodeError on an invalid opcode.
+Instruction decode(std::uint32_t word);
+
+/// Human-readable rendering, e.g. "add %o0, %o1, %o2" or "call -12".
+std::string disassemble(const Instruction& instr);
+
+// Convenience constructors used by the builder and the DSR pass.
+
+inline Instruction make_r(Opcode op, std::uint8_t rd, std::uint8_t rs1,
+                          std::uint8_t rs2) {
+  return Instruction{op, rd, rs1, rs2, 0};
+}
+
+inline Instruction make_i(Opcode op, std::uint8_t rd, std::uint8_t rs1,
+                          std::int32_t simm14) {
+  return Instruction{op, rd, rs1, 0, simm14};
+}
+
+inline Instruction make_b(Opcode op, std::int32_t disp24) {
+  return Instruction{op, 0, 0, 0, disp24};
+}
+
+inline Instruction make_sethi(std::uint8_t rd, std::uint32_t imm19) {
+  return Instruction{Opcode::kSethi, rd, 0, 0,
+                     static_cast<std::int32_t>(imm19)};
+}
+
+/// Range limits implied by the formats.
+inline constexpr std::int32_t kSimm14Min = -(1 << 13);
+inline constexpr std::int32_t kSimm14Max = (1 << 13) - 1;
+inline constexpr std::int32_t kDisp24Min = -(1 << 23);
+inline constexpr std::int32_t kDisp24Max = (1 << 23) - 1;
+inline constexpr std::uint32_t kImm19Max = (1U << 19) - 1;
+
+/// Split a 32-bit constant into the SETHI/ORLO pair: hi = value >> 13,
+/// lo = value & 0x1fff.
+struct HiLo {
+  std::uint32_t hi;
+  std::uint32_t lo;
+};
+constexpr HiLo split_hi_lo(std::uint32_t value) {
+  return HiLo{value >> 13, value & 0x1fffU};
+}
+
+} // namespace proxima::isa

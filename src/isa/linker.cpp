@@ -1,0 +1,277 @@
+#include "linker.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace proxima::isa {
+
+namespace {
+
+std::uint32_t align_up(std::uint32_t value, std::uint32_t alignment) {
+  return (value + alignment - 1) & ~(alignment - 1);
+}
+
+struct Range {
+  std::uint32_t begin;
+  std::uint32_t end; // exclusive
+};
+
+bool overlaps(const Range& a, const Range& b) {
+  return a.begin < b.end && b.begin < a.end;
+}
+
+/// Sequential cursor that skips explicitly reserved ranges.
+class Cursor {
+public:
+  Cursor(std::uint32_t start, std::vector<Range> reserved)
+      : next_(start), reserved_(std::move(reserved)) {
+    std::sort(reserved_.begin(), reserved_.end(),
+              [](const Range& a, const Range& b) { return a.begin < b.begin; });
+  }
+
+  std::uint32_t take(std::uint32_t size, std::uint32_t alignment) {
+    std::uint32_t addr = align_up(next_, alignment);
+    bool moved = true;
+    while (moved) {
+      moved = false;
+      for (const Range& r : reserved_) {
+        if (overlaps({addr, addr + size}, r)) {
+          addr = align_up(r.end, alignment);
+          moved = true;
+        }
+      }
+    }
+    next_ = addr + size;
+    return addr;
+  }
+
+private:
+  std::uint32_t next_;
+  std::vector<Range> reserved_;
+};
+
+} // namespace
+
+const Symbol& LinkedImage::symbol(const std::string& name) const {
+  const auto it = symbols_.find(name);
+  if (it == symbols_.end()) {
+    throw LinkError("unknown symbol '" + name + "'");
+  }
+  return it->second;
+}
+
+const FunctionRecord& LinkedImage::function(const std::string& name) const {
+  for (const FunctionRecord& record : function_records_) {
+    if (record.name == name) {
+      return record;
+    }
+  }
+  throw LinkError("unknown function '" + name + "'");
+}
+
+void LinkedImage::load_into(mem::GuestMemory& memory) const {
+  for (const Section& section : sections_) {
+    memory.load(section.addr, section.bytes);
+  }
+}
+
+std::uint32_t LinkedImage::code_bytes() const {
+  std::uint32_t total = 0;
+  for (const FunctionRecord& record : function_records_) {
+    total += record.size_bytes;
+  }
+  return total;
+}
+
+LinkedImage link(const Program& program, const LinkOptions& options) {
+  LinkedImage image;
+
+  // ---- order functions ------------------------------------------------
+  std::vector<const Function*> ordered;
+  ordered.reserve(program.functions.size());
+  for (const std::string& name : options.function_order) {
+    const Function* f = program.find_function(name);
+    if (f == nullptr) {
+      throw LinkError("function_order names unknown function '" + name + "'");
+    }
+    ordered.push_back(f);
+  }
+  for (const Function& f : program.functions) {
+    if (std::find(ordered.begin(), ordered.end(), &f) == ordered.end()) {
+      ordered.push_back(&f);
+    }
+  }
+
+  // ---- collect explicit placements -------------------------------------
+  std::vector<Range> reserved;
+  for (const auto& [name, addr] : options.placement) {
+    std::uint32_t size = 0;
+    if (const Function* f = program.find_function(name)) {
+      size = f->size_bytes();
+    } else {
+      bool found = false;
+      for (const DataObject& d : program.data) {
+        if (d.name == name) {
+          size = d.size;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        throw LinkError("placement names unknown symbol '" + name + "'");
+      }
+    }
+    const Range range{addr, addr + size};
+    for (const Range& other : reserved) {
+      if (overlaps(range, other)) {
+        throw LinkError("placement overlap at symbol '" + name + "'");
+      }
+    }
+    reserved.push_back(range);
+  }
+
+  // ---- assign code addresses -------------------------------------------
+  Cursor code_cursor(options.code_base, reserved);
+  image.code_begin_ = options.code_base;
+  std::uint32_t code_end = options.code_base;
+  // ids follow *program* order so they are stable across re-links with a
+  // different function_order (the DSR metadata tables index by id).
+  std::map<const Function*, std::uint32_t> ids;
+  for (std::uint32_t i = 0; i < program.functions.size(); ++i) {
+    ids[&program.functions[i]] = i;
+  }
+  for (const Function* f : ordered) {
+    std::uint32_t addr = 0;
+    if (const auto it = options.placement.find(f->name);
+        it != options.placement.end()) {
+      addr = it->second;
+      if (addr % 4 != 0) {
+        throw LinkError(f->name + ": code placement must be word-aligned");
+      }
+    } else {
+      addr = code_cursor.take(f->size_bytes(), options.function_align);
+    }
+    image.symbols_[f->name] =
+        Symbol{f->name, addr, f->size_bytes(), /*is_code=*/true};
+    code_end = std::max(code_end, addr + f->size_bytes());
+  }
+  image.code_end_ = code_end;
+
+  // ---- assign data addresses -------------------------------------------
+  Cursor data_cursor(options.data_base, reserved);
+  image.data_begin_ = options.data_base;
+  std::uint32_t data_end = options.data_base;
+  for (const DataObject& d : program.data) {
+    if (image.symbols_.contains(d.name)) {
+      throw LinkError("duplicate symbol '" + d.name + "'");
+    }
+    std::uint32_t addr = 0;
+    if (const auto it = options.placement.find(d.name);
+        it != options.placement.end()) {
+      addr = it->second;
+    } else {
+      addr = data_cursor.take(d.size, std::max<std::uint32_t>(d.align, 1));
+    }
+    image.symbols_[d.name] = Symbol{d.name, addr, d.size, /*is_code=*/false};
+    data_end = std::max(data_end, addr + d.size);
+  }
+  image.data_end_ = data_end;
+
+  // ---- function records (DSR metadata source) ---------------------------
+  image.function_records_.resize(program.functions.size());
+  for (const Function* f : ordered) {
+    const std::uint32_t id = ids.at(f);
+    image.function_records_[id] =
+        FunctionRecord{f->name,
+                       id,
+                       image.symbols_.at(f->name).addr,
+                       f->size_bytes(),
+                       f->has_prologue,
+                       f->frame_bytes};
+  }
+
+  // ---- encode code with fixups applied -----------------------------------
+  for (const Function* f : ordered) {
+    const std::uint32_t base = image.symbols_.at(f->name).addr;
+    std::vector<Instruction> code = f->code; // patch a copy
+    for (const Fixup& fixup : f->fixups) {
+      if (fixup.index >= code.size()) {
+        throw LinkError(f->name + ": fixup index out of range");
+      }
+      Instruction& instr = code[fixup.index];
+      switch (fixup.kind) {
+      case FixupKind::kBranch: {
+        const auto it = f->labels.find(fixup.symbol);
+        if (it == f->labels.end()) {
+          throw LinkError(f->name + ": undefined label '" + fixup.symbol +
+                          "'");
+        }
+        instr.imm = static_cast<std::int32_t>(it->second) -
+                    static_cast<std::int32_t>(fixup.index);
+        break;
+      }
+      case FixupKind::kCall: {
+        const auto it = image.symbols_.find(fixup.symbol);
+        if (it == image.symbols_.end() || !it->second.is_code) {
+          throw LinkError(f->name + ": call to undefined function '" +
+                          fixup.symbol + "'");
+        }
+        const std::int64_t delta =
+            static_cast<std::int64_t>(it->second.addr) -
+            static_cast<std::int64_t>(base + 4 * fixup.index);
+        if (delta % 4 != 0 || delta / 4 < kDisp24Min ||
+            delta / 4 > kDisp24Max) {
+          throw LinkError(f->name + ": call displacement out of range");
+        }
+        instr.imm = static_cast<std::int32_t>(delta / 4);
+        break;
+      }
+      case FixupKind::kHi19:
+      case FixupKind::kLo13: {
+        const auto it = image.symbols_.find(fixup.symbol);
+        if (it == image.symbols_.end()) {
+          throw LinkError(f->name + ": undefined symbol '" + fixup.symbol +
+                          "'");
+        }
+        const std::uint32_t target =
+            it->second.addr + static_cast<std::uint32_t>(fixup.addend);
+        const HiLo parts = split_hi_lo(target);
+        instr.imm = static_cast<std::int32_t>(
+            fixup.kind == FixupKind::kHi19 ? parts.hi : parts.lo);
+        break;
+      }
+      }
+    }
+
+    LinkedImage::Section section;
+    section.addr = base;
+    section.bytes.reserve(code.size() * 4);
+    for (const Instruction& instr : code) {
+      const std::uint32_t word = encode(instr);
+      section.bytes.push_back(static_cast<std::uint8_t>(word >> 24));
+      section.bytes.push_back(static_cast<std::uint8_t>(word >> 16));
+      section.bytes.push_back(static_cast<std::uint8_t>(word >> 8));
+      section.bytes.push_back(static_cast<std::uint8_t>(word));
+    }
+    image.sections_.push_back(std::move(section));
+  }
+
+  // ---- data sections -------------------------------------------------------
+  for (const DataObject& d : program.data) {
+    LinkedImage::Section section;
+    section.addr = image.symbols_.at(d.name).addr;
+    section.bytes = d.init;
+    section.bytes.resize(d.size, 0);
+    image.sections_.push_back(std::move(section));
+  }
+
+  // ---- entry ----------------------------------------------------------------
+  const auto entry_it = image.symbols_.find(program.entry);
+  if (entry_it == image.symbols_.end() || !entry_it->second.is_code) {
+    throw LinkError("entry function '" + program.entry + "' not found");
+  }
+  image.entry_addr_ = entry_it->second.addr;
+  return image;
+}
+
+} // namespace proxima::isa

@@ -1,0 +1,95 @@
+// Pre-link program representation.
+//
+// A Program is a set of functions (instruction lists with *symbolic*
+// control-flow and address references) plus data objects.  Branch targets,
+// call targets and absolute addresses stay symbolic (fixups) until link
+// time; this is what lets the DSR compiler pass insert or replace
+// instructions without breaking displacements — mirroring how the real pass
+// works on LLVM IR before code emission.
+#pragma once
+
+#include "instruction.hpp"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace proxima::isa {
+
+enum class FixupKind : std::uint8_t {
+  kBranch, // B-form: disp24 <- label index - instruction index
+  kCall,   // B-form: disp24 <- (callee addr - instr addr) / 4
+  kHi19,   // H-form: imm19  <- (symbol addr + addend) >> 13
+  kLo13,   // I-form: imm    <- (symbol addr + addend) & 0x1fff
+};
+
+struct Fixup {
+  std::size_t index = 0; // instruction index within the function
+  FixupKind kind = FixupKind::kBranch;
+  std::string symbol;    // label name (kBranch) or global symbol name
+  std::int32_t addend = 0;
+
+  friend bool operator==(const Fixup&, const Fixup&) = default;
+};
+
+struct Function {
+  std::string name;
+  std::vector<Instruction> code;
+  std::map<std::string, std::size_t> labels; // local label -> instr index
+  std::vector<Fixup> fixups;
+
+  /// Declared stack frame size; meaningful when has_prologue.
+  std::uint32_t frame_bytes = 0;
+  bool has_prologue = false;
+  std::size_t prologue_index = 0; // index of the SAVE instruction
+
+  std::uint32_t size_bytes() const {
+    return static_cast<std::uint32_t>(code.size()) * 4;
+  }
+};
+
+struct DataObject {
+  std::string name;
+  std::uint32_t size = 0;
+  std::uint32_t align = 8;
+  /// Optional initial contents (zero-filled to `size` when shorter).
+  std::vector<std::uint8_t> init;
+};
+
+struct Program {
+  std::vector<Function> functions;
+  std::vector<DataObject> data;
+  std::string entry = "main";
+
+  Function* find_function(const std::string& name) {
+    for (Function& f : functions) {
+      if (f.name == name) {
+        return &f;
+      }
+    }
+    return nullptr;
+  }
+  const Function* find_function(const std::string& name) const {
+    return const_cast<Program*>(this)->find_function(name);
+  }
+  DataObject* find_data(const std::string& name) {
+    for (DataObject& d : data) {
+      if (d.name == name) {
+        return &d;
+      }
+    }
+    return nullptr;
+  }
+
+  /// Total code size in bytes (pre-link, no alignment padding).
+  std::uint32_t code_bytes() const {
+    std::uint32_t total = 0;
+    for (const Function& f : functions) {
+      total += f.size_bytes();
+    }
+    return total;
+  }
+};
+
+} // namespace proxima::isa

@@ -1,0 +1,68 @@
+// SPARC v8 register-window register model.
+//
+// 32 visible integer registers: 8 globals shared by all windows, and 24
+// windowed registers (8 outs / 8 locals / 8 ins) that rotate on
+// SAVE/RESTORE.  The stack pointer is %o6 and the frame pointer %i6, as in
+// the SPARC ABI; %g6/%g7 are reserved for system software — the DSR pass
+// uses them as scratch exactly because the ABI guarantees user code never
+// holds live values there.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace proxima::isa {
+
+inline constexpr std::uint8_t kG0 = 0; // hardwired zero
+inline constexpr std::uint8_t kG1 = 1;
+inline constexpr std::uint8_t kG2 = 2;
+inline constexpr std::uint8_t kG3 = 3;
+inline constexpr std::uint8_t kG4 = 4;
+inline constexpr std::uint8_t kG5 = 5;
+inline constexpr std::uint8_t kG6 = 6; // reserved: DSR runtime scratch
+inline constexpr std::uint8_t kG7 = 7; // reserved: DSR runtime scratch
+
+inline constexpr std::uint8_t kO0 = 8;
+inline constexpr std::uint8_t kO1 = 9;
+inline constexpr std::uint8_t kO2 = 10;
+inline constexpr std::uint8_t kO3 = 11;
+inline constexpr std::uint8_t kO4 = 12;
+inline constexpr std::uint8_t kO5 = 13;
+inline constexpr std::uint8_t kSp = 14; // %o6: stack pointer
+inline constexpr std::uint8_t kO7 = 15; // call return address
+
+inline constexpr std::uint8_t kL0 = 16;
+inline constexpr std::uint8_t kL1 = 17;
+inline constexpr std::uint8_t kL2 = 18;
+inline constexpr std::uint8_t kL3 = 19;
+inline constexpr std::uint8_t kL4 = 20;
+inline constexpr std::uint8_t kL5 = 21;
+inline constexpr std::uint8_t kL6 = 22;
+inline constexpr std::uint8_t kL7 = 23;
+
+inline constexpr std::uint8_t kI0 = 24;
+inline constexpr std::uint8_t kI1 = 25;
+inline constexpr std::uint8_t kI2 = 26;
+inline constexpr std::uint8_t kI3 = 27;
+inline constexpr std::uint8_t kI4 = 28;
+inline constexpr std::uint8_t kI5 = 29;
+inline constexpr std::uint8_t kFp = 30; // %i6: frame pointer
+inline constexpr std::uint8_t kI7 = 31; // callee view of return address
+
+inline constexpr std::uint32_t kRegisterCount = 32;
+
+/// Floating-point registers: 16 double-precision registers f0..f15.
+inline constexpr std::uint32_t kFpRegisterCount = 16;
+
+/// Printable name of an integer register.
+constexpr std::string_view register_name(std::uint8_t reg) {
+  constexpr std::array<std::string_view, 32> kNames = {
+      "%g0", "%g1", "%g2", "%g3", "%g4", "%g5", "%g6", "%g7",
+      "%o0", "%o1", "%o2", "%o3", "%o4", "%o5", "%sp", "%o7",
+      "%l0", "%l1", "%l2", "%l3", "%l4", "%l5", "%l6", "%l7",
+      "%i0", "%i1", "%i2", "%i3", "%i4", "%i5", "%fp", "%i7"};
+  return reg < kNames.size() ? kNames[reg] : "%??";
+}
+
+} // namespace proxima::isa

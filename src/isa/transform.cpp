@@ -1,0 +1,82 @@
+#include "transform.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace proxima::isa {
+
+void apply_edits(Function& function, std::vector<CodeEdit> edits,
+                 const std::set<std::size_t>& consumed_fixups) {
+  std::sort(edits.begin(), edits.end(),
+            [](const CodeEdit& a, const CodeEdit& b) { return a.index < b.index; });
+  for (std::size_t i = 1; i < edits.size(); ++i) {
+    if (edits[i].index == edits[i - 1].index) {
+      throw std::invalid_argument(function.name +
+                                  ": two edits at the same instruction");
+    }
+  }
+
+  std::vector<Instruction> new_code;
+  std::vector<Fixup> new_fixups;
+  std::vector<std::size_t> index_map(function.code.size() + 1, 0);
+
+  std::size_t edit_pos = 0;
+  for (std::size_t old_index = 0; old_index <= function.code.size();
+       ++old_index) {
+    index_map[old_index] = new_code.size();
+    if (old_index == function.code.size()) {
+      break;
+    }
+    if (edit_pos < edits.size() && edits[edit_pos].index == old_index) {
+      const CodeEdit& edit = edits[edit_pos++];
+      const std::size_t base = new_code.size();
+      for (const Fixup& fixup : edit.fixups) {
+        new_fixups.push_back(
+            {base + fixup.index, fixup.kind, fixup.symbol, fixup.addend});
+      }
+      new_code.insert(new_code.end(), edit.code.begin(), edit.code.end());
+      if (edit.keep_original) {
+        // Labels bound to the original instruction now point at the
+        // inserted sequence's start (index_map already does), and the
+        // original instruction follows it.
+        new_code.push_back(function.code[old_index]);
+      }
+    } else {
+      new_code.push_back(function.code[old_index]);
+    }
+  }
+
+  for (std::size_t i = 0; i < function.fixups.size(); ++i) {
+    if (consumed_fixups.contains(i)) {
+      continue;
+    }
+    Fixup fixup = function.fixups[i];
+    const std::size_t old_index = fixup.index;
+    fixup.index = index_map[old_index];
+    // A kept original shifted by its own insertion: the fixup belongs to
+    // the original instruction, which sits after the inserted code.
+    for (const CodeEdit& edit : edits) {
+      if (edit.keep_original && edit.index == old_index) {
+        fixup.index += edit.code.size();
+      }
+    }
+    new_fixups.push_back(fixup);
+  }
+
+  for (auto& [name, index] : function.labels) {
+    index = index_map[index];
+  }
+  if (function.has_prologue) {
+    const std::size_t old_index = function.prologue_index;
+    function.prologue_index = index_map[old_index];
+    for (const CodeEdit& edit : edits) {
+      if (edit.keep_original && edit.index == old_index) {
+        function.prologue_index += edit.code.size();
+      }
+    }
+  }
+  function.code = std::move(new_code);
+  function.fixups = std::move(new_fixups);
+}
+
+} // namespace proxima::isa

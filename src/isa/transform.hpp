@@ -1,0 +1,33 @@
+// Instruction-level program surgery.
+//
+// Replaces or prepends instruction sequences inside a Function while
+// remapping labels and fixups, so transformations compose safely before
+// link time.  Used by the DSR compiler pass (call indirection, prologue
+// rewriting) and by the RVS-style instrumenter (ipoint insertion).
+#pragma once
+
+#include "program.hpp"
+
+#include <set>
+#include <vector>
+
+namespace proxima::isa {
+
+/// One pending edit: the instruction at `index` is replaced by `code`
+/// (when `keep_original` is false) or `code` is inserted *before* it
+/// (when `keep_original` is true).  `fixups` carry indices relative to the
+/// start of `code`.
+struct CodeEdit {
+  std::size_t index = 0;
+  std::vector<Instruction> code;
+  std::vector<Fixup> fixups;
+  bool keep_original = false;
+};
+
+/// Apply edits (at distinct indices) to `function`.  Fixups listed in
+/// `consumed_fixups` (indices into function.fixups) are dropped; all others
+/// are index-remapped, as are labels and the prologue index.
+void apply_edits(Function& function, std::vector<CodeEdit> edits,
+                 const std::set<std::size_t>& consumed_fixups = {});
+
+} // namespace proxima::isa

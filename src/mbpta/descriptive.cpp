@@ -1,0 +1,105 @@
+#include "descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace proxima::mbpta {
+
+Summary summarise(std::span<const double> samples) {
+  Summary summary;
+  summary.count = samples.size();
+  if (samples.empty()) {
+    return summary;
+  }
+  summary.min = samples[0];
+  summary.max = samples[0];
+  double sum = 0.0;
+  for (const double x : samples) {
+    summary.min = std::min(summary.min, x);
+    summary.max = std::max(summary.max, x);
+    sum += x;
+  }
+  summary.mean = sum / static_cast<double>(samples.size());
+  if (samples.size() > 1) {
+    double ss = 0.0;
+    for (const double x : samples) {
+      const double d = x - summary.mean;
+      ss += d * d;
+    }
+    summary.variance = ss / static_cast<double>(samples.size() - 1);
+    summary.stddev = std::sqrt(summary.variance);
+  }
+  return summary;
+}
+
+double quantile(std::span<const double> samples, double q) {
+  if (samples.empty()) {
+    throw std::invalid_argument("quantile of empty sample");
+  }
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("quantile level outside [0,1]");
+  }
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double position = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(position);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = position - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double autocorrelation(std::span<const double> samples, std::size_t lag) {
+  const std::size_t n = samples.size();
+  if (lag >= n) {
+    return 0.0;
+  }
+  double mean = 0.0;
+  for (const double x : samples) {
+    mean += x;
+  }
+  mean /= static_cast<double>(n);
+  double denom = 0.0;
+  for (const double x : samples) {
+    denom += (x - mean) * (x - mean);
+  }
+  if (denom == 0.0) {
+    return 0.0; // constant series: no correlation structure by convention
+  }
+  double num = 0.0;
+  for (std::size_t i = 0; i + lag < n; ++i) {
+    num += (samples[i] - mean) * (samples[i + lag] - mean);
+  }
+  return num / denom;
+}
+
+std::vector<double> block_maxima(std::span<const double> samples,
+                                 std::size_t block_size) {
+  if (block_size == 0) {
+    throw std::invalid_argument("block size must be positive");
+  }
+  std::vector<double> maxima;
+  maxima.reserve(samples.size() / block_size);
+  for (std::size_t start = 0; start + block_size <= samples.size();
+       start += block_size) {
+    double block_max = samples[start];
+    for (std::size_t i = start + 1; i < start + block_size; ++i) {
+      block_max = std::max(block_max, samples[i]);
+    }
+    maxima.push_back(block_max);
+  }
+  return maxima;
+}
+
+std::vector<double> exceedances_over(std::span<const double> samples,
+                                     double threshold) {
+  std::vector<double> out;
+  for (const double x : samples) {
+    if (x > threshold) {
+      out.push_back(x - threshold);
+    }
+  }
+  return out;
+}
+
+} // namespace proxima::mbpta

@@ -1,0 +1,36 @@
+// Descriptive statistics over execution-time samples.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace proxima::mbpta {
+
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0; // the MOET / high-water mark
+  double mean = 0.0;
+  double variance = 0.0; // unbiased (n-1)
+  double stddev = 0.0;
+};
+
+Summary summarise(std::span<const double> samples);
+
+/// q-th empirical quantile (q in [0,1]), linear interpolation.
+double quantile(std::span<const double> samples, double q);
+
+/// Sample autocorrelation at `lag` (0 when the series is constant).
+double autocorrelation(std::span<const double> samples, std::size_t lag);
+
+/// Maxima of consecutive non-overlapping blocks; a trailing partial block
+/// is dropped (standard EVT practice).
+std::vector<double> block_maxima(std::span<const double> samples,
+                                 std::size_t block_size);
+
+/// Values strictly above `threshold` minus the threshold (POT exceedances).
+std::vector<double> exceedances_over(std::span<const double> samples,
+                                     double threshold);
+
+} // namespace proxima::mbpta

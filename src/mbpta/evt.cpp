@@ -1,0 +1,239 @@
+#include "evt.hpp"
+
+#include "descriptive.hpp"
+#include "stats_math.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace proxima::mbpta {
+
+namespace {
+
+constexpr double kEulerGamma = 0.57721566490153286;
+
+/// First three sample L-moments (Hosking's unbiased estimators).
+struct LMoments {
+  double l1 = 0.0;
+  double l2 = 0.0;
+  double l3 = 0.0;
+};
+
+LMoments l_moments(std::span<const double> samples) {
+  if (samples.size() < 3) {
+    throw std::invalid_argument("L-moments need at least 3 points");
+  }
+  std::vector<double> x(samples.begin(), samples.end());
+  std::sort(x.begin(), x.end());
+  const double n = static_cast<double>(x.size());
+  double b0 = 0.0;
+  double b1 = 0.0;
+  double b2 = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double di = static_cast<double>(i); // 0-based: i = rank-1
+    b0 += x[i];
+    b1 += di * x[i];
+    b2 += di * (di - 1.0) * x[i];
+  }
+  b0 /= n;
+  b1 /= n * (n - 1.0);
+  b2 /= n * (n - 1.0) * (n - 2.0);
+  LMoments lm;
+  lm.l1 = b0;
+  lm.l2 = 2.0 * b1 - b0;
+  lm.l3 = 6.0 * b2 - 6.0 * b1 + b0;
+  return lm;
+}
+
+double gamma_fn(double x) { return std::exp(log_gamma(x)); }
+
+void check_cumulative(double cumulative) {
+  if (cumulative <= 0.0 || cumulative >= 1.0) {
+    throw std::invalid_argument("cumulative probability must be in (0,1)");
+  }
+}
+
+} // namespace
+
+double GumbelFit::quantile(double cumulative) const {
+  check_cumulative(cumulative);
+  return location - scale * std::log(-std::log(cumulative));
+}
+
+double GevFit::quantile(double cumulative) const {
+  check_cumulative(cumulative);
+  const double y = -std::log(cumulative);
+  if (std::fabs(shape) < 1e-9) {
+    return location - scale * std::log(y);
+  }
+  return location + scale * (std::pow(y, -shape) - 1.0) / shape;
+}
+
+double GpdFit::quantile_exceedance(double p) const {
+  if (p <= 0.0 || p > 1.0) {
+    throw std::invalid_argument("exceedance probability must be in (0,1]");
+  }
+  if (std::fabs(shape) < 1e-9) {
+    return -scale * std::log(p);
+  }
+  return scale * (std::pow(p, -shape) - 1.0) / shape;
+}
+
+GumbelFit fit_gumbel_lmoments(std::span<const double> maxima) {
+  const LMoments lm = l_moments(maxima);
+  GumbelFit fit;
+  fit.scale = lm.l2 / std::log(2.0);
+  if (fit.scale < 0.0) {
+    fit.scale = 0.0; // degenerate (near-constant) data
+  }
+  fit.location = lm.l1 - kEulerGamma * fit.scale;
+  return fit;
+}
+
+GevFit fit_gev_lmoments(std::span<const double> maxima) {
+  const LMoments lm = l_moments(maxima);
+  GevFit fit;
+  if (lm.l2 <= 0.0) {
+    // Degenerate sample: collapse to a point mass at the mean.
+    fit.location = lm.l1;
+    fit.scale = 0.0;
+    fit.shape = 0.0;
+    return fit;
+  }
+  const double t3 = lm.l3 / lm.l2;
+  // Hosking's rational approximation for the GEV shape (his k = -xi).
+  const double c = 2.0 / (3.0 + t3) - std::log(2.0) / std::log(3.0);
+  const double k = 7.8590 * c + 2.9554 * c * c;
+  if (std::fabs(k) < 1e-6) {
+    const GumbelFit gumbel = fit_gumbel_lmoments(maxima);
+    fit.location = gumbel.location;
+    fit.scale = gumbel.scale;
+    fit.shape = 0.0;
+    return fit;
+  }
+  const double gamma_1k = gamma_fn(1.0 + k);
+  fit.scale = lm.l2 * k / ((1.0 - std::pow(2.0, -k)) * gamma_1k);
+  fit.location = lm.l1 - fit.scale * (1.0 - gamma_1k) / k;
+  fit.shape = -k;
+  return fit;
+}
+
+GpdFit fit_gpd_lmoments(std::span<const double> exceedances) {
+  const LMoments lm = l_moments(exceedances);
+  GpdFit fit;
+  if (lm.l2 <= 0.0) {
+    fit.scale = 0.0;
+    fit.shape = 0.0;
+    return fit;
+  }
+  const double k = lm.l1 / lm.l2 - 2.0; // Hosking's k = -xi
+  fit.scale = lm.l1 * (1.0 + k);
+  fit.shape = -k;
+  return fit;
+}
+
+CvTestResult cv_exponentiality(std::span<const double> samples,
+                               double threshold_quantile) {
+  const double threshold = quantile(samples, threshold_quantile);
+  const std::vector<double> tail = exceedances_over(samples, threshold);
+  CvTestResult result;
+  result.exceedances = tail.size();
+  if (tail.size() < 3) {
+    result.cv = 1.0;
+    result.lower = 0.0;
+    result.upper = 2.0;
+    return result;
+  }
+  const Summary s = summarise(tail);
+  result.cv = s.mean > 0.0 ? s.stddev / s.mean : 0.0;
+  // Asymptotic acceptance band: CV of n exponential variates is ~1 with
+  // standard error ~ 1/sqrt(n).
+  const double half_width =
+      1.96 / std::sqrt(static_cast<double>(tail.size()));
+  result.lower = 1.0 - half_width;
+  result.upper = 1.0 + half_width;
+  return result;
+}
+
+PwcetModel PwcetModel::fit_block_maxima(std::span<const double> samples,
+                                        std::uint32_t block_size,
+                                        bool full_gev) {
+  if (block_size == 0) {
+    throw std::invalid_argument("block size must be positive");
+  }
+  const std::vector<double> maxima = block_maxima(samples, block_size);
+  if (maxima.size() < 10) {
+    throw std::invalid_argument(
+        "too few blocks for an EVT fit: need >= 10 block maxima");
+  }
+  PwcetModel model;
+  model.info_.method = full_gev ? TailMethod::kBlockMaximaGev
+                                : TailMethod::kBlockMaximaGumbel;
+  model.info_.samples = samples.size();
+  model.info_.tail_points = maxima.size();
+  model.info_.block_size = block_size;
+  model.info_.gumbel = fit_gumbel_lmoments(maxima);
+  model.info_.gev = fit_gev_lmoments(maxima);
+  return model;
+}
+
+PwcetModel PwcetModel::fit_pot(std::span<const double> samples,
+                               double threshold_quantile) {
+  if (threshold_quantile <= 0.0 || threshold_quantile >= 1.0) {
+    throw std::invalid_argument("threshold quantile must be in (0,1)");
+  }
+  const double threshold = quantile(samples, threshold_quantile);
+  const std::vector<double> tail = exceedances_over(samples, threshold);
+  if (tail.size() < 10) {
+    throw std::invalid_argument(
+        "too few exceedances for a POT fit: need >= 10");
+  }
+  PwcetModel model;
+  model.info_.method = TailMethod::kPotGpd;
+  model.info_.samples = samples.size();
+  model.info_.tail_points = tail.size();
+  model.info_.threshold = threshold;
+  model.info_.exceed_rate =
+      static_cast<double>(tail.size()) / static_cast<double>(samples.size());
+  model.info_.gpd = fit_gpd_lmoments(tail);
+  return model;
+}
+
+double PwcetModel::pwcet(double exceedance_per_run) const {
+  if (exceedance_per_run <= 0.0 || exceedance_per_run >= 1.0) {
+    throw std::invalid_argument("exceedance probability must be in (0,1)");
+  }
+  switch (info_.method) {
+  case TailMethod::kBlockMaximaGumbel:
+  case TailMethod::kBlockMaximaGev: {
+    // P(block max > x) ~= block_size * p_run for small p.
+    const double p_block = std::min(
+        0.999999, exceedance_per_run * static_cast<double>(info_.block_size));
+    const double cumulative = 1.0 - p_block;
+    return info_.method == TailMethod::kBlockMaximaGumbel
+               ? info_.gumbel.quantile(cumulative)
+               : info_.gev.quantile(cumulative);
+  }
+  case TailMethod::kPotGpd: {
+    if (exceedance_per_run >= info_.exceed_rate) {
+      // Inside the empirical range: the threshold itself suffices.
+      return info_.threshold;
+    }
+    const double conditional = exceedance_per_run / info_.exceed_rate;
+    return info_.threshold + info_.gpd.quantile_exceedance(conditional);
+  }
+  }
+  return 0.0;
+}
+
+std::vector<std::pair<double, double>> PwcetModel::curve(int decades) const {
+  std::vector<std::pair<double, double>> points;
+  for (int d = 1; d <= decades; ++d) {
+    const double p = std::pow(10.0, -d);
+    points.emplace_back(pwcet(p), p);
+  }
+  return points;
+}
+
+} // namespace proxima::mbpta

@@ -1,0 +1,108 @@
+// Extreme Value Theory fits and the pWCET model (Section II / VI).
+//
+// MBPTA [9] applies EVT to execution-time measurements to produce a pWCET
+// distribution: "the highest probability (e.g. 1e-15) at which one instance
+// of a program may exceed the corresponding execution time bound".
+// Implemented estimators:
+//   * Gumbel fit of block maxima via L-moments (the classic MBPTA choice —
+//     light-tailed, conservative for cache-jitter distributions)
+//   * full GEV fit via L-moments (Hosking), for shape diagnostics
+//   * GPD fit of peaks-over-threshold exceedances via L-moments
+// plus the CV (coefficient-of-variation) exponentiality diagnostic used by
+// later MBPTA work to justify the exponential tail.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace proxima::mbpta {
+
+/// Gumbel (GEV with shape 0): F(x) = exp(-exp(-(x-mu)/beta)).
+struct GumbelFit {
+  double location = 0.0; // mu
+  double scale = 0.0;    // beta
+
+  /// Inverse CDF at cumulative probability F.
+  double quantile(double cumulative) const;
+};
+
+/// Generalised extreme value, standard parameterisation (xi > 0: heavy).
+struct GevFit {
+  double location = 0.0;
+  double scale = 0.0;
+  double shape = 0.0; // xi
+
+  double quantile(double cumulative) const;
+};
+
+/// Generalised Pareto over a threshold.
+struct GpdFit {
+  double scale = 0.0;
+  double shape = 0.0; // xi
+
+  /// Value exceeded with probability `p` GIVEN the threshold is exceeded.
+  double quantile_exceedance(double p) const;
+};
+
+GumbelFit fit_gumbel_lmoments(std::span<const double> maxima);
+GevFit fit_gev_lmoments(std::span<const double> maxima);
+GpdFit fit_gpd_lmoments(std::span<const double> exceedances);
+
+/// CV exponentiality diagnostic: for exceedances of an exponential tail the
+/// coefficient of variation is 1; the acceptance band shrinks with n.
+struct CvTestResult {
+  double cv = 0.0;
+  double lower = 0.0;
+  double upper = 0.0;
+  std::size_t exceedances = 0;
+  bool passes() const { return cv >= lower && cv <= upper; }
+};
+CvTestResult cv_exponentiality(std::span<const double> samples,
+                               double threshold_quantile = 0.9);
+
+enum class TailMethod : std::uint8_t {
+  kBlockMaximaGumbel,
+  kBlockMaximaGev,
+  kPotGpd,
+};
+
+/// A fitted pWCET model: maps a per-run exceedance probability to an
+/// execution-time bound, and renders the exceedance curve of Figure 3.
+class PwcetModel {
+public:
+  struct FitInfo {
+    TailMethod method = TailMethod::kBlockMaximaGumbel;
+    std::size_t samples = 0;
+    std::size_t tail_points = 0; // block maxima or exceedances used
+    std::uint32_t block_size = 0;
+    double threshold = 0.0;      // POT only
+    double exceed_rate = 0.0;    // POT only: P(X > threshold)
+    GumbelFit gumbel;
+    GevFit gev;
+    GpdFit gpd;
+  };
+
+  /// Fit with block maxima (Gumbel or GEV tail).
+  static PwcetModel fit_block_maxima(std::span<const double> samples,
+                                     std::uint32_t block_size,
+                                     bool full_gev = false);
+
+  /// Fit with peaks over the `threshold_quantile` empirical quantile.
+  static PwcetModel fit_pot(std::span<const double> samples,
+                            double threshold_quantile = 0.9);
+
+  /// Execution-time bound exceeded with probability at most `p` per run.
+  double pwcet(double exceedance_per_run) const;
+
+  /// (time, exceedance probability) pairs for probabilities 10^-1..10^-k.
+  std::vector<std::pair<double, double>> curve(int decades = 16) const;
+
+  const FitInfo& info() const noexcept { return info_; }
+
+private:
+  FitInfo info_;
+};
+
+} // namespace proxima::mbpta

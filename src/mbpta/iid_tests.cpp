@@ -1,0 +1,87 @@
+#include "iid_tests.hpp"
+
+#include "descriptive.hpp"
+#include "stats_math.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace proxima::mbpta {
+
+LjungBoxResult ljung_box(std::span<const double> samples,
+                         std::uint32_t lags) {
+  const std::size_t n = samples.size();
+  if (lags == 0) {
+    throw std::invalid_argument("ljung_box needs at least one lag");
+  }
+  if (n <= lags + 1) {
+    throw std::invalid_argument("ljung_box: series shorter than lag window");
+  }
+  LjungBoxResult result;
+  result.lags = lags;
+  double q = 0.0;
+  for (std::uint32_t k = 1; k <= lags; ++k) {
+    const double rho = autocorrelation(samples, k);
+    q += rho * rho / static_cast<double>(n - k);
+  }
+  q *= static_cast<double>(n) * (static_cast<double>(n) + 2.0);
+  result.statistic = q;
+  result.p_value = 1.0 - chi_square_cdf(q, static_cast<double>(lags));
+  return result;
+}
+
+KsResult ks_two_sample(std::span<const double> a, std::span<const double> b) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("ks_two_sample: empty sample");
+  }
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+
+  const double na = static_cast<double>(sa.size());
+  const double nb = static_cast<double>(sb.size());
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  double d = 0.0;
+  while (ia < sa.size() && ib < sb.size()) {
+    const double xa = sa[ia];
+    const double xb = sb[ib];
+    if (xa <= xb) {
+      ++ia;
+    }
+    if (xb <= xa) {
+      ++ib;
+    }
+    const double fa = static_cast<double>(ia) / na;
+    const double fb = static_cast<double>(ib) / nb;
+    d = std::max(d, std::fabs(fa - fb));
+  }
+
+  KsResult result;
+  result.statistic = d;
+  // Asymptotic p-value with the small-sample correction (Stephens 1970).
+  const double ne = na * nb / (na + nb);
+  const double sqrt_ne = std::sqrt(ne);
+  const double lambda = (sqrt_ne + 0.12 + 0.11 / sqrt_ne) * d;
+  result.p_value = ks_survival(lambda);
+  return result;
+}
+
+IidVerdict check_iid(std::span<const double> samples, double alpha,
+                     std::uint32_t lb_lags) {
+  if (samples.size() < 2 * (lb_lags + 2)) {
+    throw std::invalid_argument("check_iid: too few samples");
+  }
+  IidVerdict verdict;
+  verdict.alpha = alpha;
+  verdict.independence = ljung_box(samples, lb_lags);
+  const std::size_t half = samples.size() / 2;
+  verdict.identical_distribution =
+      ks_two_sample(samples.subspan(0, half), samples.subspan(half));
+  return verdict;
+}
+
+} // namespace proxima::mbpta

@@ -1,0 +1,50 @@
+// The i.i.d. hypothesis tests MBPTA requires (Section VI, "Fulfilling the
+// i.i.d properties").
+//
+// The paper tests independence with the Ljung-Box test [7] and identical
+// distribution with the two-sample Kolmogorov-Smirnov test [6], both at a
+// 5% significance level: "i.i.d. is rejected only if the value for any of
+// the tests is lower than 0.05".
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace proxima::mbpta {
+
+struct LjungBoxResult {
+  double statistic = 0.0; // Q
+  double p_value = 1.0;
+  std::uint32_t lags = 0;
+  bool passes(double alpha = 0.05) const { return p_value >= alpha; }
+};
+
+/// Ljung-Box portmanteau test for autocorrelation up to `lags`.
+/// Q = n(n+2) * sum_k rho_k^2 / (n-k)  ~  chi-square(lags) under H0.
+LjungBoxResult ljung_box(std::span<const double> samples,
+                         std::uint32_t lags = 20);
+
+struct KsResult {
+  double statistic = 0.0; // D
+  double p_value = 1.0;
+  bool passes(double alpha = 0.05) const { return p_value >= alpha; }
+};
+
+/// Two-sample Kolmogorov-Smirnov test with the asymptotic p-value.
+KsResult ks_two_sample(std::span<const double> a, std::span<const double> b);
+
+struct IidVerdict {
+  LjungBoxResult independence;
+  KsResult identical_distribution;
+  double alpha = 0.05;
+  bool passes() const {
+    return independence.passes(alpha) && identical_distribution.passes(alpha);
+  }
+};
+
+/// The paper's protocol: Ljung-Box on the full series; two-sample KS
+/// between the first and second half of the measurement campaign.
+IidVerdict check_iid(std::span<const double> samples, double alpha = 0.05,
+                     std::uint32_t lb_lags = 20);
+
+} // namespace proxima::mbpta

@@ -1,0 +1,65 @@
+#include "mbpta.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace proxima::mbpta {
+
+ConvergenceController::ConvergenceController()
+    : ConvergenceController(Config{}) {}
+
+MbptaAnalysis analyse(std::span<const double> samples,
+                      const MbptaConfig& config) {
+  MbptaAnalysis analysis;
+  analysis.config = config;
+  analysis.summary = summarise(samples);
+  analysis.iid = check_iid(samples, config.alpha, config.lb_lags);
+  switch (config.method) {
+  case TailMethod::kBlockMaximaGumbel:
+    analysis.model =
+        PwcetModel::fit_block_maxima(samples, config.block_size, false);
+    break;
+  case TailMethod::kBlockMaximaGev:
+    analysis.model =
+        PwcetModel::fit_block_maxima(samples, config.block_size, true);
+    break;
+  case TailMethod::kPotGpd:
+    analysis.model =
+        PwcetModel::fit_pot(samples, config.pot_threshold_quantile);
+    break;
+  }
+  return analysis;
+}
+
+bool ConvergenceController::add_batch(std::span<const double> batch) {
+  samples_.insert(samples_.end(), batch.begin(), batch.end());
+  if (samples_.size() < config_.min_samples) {
+    return false;
+  }
+  MbptaAnalysis analysis;
+  try {
+    analysis = analyse(samples_, config_.mbpta);
+  } catch (const std::invalid_argument&) {
+    return false; // not enough tail points yet
+  }
+  if (!analysis.applicable()) {
+    stable_count_ = 0;
+    estimates_.push_back(std::nan(""));
+    return false;
+  }
+  const double estimate = analysis.pwcet(config_.target_exceedance);
+  if (!estimates_.empty() && !std::isnan(estimates_.back())) {
+    const double previous = estimates_.back();
+    const double rel_change =
+        previous == 0.0 ? 0.0 : std::fabs(estimate - previous) / previous;
+    if (rel_change <= config_.epsilon) {
+      ++stable_count_;
+    } else {
+      stable_count_ = 0;
+    }
+  }
+  estimates_.push_back(estimate);
+  return converged();
+}
+
+} // namespace proxima::mbpta

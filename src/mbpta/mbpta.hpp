@@ -1,0 +1,79 @@
+// The complete MBPTA protocol, as integrated into the commercial timing
+// analysis tool (Section V): take a campaign of execution-time measurements
+// collected under randomisation, verify the i.i.d. hypothesis, fit the EVT
+// tail, and deliver the pWCET distribution.  A convergence controller
+// reproduces the incremental measure-test-extend loop of MBPTA [9].
+#pragma once
+
+#include "descriptive.hpp"
+#include "evt.hpp"
+#include "iid_tests.hpp"
+
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace proxima::mbpta {
+
+struct MbptaConfig {
+  double alpha = 0.05;          // significance for both i.i.d. tests
+  std::uint32_t lb_lags = 20;   // Ljung-Box lag window
+  std::uint32_t block_size = 50;
+  TailMethod method = TailMethod::kBlockMaximaGumbel;
+  double pot_threshold_quantile = 0.9;
+};
+
+struct MbptaAnalysis {
+  Summary summary;
+  IidVerdict iid;
+  PwcetModel model;
+  MbptaConfig config;
+
+  /// pWCET estimate at a per-run exceedance probability (e.g. 1e-15).
+  double pwcet(double exceedance_per_run) const {
+    return model.pwcet(exceedance_per_run);
+  }
+
+  /// MBPTA is applicable only if the measurements pass the i.i.d. tests.
+  bool applicable() const { return iid.passes(); }
+};
+
+/// Run the full analysis.  Throws std::invalid_argument when the campaign
+/// is too short for the configured tests/fit.
+MbptaAnalysis analyse(std::span<const double> samples,
+                      const MbptaConfig& config = {});
+
+/// Incremental campaign controller: feed measurement batches until the
+/// pWCET estimate at `target_exceedance` stabilises (relative change below
+/// `epsilon` for `stable_rounds` consecutive batches) with i.i.d. holding.
+class ConvergenceController {
+public:
+  struct Config {
+    double target_exceedance = 1e-12;
+    double epsilon = 0.01;
+    int stable_rounds = 3;
+    std::size_t min_samples = 200;
+    MbptaConfig mbpta;
+  };
+
+  ConvergenceController();
+  explicit ConvergenceController(const Config& config) : config_(config) {}
+
+  /// Add a batch; returns true once converged.
+  bool add_batch(std::span<const double> batch);
+
+  bool converged() const noexcept { return stable_count_ >= config_.stable_rounds; }
+  std::size_t samples_used() const noexcept { return samples_.size(); }
+  const std::vector<double>& estimates() const noexcept { return estimates_; }
+
+  /// Final analysis over everything collected so far.
+  MbptaAnalysis result() const { return analyse(samples_, config_.mbpta); }
+
+private:
+  Config config_;
+  std::vector<double> samples_;
+  std::vector<double> estimates_;
+  int stable_count_ = 0;
+};
+
+} // namespace proxima::mbpta

@@ -1,0 +1,30 @@
+// Special functions backing the statistical tests.
+//
+// Self-contained implementations (no external numerics dependency):
+// Lanczos log-gamma, regularised incomplete gamma (series + Lentz continued
+// fraction), the chi-square CDF used by the Ljung-Box test [7], and the
+// asymptotic Kolmogorov distribution used by the two-sample KS test [6].
+#pragma once
+
+#include <cstdint>
+
+namespace proxima::mbpta {
+
+/// ln Γ(x) for x > 0 (Lanczos approximation, |error| < 1e-13).
+double log_gamma(double x);
+
+/// Regularised lower incomplete gamma P(a, x), a > 0, x >= 0.
+double regularized_gamma_p(double a, double x);
+
+/// Chi-square CDF with `dof` degrees of freedom.
+double chi_square_cdf(double x, double dof);
+
+/// Kolmogorov distribution survival function Q_KS(lambda) =
+/// 2 * sum_{j>=1} (-1)^{j-1} exp(-2 j^2 lambda^2).  Returns the p-value of
+/// a scaled KS statistic.
+double ks_survival(double lambda);
+
+/// Standard normal CDF.
+double normal_cdf(double x);
+
+} // namespace proxima::mbpta

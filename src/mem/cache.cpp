@@ -1,0 +1,251 @@
+#include "cache.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace proxima::mem {
+
+namespace {
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+} // namespace
+
+Cache::Cache(CacheConfig config) : config_(std::move(config)) {
+  if (config_.line_bytes == 0 || !std::has_single_bit(config_.line_bytes)) {
+    throw std::invalid_argument(config_.name + ": line size must be a power of two");
+  }
+  if (config_.ways == 0) {
+    throw std::invalid_argument(config_.name + ": ways must be >= 1");
+  }
+  if (config_.size_bytes % (config_.line_bytes * config_.ways) != 0) {
+    throw std::invalid_argument(config_.name +
+                                ": size must be a multiple of line*ways");
+  }
+  if (!std::has_single_bit(config_.sets())) {
+    throw std::invalid_argument(config_.name + ": set count must be a power of two");
+  }
+  lines_.resize(static_cast<std::size_t>(config_.sets()) * config_.ways);
+}
+
+std::uint32_t Cache::set_index(std::uint32_t addr) const {
+  const std::uint32_t line = addr / config_.line_bytes;
+  switch (config_.placement) {
+  case Placement::kModulo:
+    return line & (config_.sets() - 1);
+  case Placement::kRandomHash:
+    // Seeded hash placement: the per-run seed re-randomises the mapping the
+    // way a hardware time-randomised cache does.
+    return static_cast<std::uint32_t>(mix64(line ^ hash_seed_)) &
+           (config_.sets() - 1);
+  }
+  return 0;
+}
+
+std::uint32_t Cache::next_random() {
+  // xorshift32; private stream so random replacement is reproducible per
+  // cache instance and per reseed.
+  rng_state_ ^= rng_state_ << 13;
+  rng_state_ ^= rng_state_ >> 17;
+  rng_state_ ^= rng_state_ << 5;
+  return rng_state_;
+}
+
+Cache::Line* Cache::find_line(std::uint32_t addr) {
+  const std::uint32_t set = set_index(addr);
+  const std::uint32_t tag = tag_of(addr);
+  Line* base = &lines_[static_cast<std::size_t>(set) * config_.ways];
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) {
+      return &base[w];
+    }
+  }
+  return nullptr;
+}
+
+const Cache::Line* Cache::find_line(std::uint32_t addr) const {
+  return const_cast<Cache*>(this)->find_line(addr);
+}
+
+Cache::Line& Cache::choose_victim(std::uint32_t set) {
+  Line* base = &lines_[static_cast<std::size_t>(set) * config_.ways];
+  // Prefer an invalid way.
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    if (!base[w].valid) {
+      return base[w];
+    }
+  }
+  switch (config_.replacement) {
+  case Replacement::kLru: {
+    Line* victim = &base[0];
+    for (std::uint32_t w = 1; w < config_.ways; ++w) {
+      if (base[w].last_use < victim->last_use) {
+        victim = &base[w];
+      }
+    }
+    return *victim;
+  }
+  case Replacement::kRandom:
+    return base[next_random() % config_.ways];
+  }
+  return base[0];
+}
+
+AccessResult Cache::read(std::uint32_t addr) {
+  AccessResult result;
+  if (Line* line = find_line(addr)) {
+    ++stats_.hits;
+    line->last_use = ++use_clock_;
+    result.hit = true;
+    if (line->stale) {
+      ++stats_.stale_hits;
+      result.stale_hit = true;
+    }
+    return result;
+  }
+  ++stats_.misses;
+  const std::uint32_t set = set_index(addr);
+  Line& victim = choose_victim(set);
+  if (victim.valid) {
+    ++stats_.evictions;
+    if (victim.dirty) {
+      ++stats_.writebacks;
+      result.writeback_addr = addr_of_tag(victim.tag);
+    }
+  }
+  victim.valid = true;
+  victim.dirty = false;
+  victim.stale = false;
+  victim.tag = tag_of(addr);
+  victim.last_use = ++use_clock_;
+  result.filled = true;
+  return result;
+}
+
+AccessResult Cache::write(std::uint32_t addr) {
+  AccessResult result;
+  switch (config_.write_policy) {
+  case WritePolicy::kWriteThroughNoAllocate: {
+    if (Line* line = find_line(addr)) {
+      ++stats_.hits;
+      line->last_use = ++use_clock_;
+      line->stale = false; // line now matches what goes to memory
+      result.hit = true;
+    } else {
+      ++stats_.misses;
+    }
+    ++stats_.write_through; // every write continues downstream
+    return result;
+  }
+  case WritePolicy::kWriteBackAllocate: {
+    if (Line* line = find_line(addr)) {
+      ++stats_.hits;
+      line->last_use = ++use_clock_;
+      line->dirty = true;
+      line->stale = false;
+      result.hit = true;
+      return result;
+    }
+    ++stats_.misses;
+    const std::uint32_t set = set_index(addr);
+    Line& victim = choose_victim(set);
+    if (victim.valid) {
+      ++stats_.evictions;
+      if (victim.dirty) {
+        ++stats_.writebacks;
+        result.writeback_addr = addr_of_tag(victim.tag);
+      }
+    }
+    victim.valid = true;
+    victim.dirty = true;
+    victim.stale = false;
+    victim.tag = tag_of(addr);
+    victim.last_use = ++use_clock_;
+    result.filled = true;
+    return result;
+  }
+  }
+  return result;
+}
+
+bool Cache::contains(std::uint32_t addr) const {
+  return find_line(addr) != nullptr;
+}
+
+bool Cache::line_dirty(std::uint32_t addr) const {
+  const Line* line = find_line(addr);
+  return line != nullptr && line->dirty;
+}
+
+std::optional<std::uint32_t> Cache::invalidate_line(std::uint32_t addr) {
+  if (Line* line = find_line(addr)) {
+    ++stats_.invalidations;
+    line->valid = false;
+    if (line->dirty) {
+      line->dirty = false;
+      return addr_of_tag(line->tag);
+    }
+  }
+  return std::nullopt;
+}
+
+void Cache::invalidate_range(std::uint32_t addr, std::uint32_t length,
+                             std::vector<std::uint32_t>* writebacks) {
+  if (length == 0) {
+    return;
+  }
+  const std::uint32_t first = line_base(addr);
+  const std::uint32_t last = line_base(addr + length - 1);
+  for (std::uint32_t line = first;; line += config_.line_bytes) {
+    if (auto wb = invalidate_line(line)) {
+      if (writebacks != nullptr) {
+        writebacks->push_back(*wb);
+      }
+    }
+    if (line == last) {
+      break;
+    }
+  }
+}
+
+void Cache::invalidate_all(std::vector<std::uint32_t>* writebacks) {
+  for (Line& line : lines_) {
+    if (line.valid) {
+      ++stats_.invalidations;
+      if (line.dirty && writebacks != nullptr) {
+        writebacks->push_back(addr_of_tag(line.tag));
+      }
+    }
+    line.valid = false;
+    line.dirty = false;
+    line.stale = false;
+  }
+}
+
+void Cache::mark_stale(std::uint32_t addr, std::uint32_t length) {
+  if (length == 0) {
+    return;
+  }
+  const std::uint32_t first = line_base(addr);
+  const std::uint32_t last = line_base(addr + length - 1);
+  for (std::uint32_t line_addr = first;; line_addr += config_.line_bytes) {
+    if (Line* line = find_line(line_addr)) {
+      line->stale = true;
+    }
+    if (line_addr == last) {
+      break;
+    }
+  }
+}
+
+void Cache::reseed(std::uint64_t seed) {
+  hash_seed_ = mix64(seed ^ 0xabcdef1234567890ULL);
+  rng_state_ = static_cast<std::uint32_t>(mix64(seed) | 1U);
+}
+
+} // namespace proxima::mem

@@ -1,0 +1,161 @@
+// Set-associative cache model (tag state + replacement + write policy).
+//
+// Models the three caches of the PROXIMA LEON3 platform (Section III.A):
+//   IL1: 16 KiB, 4-way, LRU, read-only port
+//   DL1: 16 KiB, 4-way, LRU, write-through no-write-allocate
+//   L2 : 32 KiB, direct-mapped, write-back, unified
+//
+// Beyond the paper's COTS configuration, the model also supports the
+// *hardware-randomised* cache variants that software randomisation is meant
+// to substitute (random placement via a seeded hash, random replacement),
+// so the ablation benches can put DSR and hardware randomisation
+// side by side, as PROXIMA did.
+//
+// The model is tag-only: data lives in GuestMemory.  SPARC's lack of
+// instruction/data coherence is modelled with a per-line `stale` bit that
+// the hierarchy sets when memory under a valid line is rewritten (e.g. by
+// the DSR relocation loop); fetching a stale line is a coherence violation
+// unless the invalidation routine (Section III.B.1) has cleared it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace proxima::mem {
+
+enum class Replacement : std::uint8_t { kLru, kRandom };
+enum class Placement : std::uint8_t { kModulo, kRandomHash };
+enum class WritePolicy : std::uint8_t {
+  kWriteThroughNoAllocate,
+  kWriteBackAllocate,
+};
+
+struct CacheConfig {
+  std::string name = "cache";
+  std::uint32_t size_bytes = 16 * 1024;
+  std::uint32_t line_bytes = 32;
+  std::uint32_t ways = 4; // 1 => direct-mapped
+  Replacement replacement = Replacement::kLru;
+  Placement placement = Placement::kModulo;
+  WritePolicy write_policy = WritePolicy::kWriteBackAllocate;
+
+  std::uint32_t sets() const { return size_bytes / line_bytes / ways; }
+  /// Bytes covered by one way: the address range that maps every line of a
+  /// way exactly once.  This is the random-offset range DSR must cover to
+  /// randomise this cache's layout (Section III.B.4).
+  std::uint32_t way_bytes() const { return size_bytes / ways; }
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;        // dirty evictions
+  std::uint64_t write_through = 0;     // writes forwarded downstream
+  std::uint64_t stale_hits = 0;        // coherence violations observed
+  std::uint64_t invalidations = 0;     // lines dropped by invalidate calls
+
+  std::uint64_t accesses() const { return hits + misses; }
+  double miss_ratio() const {
+    return accesses() == 0 ? 0.0
+                           : static_cast<double>(misses) /
+                                 static_cast<double>(accesses());
+  }
+  void reset() { *this = CacheStats{}; }
+};
+
+/// Outcome of a single cache access, consumed by the hierarchy to decide
+/// what traffic continues downstream.
+struct AccessResult {
+  bool hit = false;
+  bool stale_hit = false; // hit on a line whose backing memory changed
+  /// Address of a dirty line evicted to make room (write-back caches only);
+  /// the hierarchy charges a downstream write for it.
+  std::optional<std::uint32_t> writeback_addr;
+  /// True when the access allocated a line (miss fill).
+  bool filled = false;
+};
+
+class Cache {
+public:
+  explicit Cache(CacheConfig config);
+
+  /// Read access (instruction fetch or data load).
+  AccessResult read(std::uint32_t addr);
+
+  /// Write access; behaviour depends on the configured write policy.
+  /// Write-through no-allocate: hit updates the line, miss changes nothing;
+  /// either way the write is forwarded downstream (stats.write_through).
+  /// Write-back allocate: miss fills the line; line becomes dirty.
+  AccessResult write(std::uint32_t addr);
+
+  /// True if the line holding `addr` is currently valid (no state change).
+  bool contains(std::uint32_t addr) const;
+
+  /// True if the line holding `addr` is valid and dirty.
+  bool line_dirty(std::uint32_t addr) const;
+
+  /// Drop the line holding `addr` if present.  Returns the dirty line's
+  /// base address if a write-back is required (caller forwards it).
+  std::optional<std::uint32_t> invalidate_line(std::uint32_t addr);
+
+  /// Invalidate every line intersecting [addr, addr+length); dirty lines'
+  /// base addresses are appended to `writebacks` if non-null.
+  void invalidate_range(std::uint32_t addr, std::uint32_t length,
+                        std::vector<std::uint32_t>* writebacks = nullptr);
+
+  /// Invalidate everything.  Dirty lines are appended to `writebacks` if
+  /// non-null (PikeOS flushes write-back caches on partition start).
+  void invalidate_all(std::vector<std::uint32_t>* writebacks = nullptr);
+
+  /// Mark valid lines intersecting [addr, addr+length) as stale: backing
+  /// memory has been modified behind the cache's back (no I/D coherence).
+  void mark_stale(std::uint32_t addr, std::uint32_t length);
+
+  /// Re-seed the randomised placement hash / random replacement stream.
+  /// Hardware-randomised platforms draw a new seed every run.
+  void reseed(std::uint64_t seed);
+
+  const CacheConfig& config() const noexcept { return config_; }
+  const CacheStats& stats() const noexcept { return stats_; }
+  void reset_stats() { stats_.reset(); }
+
+  /// Set index for an address under the configured placement function.
+  std::uint32_t set_index(std::uint32_t addr) const;
+
+private:
+  struct Line {
+    std::uint32_t tag = 0;
+    std::uint64_t last_use = 0;
+    bool valid = false;
+    bool dirty = false;
+    bool stale = false;
+  };
+
+  std::uint32_t line_base(std::uint32_t addr) const {
+    return addr & ~(config_.line_bytes - 1);
+  }
+  std::uint32_t tag_of(std::uint32_t addr) const {
+    return addr / config_.line_bytes;
+  }
+  /// Reconstruct a line's base address from its stored tag.
+  std::uint32_t addr_of_tag(std::uint32_t tag) const {
+    return tag * config_.line_bytes;
+  }
+
+  Line* find_line(std::uint32_t addr);
+  const Line* find_line(std::uint32_t addr) const;
+  Line& choose_victim(std::uint32_t set);
+  std::uint32_t next_random();
+
+  CacheConfig config_;
+  CacheStats stats_;
+  std::vector<Line> lines_; // sets * ways, row-major by set
+  std::uint64_t use_clock_ = 0;
+  std::uint64_t hash_seed_ = 0x9e3779b97f4a7c15ULL;
+  std::uint32_t rng_state_ = 0x1234567u;
+};
+
+} // namespace proxima::mem

@@ -1,0 +1,45 @@
+// Aggregated performance counters, mirroring the counter set the paper
+// reports in Table I (icmiss, dcmiss, L2miss, FPU, Instr) plus the extra
+// observability the simulator affords.
+#pragma once
+
+#include <cstdint>
+
+namespace proxima::mem {
+
+struct PerfCounters {
+  // Table I counters.
+  std::uint64_t icache_miss = 0;
+  std::uint64_t dcache_miss = 0;
+  std::uint64_t l2_miss = 0;
+  std::uint64_t fpu_ops = 0;      // maintained by the VM
+  std::uint64_t instructions = 0; // maintained by the VM
+
+  // Additional observability.
+  std::uint64_t icache_access = 0;
+  std::uint64_t dcache_access = 0;
+  std::uint64_t l2_access = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t itlb_miss = 0;
+  std::uint64_t dtlb_miss = 0;
+  std::uint64_t dram_reads = 0;
+  std::uint64_t dram_writes = 0;
+  std::uint64_t l2_writebacks = 0;
+  std::uint64_t coherence_violations = 0;
+  std::uint64_t window_overflows = 0;  // maintained by the VM
+  std::uint64_t window_underflows = 0; // maintained by the VM
+
+  /// L2 miss ratio as the paper computes it: L2 misses over the sum of L1
+  /// instruction and data misses (the total number of L2 accesses).
+  double l2_miss_ratio() const {
+    const std::uint64_t l1_misses = icache_miss + dcache_miss;
+    return l1_misses == 0
+               ? 0.0
+               : static_cast<double>(l2_miss) / static_cast<double>(l1_misses);
+  }
+
+  void reset() { *this = PerfCounters{}; }
+};
+
+} // namespace proxima::mem

@@ -1,0 +1,116 @@
+#include "guest_memory.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace proxima::mem {
+
+GuestMemory::Page& GuestMemory::page_for(std::uint32_t addr) {
+  const std::uint32_t index = addr / kPageBytes;
+  auto it = pages_.find(index);
+  if (it == pages_.end()) {
+    auto page = std::make_unique<Page>();
+    page->fill(0);
+    it = pages_.emplace(index, std::move(page)).first;
+  }
+  return *it->second;
+}
+
+const GuestMemory::Page* GuestMemory::page_if_present(std::uint32_t addr) const {
+  const auto it = pages_.find(addr / kPageBytes);
+  return it == pages_.end() ? nullptr : it->second.get();
+}
+
+std::uint8_t GuestMemory::read_u8(std::uint32_t addr) const {
+  const Page* page = page_if_present(addr);
+  return page == nullptr ? 0 : (*page)[addr % kPageBytes];
+}
+
+std::uint16_t GuestMemory::read_u16(std::uint32_t addr) const {
+  return static_cast<std::uint16_t>((read_u8(addr) << 8) | read_u8(addr + 1));
+}
+
+std::uint32_t GuestMemory::read_u32(std::uint32_t addr) const {
+  // Fast path: whole word inside one resident page.
+  if (addr % kPageBytes <= kPageBytes - 4) {
+    if (const Page* page = page_if_present(addr)) {
+      const std::uint32_t offset = addr % kPageBytes;
+      return (static_cast<std::uint32_t>((*page)[offset]) << 24) |
+             (static_cast<std::uint32_t>((*page)[offset + 1]) << 16) |
+             (static_cast<std::uint32_t>((*page)[offset + 2]) << 8) |
+             static_cast<std::uint32_t>((*page)[offset + 3]);
+    }
+    return 0;
+  }
+  return (static_cast<std::uint32_t>(read_u16(addr)) << 16) | read_u16(addr + 2);
+}
+
+std::uint64_t GuestMemory::read_u64(std::uint32_t addr) const {
+  return (static_cast<std::uint64_t>(read_u32(addr)) << 32) | read_u32(addr + 4);
+}
+
+double GuestMemory::read_f64(std::uint32_t addr) const {
+  return std::bit_cast<double>(read_u64(addr));
+}
+
+void GuestMemory::write_u8(std::uint32_t addr, std::uint8_t value) {
+  page_for(addr)[addr % kPageBytes] = value;
+}
+
+void GuestMemory::write_u16(std::uint32_t addr, std::uint16_t value) {
+  write_u8(addr, static_cast<std::uint8_t>(value >> 8));
+  write_u8(addr + 1, static_cast<std::uint8_t>(value));
+}
+
+void GuestMemory::write_u32(std::uint32_t addr, std::uint32_t value) {
+  if (addr % kPageBytes <= kPageBytes - 4) {
+    Page& page = page_for(addr);
+    const std::uint32_t offset = addr % kPageBytes;
+    page[offset] = static_cast<std::uint8_t>(value >> 24);
+    page[offset + 1] = static_cast<std::uint8_t>(value >> 16);
+    page[offset + 2] = static_cast<std::uint8_t>(value >> 8);
+    page[offset + 3] = static_cast<std::uint8_t>(value);
+    return;
+  }
+  write_u16(addr, static_cast<std::uint16_t>(value >> 16));
+  write_u16(addr + 2, static_cast<std::uint16_t>(value));
+}
+
+void GuestMemory::write_u64(std::uint32_t addr, std::uint64_t value) {
+  write_u32(addr, static_cast<std::uint32_t>(value >> 32));
+  write_u32(addr + 4, static_cast<std::uint32_t>(value));
+}
+
+void GuestMemory::write_f64(std::uint32_t addr, double value) {
+  write_u64(addr, std::bit_cast<std::uint64_t>(value));
+}
+
+void GuestMemory::copy(std::uint32_t dst, std::uint32_t src,
+                       std::uint32_t length) {
+  // Byte loop is fine: relocation copies a few KB once per run.
+  if (dst <= src) {
+    for (std::uint32_t i = 0; i < length; ++i) {
+      write_u8(dst + i, read_u8(src + i));
+    }
+  } else {
+    for (std::uint32_t i = length; i-- > 0;) {
+      write_u8(dst + i, read_u8(src + i));
+    }
+  }
+}
+
+void GuestMemory::fill(std::uint32_t addr, std::uint32_t length,
+                       std::uint8_t value) {
+  for (std::uint32_t i = 0; i < length; ++i) {
+    write_u8(addr + i, value);
+  }
+}
+
+void GuestMemory::load(std::uint32_t addr,
+                       const std::vector<std::uint8_t>& bytes) {
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    write_u8(addr + static_cast<std::uint32_t>(i), bytes[i]);
+  }
+}
+
+} // namespace proxima::mem

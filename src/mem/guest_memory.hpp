@@ -1,0 +1,59 @@
+// Sparse 32-bit guest physical memory.
+//
+// Backing store for the LEON3-class platform model.  SPARC v8 is big-endian;
+// all multi-byte accessors use big-endian byte order so that relocated code
+// images are bit-exact copies of the originals, as they would be on the real
+// target.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace proxima::mem {
+
+class GuestMemory {
+public:
+  static constexpr std::uint32_t kPageBytes = 4096;
+
+  std::uint8_t read_u8(std::uint32_t addr) const;
+  std::uint16_t read_u16(std::uint32_t addr) const;
+  std::uint32_t read_u32(std::uint32_t addr) const;
+  std::uint64_t read_u64(std::uint32_t addr) const;
+  double read_f64(std::uint32_t addr) const;
+
+  void write_u8(std::uint32_t addr, std::uint8_t value);
+  void write_u16(std::uint32_t addr, std::uint16_t value);
+  void write_u32(std::uint32_t addr, std::uint32_t value);
+  void write_u64(std::uint32_t addr, std::uint64_t value);
+  void write_f64(std::uint32_t addr, double value);
+
+  /// Copy `length` bytes from `src` to `dst` inside guest memory.  Used by
+  /// the DSR runtime's eager relocation loop.
+  void copy(std::uint32_t dst, std::uint32_t src, std::uint32_t length);
+
+  /// Fill a range with a byte value (e.g. zeroing a fresh pool chunk).
+  void fill(std::uint32_t addr, std::uint32_t length, std::uint8_t value);
+
+  /// Bulk load (program images).
+  void load(std::uint32_t addr, const std::vector<std::uint8_t>& bytes);
+
+  /// Number of physical pages currently materialised.
+  std::size_t resident_pages() const noexcept { return pages_.size(); }
+
+  /// Drop all contents (partition reboot wipes the partition image before
+  /// the loader rewrites it).
+  void clear() { pages_.clear(); }
+
+private:
+  using Page = std::array<std::uint8_t, kPageBytes>;
+
+  Page& page_for(std::uint32_t addr);
+  const Page* page_if_present(std::uint32_t addr) const;
+
+  std::unordered_map<std::uint32_t, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace proxima::mem

@@ -1,0 +1,138 @@
+// LEON3-class memory hierarchy: IL1 + DL1 over a shared bus into a unified
+// write-back L2, then DRAM (Figure 1 of the paper).
+//
+// The hierarchy owns tag state and timing; instruction/data *contents* live
+// in GuestMemory and are read/written directly by the VM and the DSR
+// runtime.  Because SPARC v8 provides no hardware coherence between the
+// instruction and data paths, code rewritten in memory leaves stale lines
+// behind; `note_memory_written` marks them and any subsequent hit on a stale
+// line counts as a coherence violation (optionally fatal).  The DSR
+// runtime's SPARC-compliant invalidation routine (Section III.B.1) clears
+// the affected lines, which is exactly what the real routine achieves.
+#pragma once
+
+#include "cache.hpp"
+#include "counters.hpp"
+#include "tlb.hpp"
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace proxima::mem {
+
+/// Latency model in cycles.  L1 hit cost is the pipeline's base memory-stage
+/// occupancy and is charged by the VM; the hierarchy returns *additional*
+/// stall cycles only.
+struct LatencyConfig {
+  std::uint32_t l2_hit = 8;       // L1 miss, L2 hit
+  std::uint32_t dram_read = 28;   // L2 miss (line fill from DRAM)
+  std::uint32_t dram_write = 28;  // dirty line write-back drain
+  std::uint32_t bus = 2;          // per L1<->L2 transaction
+  std::uint32_t store_drain = 4;  // write-buffer drain slot (bus + L2 tag)
+  std::uint32_t tlb_walk = 24;    // SRMMU table walk on TLB miss
+};
+
+/// Raised on a stale-line hit when strict coherence checking is enabled.
+class CoherenceError : public std::runtime_error {
+public:
+  explicit CoherenceError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+struct HierarchyConfig {
+  CacheConfig il1;
+  CacheConfig dl1;
+  CacheConfig l2;
+  TlbConfig itlb;
+  TlbConfig dtlb;
+  LatencyConfig latency;
+};
+
+class MemoryHierarchy {
+public:
+  explicit MemoryHierarchy(HierarchyConfig config);
+
+  /// Instruction fetch at `addr`: ITLB + IL1 + (bus + L2) + (DRAM).
+  /// Returns additional stall cycles beyond the 1-cycle fetch stage.
+  std::uint32_t fetch(std::uint32_t addr);
+
+  /// Data load: DTLB + DL1 + (bus + L2) + (DRAM).
+  std::uint32_t load(std::uint32_t addr);
+
+  /// Data store of `length` bytes at the current pipeline cycle.  DL1 is
+  /// write-through no-write-allocate; stores are absorbed by a single-entry
+  /// write buffer that drains through the bus into the L2, so a store only
+  /// stalls when it finds the buffer still draining (LEON3 behaviour).
+  /// A store that lands under a valid IL1 line marks it stale: SPARC gives
+  /// no instruction-path coherence.
+  std::uint32_t store(std::uint32_t addr, std::uint64_t current_cycle,
+                      std::uint32_t length = 4);
+
+  /// Invalidate all cache levels and both TLBs.  Dirty L2 lines are
+  /// drained to DRAM (counted, not timed: happens between partitions).
+  void flush_all();
+
+  /// PikeOS partition start: "automatically flush instruction and data
+  /// caches" — the *L1* caches and TLBs.  The write-back unified L2 keeps
+  /// its contents, as on the real platform; this is what gives the paper's
+  /// 17-25% L2 miss ratios instead of all-cold misses.
+  void flush_l1s();
+
+  /// The DSR invalidation routine: write back + invalidate every line of
+  /// all levels intersecting [addr, addr+length).  Returns the number of
+  /// lines invalidated (the routine's cost is proportional; charged by the
+  /// caller at relocation time, outside the unit of analysis).
+  std::uint32_t invalidate_range(std::uint32_t addr, std::uint32_t length);
+
+  /// Declare that memory [addr, addr+length) was rewritten behind the
+  /// caches (DSR relocation, partition loader).  Marks covering lines stale.
+  void note_memory_written(std::uint32_t addr, std::uint32_t length);
+
+  /// When enabled, a hit on a stale line throws CoherenceError instead of
+  /// just counting (failure-injection tests use this).
+  void set_strict_coherence(bool strict) noexcept { strict_ = strict; }
+
+  /// Re-seed randomised placement/replacement in all levels (hardware
+  /// randomisation ablation; no effect on modulo/LRU caches).
+  void reseed(std::uint64_t seed);
+
+  PerfCounters& counters() noexcept { return counters_; }
+  const PerfCounters& counters() const noexcept { return counters_; }
+
+  Cache& il1() noexcept { return il1_; }
+  Cache& dl1() noexcept { return dl1_; }
+  Cache& l2() noexcept { return l2_; }
+  Tlb& itlb() noexcept { return itlb_; }
+  Tlb& dtlb() noexcept { return dtlb_; }
+  const LatencyConfig& latency() const noexcept { return latency_; }
+
+private:
+  /// Unified-L2 read on the fill path (from an L1 miss).  Returns stall
+  /// cycles contributed by the L2 and DRAM.
+  std::uint32_t l2_fill(std::uint32_t addr);
+
+  void on_stale_hit(const char* who, std::uint32_t addr);
+
+  Cache il1_;
+  Cache dl1_;
+  Cache l2_;
+  Tlb itlb_;
+  Tlb dtlb_;
+  LatencyConfig latency_;
+  PerfCounters counters_;
+  std::uint64_t store_buffer_free_at_ = 0;
+  bool strict_ = false;
+};
+
+/// Platform factory: the PROXIMA LEON3 configuration of Section III.A.
+/// IL1/DL1 16 KiB 4-way LRU (32-byte lines), DL1 write-through
+/// no-write-allocate, unified L2 32 KiB direct-mapped write-back,
+/// 64-entry ITLB/DTLB.
+HierarchyConfig leon3_hierarchy_config();
+
+/// The same platform with hardware time-randomised caches (random placement
+/// + random replacement at every level) — the hardware alternative DSR is
+/// designed to substitute (ablation A5).
+HierarchyConfig leon3_hw_randomised_config();
+
+} // namespace proxima::mem

@@ -1,0 +1,50 @@
+#include "tlb.hpp"
+
+namespace proxima::mem {
+
+Tlb::Tlb(TlbConfig config) : config_(config) {
+  entries_.resize(config_.entries);
+}
+
+bool Tlb::access(std::uint32_t addr) {
+  const std::uint32_t page = addr / config_.page_bytes;
+  Entry* free_entry = nullptr;
+  Entry* lru = &entries_[0];
+  for (Entry& entry : entries_) {
+    if (entry.valid && entry.page == page) {
+      entry.last_use = ++use_clock_;
+      ++stats_.hits;
+      return true;
+    }
+    if (!entry.valid && free_entry == nullptr) {
+      free_entry = &entry;
+    }
+    if (entry.last_use < lru->last_use) {
+      lru = &entry;
+    }
+  }
+  ++stats_.misses;
+  Entry& victim = free_entry != nullptr ? *free_entry : *lru;
+  victim.valid = true;
+  victim.page = page;
+  victim.last_use = ++use_clock_;
+  return false;
+}
+
+bool Tlb::contains(std::uint32_t addr) const {
+  const std::uint32_t page = addr / config_.page_bytes;
+  for (const Entry& entry : entries_) {
+    if (entry.valid && entry.page == page) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Tlb::flush() {
+  for (Entry& entry : entries_) {
+    entry.valid = false;
+  }
+}
+
+} // namespace proxima::mem

@@ -1,0 +1,58 @@
+// Translation look-aside buffer model.
+//
+// The PROXIMA LEON3 platform has 64-entry instruction and data TLBs
+// (Section III.A).  The DSR allocator draws code and data from pools made of
+// a "diverse set of pages" precisely so that these TLBs are randomised too
+// (Section III.B.5).  Translation is identity (the case study runs in a
+// single flat address space, as on the bare-metal partition); the TLB only
+// contributes timing: a miss costs a fixed table-walk penalty.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace proxima::mem {
+
+struct TlbConfig {
+  std::uint32_t entries = 64;
+  std::uint32_t page_bytes = 4096;
+};
+
+struct TlbStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  void reset() { *this = TlbStats{}; }
+};
+
+class Tlb {
+public:
+  explicit Tlb(TlbConfig config = {});
+
+  /// Touch the page holding `addr`; returns true on hit.  Fully associative
+  /// with LRU replacement, matching the SRMMU per-context TLB behaviour
+  /// closely enough for timing purposes.
+  bool access(std::uint32_t addr);
+
+  /// True if the page holding `addr` is resident (no state change).
+  bool contains(std::uint32_t addr) const;
+
+  void flush();
+
+  const TlbConfig& config() const noexcept { return config_; }
+  const TlbStats& stats() const noexcept { return stats_; }
+  void reset_stats() { stats_.reset(); }
+
+private:
+  struct Entry {
+    std::uint32_t page = 0;
+    std::uint64_t last_use = 0;
+    bool valid = false;
+  };
+
+  TlbConfig config_;
+  TlbStats stats_;
+  std::vector<Entry> entries_;
+  std::uint64_t use_clock_ = 0;
+};
+
+} // namespace proxima::mem

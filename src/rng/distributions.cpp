@@ -1,0 +1,46 @@
+#include "distributions.hpp"
+
+#include <cmath>
+
+namespace proxima::rng {
+
+namespace {
+// Uniform in (0, 1): rejects exact zero so log() stays finite.
+double open_unit(RandomSource& source) {
+  double u = source.next_double();
+  while (u <= 0.0) {
+    u = source.next_double();
+  }
+  return u;
+}
+} // namespace
+
+double sample_exponential(RandomSource& source, double rate) {
+  return -std::log(open_unit(source)) / rate;
+}
+
+double sample_gumbel(RandomSource& source, double mu, double beta) {
+  return mu - beta * std::log(-std::log(open_unit(source)));
+}
+
+double sample_gpd(RandomSource& source, double sigma, double xi) {
+  const double u = open_unit(source);
+  if (xi == 0.0) {
+    return -sigma * std::log(u);
+  }
+  return sigma * (std::pow(u, -xi) - 1.0) / xi;
+}
+
+double sample_normal(RandomSource& source, double mean, double stddev) {
+  const double u1 = open_unit(source);
+  const double u2 = source.next_double();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 6.283185307179586476925286766559 * u2;
+  return mean + stddev * radius * std::cos(angle);
+}
+
+double sample_uniform(RandomSource& source, double lo, double hi) {
+  return lo + (hi - lo) * source.next_double();
+}
+
+} // namespace proxima::rng

@@ -1,0 +1,28 @@
+// Inverse-transform samplers over a RandomSource.
+//
+// Host-side helpers used by the statistical test suite and by benches that
+// validate the MBPTA machinery against distributions with known parameters
+// (exponential, Gumbel, GPD).  They are not part of the target software.
+#pragma once
+
+#include "random_source.hpp"
+
+namespace proxima::rng {
+
+/// Exponential(rate) via inverse CDF.
+double sample_exponential(RandomSource& source, double rate);
+
+/// Gumbel(location mu, scale beta) via inverse CDF.
+double sample_gumbel(RandomSource& source, double mu, double beta);
+
+/// Generalised Pareto (location 0, scale sigma, shape xi) via inverse CDF.
+double sample_gpd(RandomSource& source, double sigma, double xi);
+
+/// Standard normal via Box-Muller (one value per call; the pair's second
+/// member is discarded to keep the sampler stateless).
+double sample_normal(RandomSource& source, double mean, double stddev);
+
+/// Uniform double in [lo, hi).
+double sample_uniform(RandomSource& source, double lo, double hi);
+
+} // namespace proxima::rng

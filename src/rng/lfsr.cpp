@@ -1,0 +1,16 @@
+#include "lfsr.hpp"
+
+#include "splitmix.hpp"
+
+namespace proxima::rng {
+
+void Lfsr::seed(std::uint64_t value) {
+  SplitMix64 mixer(value);
+  std::uint32_t s = 0;
+  while (s == 0) { // the all-zero state is the LFSR's single fixed point
+    s = static_cast<std::uint32_t>(mixer.next());
+  }
+  state_ = s;
+}
+
+} // namespace proxima::rng

@@ -1,0 +1,24 @@
+#include "mwc.hpp"
+
+#include "splitmix.hpp"
+
+namespace proxima::rng {
+
+void Mwc::seed(std::uint64_t value) {
+  // Run the seed through SplitMix64 so that nearby integer seeds (0, 1, 2,
+  // ... as used by measurement campaigns) produce uncorrelated states.
+  SplitMix64 mixer(value);
+  // An MWC stream degenerates if its 16-bit "value" half is zero together
+  // with a zero carry; avoid zero halves entirely.
+  auto nonzero_half = [&mixer]() {
+    std::uint32_t half = 0;
+    while ((half & 0xffffU) == 0 || (half >> 16) == 0) {
+      half = static_cast<std::uint32_t>(mixer.next());
+    }
+    return half;
+  };
+  z_ = nonzero_half();
+  w_ = nonzero_half();
+}
+
+} // namespace proxima::rng

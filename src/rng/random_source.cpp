@@ -1,0 +1,38 @@
+#include "random_source.hpp"
+
+namespace proxima::rng {
+
+std::uint32_t RandomSource::next_below(std::uint32_t bound) {
+  if (bound == 0) {
+    return 0;
+  }
+  // Rejection sampling: draw until the value falls inside the largest
+  // multiple of `bound` that fits in 32 bits, then reduce.  Expected number
+  // of draws is < 2 for any bound.
+  const std::uint32_t limit =
+      static_cast<std::uint32_t>((std::uint64_t{1} << 32) -
+                                 ((std::uint64_t{1} << 32) % bound));
+  std::uint32_t value = next_u32();
+  while (limit != 0 && value >= limit) {
+    value = next_u32();
+  }
+  return value % bound;
+}
+
+double RandomSource::next_double() {
+  const std::uint64_t hi = next_u32();
+  const std::uint64_t lo = next_u32();
+  const std::uint64_t bits53 = ((hi << 32) | lo) >> 11;
+  return static_cast<double>(bits53) * (1.0 / 9007199254740992.0); // 2^-53
+}
+
+std::uint32_t RandomSource::next_offset(std::uint32_t range,
+                                        std::uint32_t alignment) {
+  if (alignment == 0) {
+    alignment = 1;
+  }
+  const std::uint32_t slots = range / alignment;
+  return next_below(slots) * alignment;
+}
+
+} // namespace proxima::rng

@@ -1,0 +1,45 @@
+// Abstract random source used by the DSR runtime and the test harnesses.
+//
+// The paper (Section III.B.3) selects the Marsaglia Multiply-With-Carry
+// generator as the software random source for DSR, citing [3] (Agirre et al.,
+// DSD 2015) which qualifies both MWC and LFSR generators for probabilistic
+// timing analysis at IEC-61508 SIL 3.  Both are implemented behind this
+// interface so benches can swap them (ablation A4).
+#pragma once
+
+#include <cstdint>
+
+namespace proxima::rng {
+
+/// Uniform 32-bit random source.
+///
+/// Implementations must be deterministic for a given seed so that every
+/// measurement run of an experiment can be reproduced exactly.
+class RandomSource {
+public:
+  virtual ~RandomSource() = default;
+
+  /// Next raw 32-bit word, uniform over [0, 2^32).
+  virtual std::uint32_t next_u32() = 0;
+
+  /// Re-seed the generator. A seed of zero must be remapped internally by
+  /// implementations whose state must stay non-zero (e.g. LFSR).
+  virtual void seed(std::uint64_t value) = 0;
+
+  /// Uniform value in [0, bound). Unbiased (rejection sampling).
+  /// bound == 0 returns 0.
+  std::uint32_t next_below(std::uint32_t bound);
+
+  /// Uniform double in [0, 1) built from 53 random bits.
+  double next_double();
+
+  /// Random offset in [0, range), aligned down to `alignment` bytes.
+  ///
+  /// This is the operation the DSR runtime performs when placing a memory
+  /// object inside a cache way: the SPARC ABI requires the stack pointer to
+  /// stay double-word (8-byte) aligned, so offsets are multiples of 8
+  /// (Section III.B.2).
+  std::uint32_t next_offset(std::uint32_t range, std::uint32_t alignment);
+};
+
+} // namespace proxima::rng

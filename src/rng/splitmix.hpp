@@ -1,0 +1,28 @@
+// SplitMix64: host-side seed expander (Steele, Lea & Flood, OOPSLA 2014).
+//
+// Not part of the paper's target software stack; used only to derive
+// well-mixed initial states for the target generators (MWC, LFSR) and for
+// host-side workload synthesis.
+#pragma once
+
+#include <cstdint>
+
+namespace proxima::rng {
+
+class SplitMix64 {
+public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+private:
+  std::uint64_t state_;
+};
+
+} // namespace proxima::rng

@@ -1,0 +1,99 @@
+#include "hypervisor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace proxima::rtos {
+
+Hypervisor::Hypervisor(vm::Vm& cpu, mem::MemoryHierarchy& hierarchy,
+                       HypervisorConfig config)
+    : cpu_(cpu), hierarchy_(hierarchy), config_(config) {
+  if (config_.minor_frame_ms == 0 || config_.cycles_per_ms == 0) {
+    throw std::invalid_argument("hypervisor: zero frame or clock");
+  }
+}
+
+void Hypervisor::add_partition(const PartitionConfig& partition_config,
+                               PartitionApp& app) {
+  if (partition_config.period_ms == 0 ||
+      partition_config.period_ms % config_.minor_frame_ms != 0) {
+    throw std::invalid_argument(
+        partition_config.name +
+        ": period must be a non-zero multiple of the minor frame");
+  }
+  if (partition_config.budget_ms > config_.minor_frame_ms) {
+    throw std::invalid_argument(partition_config.name +
+                                ": budget exceeds the minor frame");
+  }
+  slots_.push_back(Slot{partition_config, &app, 0});
+  // High criticality first within a frame (the control task must never
+  // wait behind the image-processing task).
+  std::stable_sort(slots_.begin(), slots_.end(),
+                   [](const Slot& a, const Slot& b) {
+                     return a.config.criticality < b.config.criticality;
+                   });
+}
+
+std::vector<ActivationRecord> Hypervisor::run_frames(std::uint64_t frames) {
+  std::vector<ActivationRecord> records;
+  for (std::uint64_t f = 0; f < frames; ++f, ++frame_counter_) {
+    const std::uint64_t frame_start = timeline_cycles_;
+    const std::uint64_t frame_cycles =
+        static_cast<std::uint64_t>(config_.minor_frame_ms) *
+        config_.cycles_per_ms;
+    std::uint64_t used_in_frame = 0;
+
+    for (Slot& slot : slots_) {
+      const std::uint64_t period_frames =
+          slot.config.period_ms / config_.minor_frame_ms;
+      if (frame_counter_ % period_frames != 0) {
+        continue;
+      }
+
+      switch (slot.config.flush_on_start) {
+      case FlushScope::kNone:
+        break;
+      case FlushScope::kL1sAndTlbs:
+        hierarchy_.flush_l1s();
+        break;
+      case FlushScope::kAll:
+        hierarchy_.flush_all();
+        break;
+      }
+      slot.app->before_activation(slot.activations);
+
+      const std::uint64_t budget_cycles =
+          slot.config.budget_ms != 0
+              ? static_cast<std::uint64_t>(slot.config.budget_ms) *
+                    config_.cycles_per_ms
+              : frame_cycles - used_in_frame;
+
+      cpu_.reset(slot.app->entry_address(), slot.app->stack_top());
+      const vm::RunResult result = cpu_.run(budget_cycles);
+
+      ActivationRecord record;
+      record.partition = slot.config.name;
+      record.frame_index = frame_counter_;
+      record.activation_index = slot.activations;
+      record.start_cycle = frame_start + used_in_frame;
+      record.cycles_used = result.cycles;
+      record.halted = result.stop == vm::RunResult::Stop::kHalt;
+      record.overran = result.stop == vm::RunResult::Stop::kCycleBudget;
+      if (record.overran) {
+        ++violations_; // health monitor: temporal isolation enforced
+      }
+      records.push_back(record);
+
+      used_in_frame += std::min(result.cycles, budget_cycles);
+      ++slot.activations;
+
+      if (slot.config.reboot_after_each_activation) {
+        slot.app->reboot();
+      }
+    }
+    timeline_cycles_ = frame_start + frame_cycles;
+  }
+  return records;
+}
+
+} // namespace proxima::rtos

@@ -1,0 +1,109 @@
+#include "report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+namespace proxima::trace {
+
+TimingReport TimingReport::from_times(std::span<const double> times) {
+  TimingReport report;
+  report.summary = mbpta::summarise(times);
+  return report;
+}
+
+std::string TimingReport::to_string() const {
+  std::ostringstream oss;
+  oss << "n=" << summary.count << " min=" << summary.min
+      << " avg=" << summary.mean << " max(MOET)=" << summary.max
+      << " sd=" << summary.stddev;
+  return oss.str();
+}
+
+std::string ascii_exceedance_plot(const mbpta::PwcetModel& model,
+                                  std::span<const double> measured,
+                                  int width, int height) {
+  if (width < 20 || height < 8) {
+    return "(plot area too small)\n";
+  }
+  const auto curve = model.curve(height - 2);
+  // X range: from the measured minimum to the deepest pWCET point.
+  double x_min = curve.front().first;
+  double x_max = curve.back().first;
+  for (const double t : measured) {
+    x_min = std::min(x_min, t);
+  }
+  if (x_max <= x_min) {
+    x_max = x_min + 1.0;
+  }
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  const auto column = [&](double x) {
+    const double f = (x - x_min) / (x_max - x_min);
+    const int c = static_cast<int>(f * (width - 1));
+    return std::clamp(c, 0, width - 1);
+  };
+  // Row r corresponds to exceedance 10^-(r+1); row 0 at the top (10^-1).
+  const auto row_of_decade = [&](int decade) {
+    return std::clamp(decade - 1, 0, height - 1);
+  };
+
+  // Empirical exceedance of the measurements: for each sorted value the
+  // fraction of runs strictly above it.
+  std::vector<double> sorted(measured.begin(), measured.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double exceed = (n - 1.0 - static_cast<double>(i)) / n;
+    if (exceed <= 0.0) {
+      continue;
+    }
+    const double decade = -std::log10(exceed);
+    const int r = row_of_decade(static_cast<int>(decade) + 1);
+    grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(
+        column(sorted[i]))] = '+';
+  }
+
+  // Fitted pWCET curve.
+  for (int d = 1; d <= static_cast<int>(curve.size()); ++d) {
+    const auto& [x, p] = curve[static_cast<std::size_t>(d - 1)];
+    grid[static_cast<std::size_t>(row_of_decade(d))]
+        [static_cast<std::size_t>(column(x))] = '*';
+  }
+
+  std::ostringstream oss;
+  oss << "  exceedance        execution time ->\n";
+  for (int r = 0; r < height; ++r) {
+    std::ostringstream label;
+    label << "1e-" << (r + 1);
+    oss << "  " << label.str() << std::string(8 - label.str().size(), ' ')
+        << '|' << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  oss << "          +" << std::string(static_cast<std::size_t>(width), '-')
+      << '\n';
+  oss << "           " << x_min << " ... " << x_max
+      << "   [+ = measured, * = pWCET]\n";
+  return oss.str();
+}
+
+std::string pwcet_curve_csv(const mbpta::PwcetModel& model, int decades) {
+  std::ostringstream oss;
+  oss << "exceedance_probability,pwcet_cycles\n";
+  for (const auto& [x, p] : model.curve(decades)) {
+    oss << p << ',' << x << '\n';
+  }
+  return oss.str();
+}
+
+std::string times_csv(std::span<const double> times) {
+  std::ostringstream oss;
+  oss << "run,cycles\n";
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    oss << i << ',' << times[i] << '\n';
+  }
+  return oss.str();
+}
+
+} // namespace proxima::trace

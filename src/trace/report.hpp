@@ -1,0 +1,49 @@
+// Reporting: the RVS-Viewer side of the toolchain (Figures 2 and 3).
+//
+// Renders timing summaries (min / average / MOET), the current-practice
+// MBDTA bound (MOET + engineering margin, 20% for simple single-core
+// processors per Section VI), pWCET exceedance curves as ASCII plots, and
+// CSV series for offline plotting.
+#pragma once
+
+#include "mbpta/evt.hpp"
+#include "mbpta/descriptive.hpp"
+
+#include <span>
+#include <string>
+
+namespace proxima::trace {
+
+/// Industrial-practice margin over the MOET (Section VI: "A typical margin
+/// for relatively simple single-core processors is 20%").
+inline constexpr double kIndustrialMargin = 0.20;
+
+struct TimingReport {
+  mbpta::Summary summary;
+
+  static TimingReport from_times(std::span<const double> times);
+
+  double moet() const { return summary.max; }
+  /// Current-practice deterministic bound: MOET + engineering margin.
+  double mbdta_bound(double margin = kIndustrialMargin) const {
+    return summary.max * (1.0 + margin);
+  }
+
+  /// Aligned one-line rendering: "min=... avg=... max=...".
+  std::string to_string() const;
+};
+
+/// ASCII rendering of Figure 3: log10 exceedance probability (y) against
+/// execution time (x), with the measured execution times' empirical
+/// exceedance ('+') and the fitted pWCET curve ('*').
+std::string ascii_exceedance_plot(const mbpta::PwcetModel& model,
+                                  std::span<const double> measured,
+                                  int width = 64, int height = 18);
+
+/// CSV rows "exceedance_probability,pwcet_cycles" for the fitted curve.
+std::string pwcet_curve_csv(const mbpta::PwcetModel& model, int decades = 16);
+
+/// CSV rows "index,cycles" of a measurement campaign.
+std::string times_csv(std::span<const double> times);
+
+} // namespace proxima::trace

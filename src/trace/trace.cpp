@@ -1,0 +1,117 @@
+#include "trace.hpp"
+
+#include "isa/transform.hpp"
+
+namespace proxima::trace {
+
+std::vector<std::uint8_t> TraceBuffer::serialise() const {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(records_.size() * 12);
+  for (const TraceRecord& record : records_) {
+    for (int shift = 24; shift >= 0; shift -= 8) {
+      bytes.push_back(static_cast<std::uint8_t>(record.ipoint >> shift));
+    }
+    for (int shift = 56; shift >= 0; shift -= 8) {
+      bytes.push_back(static_cast<std::uint8_t>(record.cycles >> shift));
+    }
+  }
+  return bytes;
+}
+
+TraceBuffer TraceBuffer::deserialise(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() % 12 != 0) {
+    throw TraceError("corrupt binary trace: size not a record multiple");
+  }
+  TraceBuffer buffer;
+  for (std::size_t offset = 0; offset < bytes.size(); offset += 12) {
+    std::uint32_t id = 0;
+    for (int i = 0; i < 4; ++i) {
+      id = (id << 8) | bytes[offset + i];
+    }
+    std::uint64_t cycles = 0;
+    for (int i = 4; i < 12; ++i) {
+      cycles = (cycles << 8) | bytes[offset + i];
+    }
+    buffer.append(id, cycles);
+  }
+  return buffer;
+}
+
+std::uint32_t instrument_function(isa::Program& program,
+                                  const std::string& function_name,
+                                  std::uint32_t entry_id,
+                                  std::uint32_t exit_id) {
+  isa::Function* function = program.find_function(function_name);
+  if (function == nullptr) {
+    throw TraceError("instrument_function: unknown function '" +
+                     function_name + "'");
+  }
+  std::vector<isa::CodeEdit> edits;
+  auto insert_before = [&edits](std::size_t index, std::uint32_t id) {
+    isa::CodeEdit edit;
+    edit.index = index;
+    edit.keep_original = true;
+    edit.code.push_back(
+        isa::make_b(isa::Opcode::kIpoint, static_cast<std::int32_t>(id)));
+    edits.push_back(edit);
+  };
+
+  insert_before(0, entry_id);
+
+  std::uint32_t exits = 0;
+  const auto& code = function->code;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const isa::Instruction& instr = code[i];
+    const bool is_epilogue_restore =
+        instr.op == isa::Opcode::kRestore && i + 1 < code.size() &&
+        code[i + 1].op == isa::Opcode::kJmpl;
+    const bool is_leaf_return = instr.op == isa::Opcode::kJmpl &&
+                                instr.rd == isa::kG0 &&
+                                instr.rs1 == isa::kO7 &&
+                                (i == 0 || code[i - 1].op != isa::Opcode::kRestore);
+    const bool is_halt = instr.op == isa::Opcode::kHalt;
+    if (is_epilogue_restore || is_leaf_return || is_halt) {
+      if (i == 0) {
+        continue; // entry edit already owns index 0
+      }
+      insert_before(i, exit_id);
+      ++exits;
+    }
+  }
+  if (exits == 0) {
+    throw TraceError("instrument_function: '" + function_name +
+                     "' has no recognisable return or halt");
+  }
+  isa::apply_edits(*function, std::move(edits));
+  return exits;
+}
+
+std::vector<double> extract_execution_times(const TraceBuffer& buffer,
+                                            std::uint32_t entry_id,
+                                            std::uint32_t exit_id) {
+  std::vector<double> times;
+  bool open = false;
+  std::uint64_t entry_cycles = 0;
+  for (const TraceRecord& record : buffer.records()) {
+    if (record.ipoint == entry_id) {
+      if (open) {
+        throw TraceError("trace: nested UoA entry");
+      }
+      open = true;
+      entry_cycles = record.cycles;
+    } else if (record.ipoint == exit_id) {
+      if (!open) {
+        throw TraceError("trace: UoA exit without entry");
+      }
+      open = false;
+      times.push_back(static_cast<double>(record.cycles - entry_cycles));
+    }
+    // Other ipoint ids belong to other UoAs; ignore.
+  }
+  if (open) {
+    throw TraceError("trace: UoA entry without exit");
+  }
+  return times;
+}
+
+} // namespace proxima::trace

@@ -1,0 +1,83 @@
+// RVS/GRMON-style measurement infrastructure (Section V).
+//
+// The paper's toolchain instruments the application at unit-of-analysis
+// (UoA) granularity, records (ipoint, cycle-count) pairs into a buffer "on
+// a second memory bank to avoid interference with the application", dumps
+// the binary trace over Ethernet after execution, and converts it into
+// execution times for MBPTA.  This module reproduces each step:
+//   Instrumenter  — inserts kIpoint instructions at UoA entry/exit
+//   TraceBuffer   — the out-of-band timestamp store (+ binary round trip)
+//   extract_execution_times — entry/exit pairing into per-invocation times
+#pragma once
+
+#include "isa/program.hpp"
+#include "vm/vm.hpp"
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace proxima::trace {
+
+class TraceError : public std::runtime_error {
+public:
+  explicit TraceError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct TraceRecord {
+  std::uint32_t ipoint = 0;
+  std::uint64_t cycles = 0;
+
+  friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
+};
+
+/// Timestamp store on the "second memory bank": appends are performed by
+/// the VM's ipoint hook and never touch the cache hierarchy (the kIpoint
+/// instruction charges a small fixed cost instead).
+class TraceBuffer {
+public:
+  void append(std::uint32_t ipoint, std::uint64_t cycles) {
+    records_.push_back(TraceRecord{ipoint, cycles});
+  }
+
+  /// Wire the buffer to a core's instrumentation hook.
+  void attach(vm::Vm& cpu) {
+    cpu.set_ipoint_sink([this](std::uint32_t id, std::uint64_t cycles) {
+      append(id, cycles);
+    });
+  }
+
+  const std::vector<TraceRecord>& records() const noexcept { return records_; }
+  std::size_t size() const noexcept { return records_.size(); }
+  void clear() { records_.clear(); }
+
+  /// GRMON-style binary dump (big-endian: u32 id, u64 cycles per record).
+  std::vector<std::uint8_t> serialise() const;
+  static TraceBuffer deserialise(std::span<const std::uint8_t> bytes);
+
+private:
+  std::vector<TraceRecord> records_;
+};
+
+/// Conventional ipoint identifiers for a UoA.
+inline constexpr std::uint32_t kUoaEntryIpoint = 1;
+inline constexpr std::uint32_t kUoaExitIpoint = 2;
+
+/// Insert entry/exit ipoints around a function in `program`:
+///  * `entry_id` before the first instruction,
+///  * `exit_id` before every return (restore+jmpl epilogue, leaf jmpl
+///    through %o7) and before every HALT.
+/// Returns the number of exit points instrumented.
+std::uint32_t instrument_function(isa::Program& program,
+                                  const std::string& function_name,
+                                  std::uint32_t entry_id = kUoaEntryIpoint,
+                                  std::uint32_t exit_id = kUoaExitIpoint);
+
+/// Pair entry/exit ipoints into per-invocation execution times (cycles).
+/// Nested or unmatched pairs raise TraceError — the UoA is not reentrant.
+std::vector<double> extract_execution_times(
+    const TraceBuffer& buffer, std::uint32_t entry_id = kUoaEntryIpoint,
+    std::uint32_t exit_id = kUoaExitIpoint);
+
+} // namespace proxima::trace

@@ -1,0 +1,150 @@
+// Execution engine for the mini-SPARC ISA: the stand-in for the LEON3 core.
+//
+// Timing model: in-order single-issue, approximating the LEON3 7-stage
+// pipeline (F D R E M X W) with a base cost of one cycle per instruction
+// plus explicit stalls:
+//   * instruction fetch stalls from the memory hierarchy (IL1/L2/DRAM/ITLB)
+//   * load-use stalls (DL1/L2/DRAM/DTLB) and write-buffer stalls
+//   * multi-cycle integer multiply/divide
+//   * floating point with *value-dependent* latency — the paper notes the
+//     LEON3 FPU "takes a variable latency depending on the particular
+//     values operated, with a jitter of up to 3 cycles" (Section III.A)
+//   * taken-branch redirect penalty
+//   * register-window overflow/underflow: handled as microcoded traps that
+//     perform the real 16-word spill/fill memory traffic at the (possibly
+//     DSR-randomised) stack addresses, plus a fixed trap overhead
+//
+// Simplifications vs real SPARC v8 (documented in DESIGN.md): no branch
+// delay slots, microcoded window traps instead of software handlers, and
+// int<->fp conversions that move between register files directly.
+#pragma once
+
+#include "isa/instruction.hpp"
+#include "mem/guest_memory.hpp"
+#include "mem/hierarchy.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+namespace proxima::vm {
+
+class VmError : public std::runtime_error {
+public:
+  explicit VmError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct VmConfig {
+  std::uint32_t nwindows = 8; // LEON3: 8 register windows
+  std::uint32_t branch_taken_penalty = 1;
+  std::uint32_t load_use_cycles = 1; // extra M-stage occupancy for loads
+  std::uint32_t mul_cycles = 4;
+  std::uint32_t div_cycles = 16;
+  std::uint32_t fp_add_cycles = 4;
+  std::uint32_t fp_mul_cycles = 4;
+  std::uint32_t fp_div_cycles = 16;
+  std::uint32_t fp_sqrt_cycles = 24;
+  std::uint32_t fp_jitter_max = 3; // paper: up to 3 cycles, value-dependent
+  std::uint32_t trap_cycles = 8;   // window spill/fill entry/exit overhead
+  std::uint32_t ipoint_cycles = 2; // timestamp store to the uncached bank
+  std::uint32_t flush_cycles = 2;
+  std::uint64_t max_instructions = 2'000'000'000ULL;
+};
+
+struct RunResult {
+  enum class Stop : std::uint8_t { kHalt, kInstructionLimit, kCycleBudget };
+  Stop stop = Stop::kHalt;
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+};
+
+/// Integer condition codes (set by addcc/subcc/orcc).
+struct ConditionCodes {
+  bool n = false, z = false, v = false, c = false;
+};
+
+/// FP comparison outcome (set by fcmpd).
+enum class FpCondition : std::uint8_t { kEqual, kLess, kGreater, kUnordered };
+
+class Vm {
+public:
+  using IpointSink = std::function<void(std::uint32_t id, std::uint64_t cycles)>;
+  /// Handler for kTrapReloc: receives the function id and returns the cycle
+  /// cost of the (lazy) relocation work, charged to the running program.
+  using RelocTrapSink = std::function<std::uint64_t(std::uint32_t id)>;
+
+  Vm(mem::GuestMemory& memory, mem::MemoryHierarchy& hierarchy,
+     VmConfig config = {});
+
+  /// Reset architectural state and start executing at `entry_pc` with the
+  /// stack top at `stack_top` (16-byte aligned recommended).  Cycle and
+  /// instruction counters restart; the memory hierarchy is left untouched
+  /// (flush it separately, as the RTOS does at partition start).
+  void reset(std::uint32_t entry_pc, std::uint32_t stack_top);
+
+  /// Run until HALT, the instruction limit, or (when non-zero) the given
+  /// absolute cycle budget — the hypervisor's temporal-isolation fence.
+  RunResult run(std::uint64_t cycle_budget = 0);
+
+  /// Execute a single instruction (test hook).
+  void step();
+
+  bool halted() const noexcept { return halted_; }
+  std::uint32_t pc() const noexcept { return pc_; }
+  std::uint64_t cycles() const noexcept { return cycles_; }
+  std::uint64_t instructions() const noexcept { return instructions_; }
+
+  /// Visible integer register (through the current window).
+  std::uint32_t reg(std::uint8_t index) const;
+  void set_reg(std::uint8_t index, std::uint32_t value);
+  double freg(std::uint8_t index) const;
+  void set_freg(std::uint8_t index, double value);
+  const ConditionCodes& icc() const noexcept { return icc_; }
+  FpCondition fcc() const noexcept { return fcc_; }
+
+  /// Nesting depth of register-window frames currently resident.
+  std::uint32_t resident_windows() const noexcept { return resident_; }
+
+  void set_ipoint_sink(IpointSink sink) { ipoint_sink_ = std::move(sink); }
+  void set_reloc_trap_sink(RelocTrapSink sink) {
+    reloc_trap_sink_ = std::move(sink);
+  }
+
+  const VmConfig& config() const noexcept { return config_; }
+
+private:
+  std::uint32_t& visible(std::uint8_t index);
+  std::uint32_t visible_value(std::uint8_t index) const;
+
+  void execute(const isa::Instruction& instr);
+  void do_save(std::uint8_t rd, std::uint32_t value);
+  void do_restore(const isa::Instruction& instr);
+  void spill_oldest_window();
+  void fill_window(std::uint32_t window);
+  std::uint32_t fp_extra_cycles(isa::Opcode op, double a, double b) const;
+  void take_branch(std::int32_t disp_words);
+
+  [[noreturn]] void fault(const std::string& what) const;
+
+  mem::GuestMemory& memory_;
+  mem::MemoryHierarchy& hierarchy_;
+  VmConfig config_;
+
+  std::vector<std::uint32_t> globals_;  // 8
+  std::vector<std::uint32_t> windowed_; // nwindows * 16 (outs+locals slices)
+  std::vector<double> fregs_;           // 16
+  std::uint32_t cwp_ = 0;
+  std::uint32_t resident_ = 1;
+  ConditionCodes icc_;
+  FpCondition fcc_ = FpCondition::kEqual;
+
+  std::uint32_t pc_ = 0;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t instructions_ = 0;
+  bool halted_ = true;
+  IpointSink ipoint_sink_;
+  RelocTrapSink reloc_trap_sink_;
+};
+
+} // namespace proxima::vm

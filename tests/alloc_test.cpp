@@ -1,0 +1,206 @@
+// Unit tests for the HeapLayers-style pools (Sections III.B.3 / III.B.5).
+#include "alloc/pool.hpp"
+#include "rng/mwc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace {
+
+using proxima::alloc::AllocError;
+using proxima::alloc::PageAllocator;
+using proxima::alloc::RandomObjectPool;
+using proxima::alloc::Region;
+using proxima::rng::Mwc;
+
+constexpr Region kRegion{0x50000000, 4 * 1024 * 1024}; // 1024 pages
+
+TEST(PageAllocator, RejectsMisalignedRegion) {
+  Mwc rng(1);
+  EXPECT_THROW(PageAllocator(Region{0x1001, 4096}, rng), AllocError);
+  EXPECT_THROW(PageAllocator(Region{0x1000, 100}, rng), AllocError);
+  EXPECT_THROW(PageAllocator(Region{0x1000, 0}, rng), AllocError);
+}
+
+TEST(PageAllocator, ChunksArePageAlignedAndInsideRegion) {
+  Mwc rng(2);
+  PageAllocator pages(kRegion, rng);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint32_t addr = pages.take_pages(3);
+    EXPECT_EQ(addr % PageAllocator::kPageBytes, 0u);
+    EXPECT_GE(addr, kRegion.base);
+    EXPECT_LE(addr + 3 * PageAllocator::kPageBytes,
+              kRegion.base + kRegion.size);
+  }
+}
+
+TEST(PageAllocator, AllocationsNeverOverlap) {
+  Mwc rng(3);
+  PageAllocator pages(kRegion, rng);
+  std::set<std::uint32_t> taken;
+  for (int i = 0; i < 200; ++i) {
+    const std::uint32_t addr = pages.take_pages(2);
+    for (std::uint32_t p = 0; p < 2; ++p) {
+      const std::uint32_t page = addr + p * PageAllocator::kPageBytes;
+      EXPECT_TRUE(taken.insert(page).second) << "page reused: " << page;
+    }
+  }
+}
+
+TEST(PageAllocator, PlacementIsPageDiverse) {
+  // Chunks should scatter across the region, not pack sequentially: this is
+  // what randomises the TLBs (Section III.B.5).
+  Mwc rng(4);
+  PageAllocator pages(kRegion, rng);
+  std::vector<std::uint32_t> addresses;
+  for (int i = 0; i < 50; ++i) {
+    addresses.push_back(pages.take_pages(1));
+  }
+  int ascending_runs = 0;
+  for (std::size_t i = 1; i < addresses.size(); ++i) {
+    if (addresses[i] == addresses[i - 1] + PageAllocator::kPageBytes) {
+      ++ascending_runs;
+    }
+  }
+  // A bump allocator would give 49 sequential neighbours; random placement
+  // across 1024 pages virtually never does.
+  EXPECT_LT(ascending_runs, 10);
+}
+
+TEST(PageAllocator, ExhaustionThrows) {
+  Mwc rng(5);
+  PageAllocator pages(Region{0x50000000, 4 * 4096}, rng);
+  pages.take_pages(2);
+  pages.take_pages(2);
+  EXPECT_THROW(pages.take_pages(1), AllocError);
+}
+
+TEST(PageAllocator, ReleaseAllowsReuse) {
+  Mwc rng(6);
+  PageAllocator pages(Region{0x50000000, 4 * 4096}, rng);
+  const std::uint32_t a = pages.take_pages(4);
+  pages.release(a, 4);
+  EXPECT_EQ(pages.free_pages(), 4u);
+  EXPECT_NO_THROW(pages.take_pages(4));
+}
+
+TEST(PageAllocator, DoubleReleaseThrows) {
+  Mwc rng(7);
+  PageAllocator pages(Region{0x50000000, 4 * 4096}, rng);
+  const std::uint32_t a = pages.take_pages(1);
+  pages.release(a, 1);
+  EXPECT_THROW(pages.release(a, 1), AllocError);
+}
+
+TEST(PageAllocator, ResetReclaimsEverything) {
+  Mwc rng(8);
+  PageAllocator pages(Region{0x50000000, 8 * 4096}, rng);
+  pages.take_pages(3);
+  pages.take_pages(3);
+  pages.reset();
+  EXPECT_EQ(pages.free_pages(), 8u);
+}
+
+TEST(PageAllocator, FragmentationDetected) {
+  Mwc rng(9);
+  PageAllocator pages(Region{0x50000000, 4 * 4096}, rng);
+  // Take all pages one by one, free two non-adjacent ones.
+  std::vector<std::uint32_t> singles;
+  for (int i = 0; i < 4; ++i) {
+    singles.push_back(pages.take_pages(1));
+  }
+  std::sort(singles.begin(), singles.end());
+  pages.release(singles[0], 1);
+  pages.release(singles[2], 1);
+  EXPECT_EQ(pages.free_pages(), 2u);
+  EXPECT_THROW(pages.take_pages(2), AllocError); // no contiguous pair
+}
+
+TEST(RandomObjectPool, OffsetWithinWayAndAligned) {
+  Mwc rng(10);
+  // 100 chunks of ~9 pages under random placement need generous headroom.
+  PageAllocator pages(Region{0x50000000, 64 * 1024 * 1024}, rng);
+  RandomObjectPool pool(pages, rng, 32 * 1024, 8);
+  for (int i = 0; i < 100; ++i) {
+    const auto a = pool.allocate(512);
+    EXPECT_LT(a.offset, 32u * 1024u);
+    EXPECT_EQ(a.offset % 8, 0u);
+    EXPECT_EQ(a.addr, a.chunk_base + a.offset);
+  }
+}
+
+TEST(RandomObjectPool, OffsetsCoverTheWayUniformly) {
+  // DSR requirement: the object must be mappable to ANY line of a way.
+  Mwc rng(11);
+  PageAllocator pages(Region{0x50000000, 64 * 1024 * 1024}, rng);
+  RandomObjectPool pool(pages, rng, 4096, 8);
+  std::set<std::uint32_t> line_offsets; // 32-byte-line granularity
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = pool.allocate(64);
+    line_offsets.insert(a.offset / 32);
+    pool.free(a);
+  }
+  EXPECT_EQ(line_offsets.size(), 4096u / 32u); // every line index reached
+}
+
+TEST(RandomObjectPool, ChunkCoversObjectAtMaxOffset) {
+  Mwc rng(12);
+  PageAllocator pages(kRegion, rng);
+  RandomObjectPool pool(pages, rng, 32 * 1024, 8);
+  const auto a = pool.allocate(10000);
+  const std::uint32_t chunk_bytes =
+      a.chunk_pages * PageAllocator::kPageBytes;
+  EXPECT_GE(chunk_bytes, 32u * 1024u + 10000u);
+  EXPECT_LE(a.offset + 10000u, chunk_bytes);
+}
+
+TEST(RandomObjectPool, ResetReturnsAllPages) {
+  Mwc rng(13);
+  PageAllocator pages(kRegion, rng);
+  RandomObjectPool pool(pages, rng, 4096, 8);
+  const std::uint32_t before = pages.free_pages();
+  for (int i = 0; i < 10; ++i) {
+    pool.allocate(100);
+  }
+  EXPECT_LT(pages.free_pages(), before);
+  pool.reset();
+  EXPECT_EQ(pages.free_pages(), before);
+}
+
+TEST(RandomObjectPool, DeterministicPerSeed) {
+  auto layout = [](std::uint64_t seed) {
+    Mwc rng(seed);
+    PageAllocator pages(kRegion, rng);
+    RandomObjectPool pool(pages, rng, 32 * 1024, 8);
+    std::vector<std::uint32_t> addrs;
+    for (int i = 0; i < 20; ++i) {
+      addrs.push_back(pool.allocate(256).addr);
+    }
+    return addrs;
+  };
+  EXPECT_EQ(layout(99), layout(99));
+  EXPECT_NE(layout(99), layout(100));
+}
+
+TEST(RandomObjectPool, RejectsBadParameters) {
+  Mwc rng(14);
+  PageAllocator pages(kRegion, rng);
+  EXPECT_THROW(RandomObjectPool(pages, rng, 0, 8), AllocError);
+  EXPECT_THROW(RandomObjectPool(pages, rng, 4096, 12), AllocError); // not pow2
+  RandomObjectPool pool(pages, rng, 4096, 8);
+  EXPECT_THROW(pool.allocate(0), AllocError);
+}
+
+TEST(RandomObjectPool, StatsTrackUsage) {
+  Mwc rng(15);
+  PageAllocator pages(kRegion, rng);
+  RandomObjectPool pool(pages, rng, 4096, 8);
+  pool.allocate(100);
+  pool.allocate(200);
+  EXPECT_EQ(pool.stats().allocations, 2u);
+  EXPECT_EQ(pool.stats().bytes_requested, 300u);
+  EXPECT_GT(pool.stats().bytes_reserved, pool.stats().bytes_requested);
+}
+
+} // namespace

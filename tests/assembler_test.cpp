@@ -1,0 +1,216 @@
+// Tests for the text assembler front-end: parsing, encoding equivalence
+// with the builder API, and end-to-end execution of assembled programs.
+#include "isa/assembler.hpp"
+#include "vm_harness.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace proxima::isa;
+using proxima::test::TestMachine;
+
+TEST(Assembler, RegistersAndAliases) {
+  const Program program = assemble(R"(
+main:
+  add %g1, %o2, %l3
+  add %i4, %sp, %fp
+  halt
+)");
+  ASSERT_EQ(program.functions.size(), 1u);
+  const Function& main_fn = program.functions.front();
+  EXPECT_EQ(main_fn.code[0], make_r(Opcode::kAdd, kL3, kG1, kO2));
+  EXPECT_EQ(main_fn.code[1], make_r(Opcode::kAdd, kFp, kI4, kSp));
+}
+
+TEST(Assembler, ImmediateFormsAndComments) {
+  const Program program = assemble(R"(
+main:
+  add %o0, 42, %o1     ! immediate ALU
+  sub %o1, -8, %o2
+  sll %o2, 3, %o3
+  halt
+)");
+  const Function& fn = program.functions.front();
+  EXPECT_EQ(fn.code[0], make_i(Opcode::kAddi, kO1, kO0, 42));
+  EXPECT_EQ(fn.code[1], make_i(Opcode::kSubi, kO2, kO1, -8));
+  EXPECT_EQ(fn.code[2], make_i(Opcode::kSlli, kO3, kO2, 3));
+}
+
+TEST(Assembler, MemoryOperands) {
+  const Program program = assemble(R"(
+main:
+  ld [%l0+8], %o0
+  st %o0, [%fp-12]
+  ldub [%g2], %o1
+  halt
+)");
+  const Function& fn = program.functions.front();
+  EXPECT_EQ(fn.code[0], make_i(Opcode::kLd, kO0, kL0, 8));
+  EXPECT_EQ(fn.code[1], make_i(Opcode::kSt, kO0, kFp, -12));
+  EXPECT_EQ(fn.code[2], make_i(Opcode::kLdb, kO1, kG2, 0));
+}
+
+TEST(Assembler, BranchesAndLabels) {
+  const Program program = assemble(R"(
+main:
+  mov 3, %o0
+loop:
+  cmp %o0, 0
+  ble done
+  sub %o0, 1, %o0
+  ba loop
+done:
+  halt
+)");
+  const Function& fn = program.functions.front();
+  EXPECT_TRUE(fn.labels.contains("loop"));
+  EXPECT_TRUE(fn.labels.contains("done"));
+  // Branch fixups reference the labels symbolically.
+  int branch_fixups = 0;
+  for (const Fixup& fixup : fn.fixups) {
+    if (fixup.kind == FixupKind::kBranch) {
+      ++branch_fixups;
+    }
+  }
+  EXPECT_EQ(branch_fixups, 2);
+}
+
+TEST(Assembler, FunctionsCallsAndPrologues) {
+  const Program program = assemble(R"(
+.global main
+main:
+  save %sp, -96, %sp
+  call helper
+  restore
+  ret
+
+helper:
+  add %o0, %o0, %o0
+  retl
+)");
+  ASSERT_EQ(program.functions.size(), 2u);
+  EXPECT_EQ(program.entry, "main");
+  const Function& main_fn = program.functions[0];
+  EXPECT_TRUE(main_fn.has_prologue);
+  EXPECT_EQ(main_fn.frame_bytes, 96u);
+  const Function& helper = program.functions[1];
+  EXPECT_FALSE(helper.has_prologue);
+  EXPECT_EQ(helper.code.back(), make_i(Opcode::kJmpl, kG0, kO7, 4));
+}
+
+TEST(Assembler, DataObjectsAndHiLo) {
+  const Program program = assemble(R"(
+.data table, 16, 8
+.word 0x11223344, 0x55667788
+
+main:
+  sethi %hi(table), %g1
+  or %g1, %lo(table), %g1
+  ld [%g1+4], %o0
+  halt
+)");
+  ASSERT_EQ(program.data.size(), 1u);
+  EXPECT_EQ(program.data[0].size, 16u);
+  ASSERT_EQ(program.data[0].init.size(), 8u);
+  EXPECT_EQ(program.data[0].init[0], 0x11);
+
+  const Function& fn = program.functions.front();
+  bool hi_fixup = false;
+  bool lo_fixup = false;
+  for (const Fixup& fixup : fn.fixups) {
+    hi_fixup = hi_fixup || (fixup.kind == FixupKind::kHi19 &&
+                            fixup.symbol == "table");
+    lo_fixup = lo_fixup || (fixup.kind == FixupKind::kLo13 &&
+                            fixup.symbol == "table");
+  }
+  EXPECT_TRUE(hi_fixup);
+  EXPECT_TRUE(lo_fixup);
+}
+
+TEST(Assembler, AssembledProgramRuns) {
+  // End to end: assemble, link, execute, check results.
+  Program program = assemble(R"(
+.global main
+.data result, 4, 4
+
+main:
+  save %sp, -96, %sp
+  mov 10, %o0
+  call fact
+  set result, %o1
+  st %o0, [%o1]
+  halt
+
+fact:
+  save %sp, -96, %sp
+  cmp %i0, 1
+  ble base
+  sub %i0, 1, %o0
+  call fact
+  smul %i0, %o0, %i0
+  ba done
+base:
+  mov 1, %i0
+done:
+  restore
+  ret
+)");
+  TestMachine machine(program);
+  machine.run();
+  EXPECT_EQ(machine.word_at("result"), 3628800u); // 10!
+}
+
+TEST(Assembler, FloatingPointProgramRuns) {
+  Program program = assemble(R"(
+.global main
+.data out, 8, 8
+
+main:
+  mov 3, %o0
+  fitod %o0, %f0
+  fmuld %f0, %f0, %f1
+  set out, %o1
+  stdf %f1, [%o1]
+  halt
+)");
+  TestMachine machine(program);
+  machine.run();
+  EXPECT_DOUBLE_EQ(machine.f64_at("out"), 9.0);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  try {
+    assemble("main:\n  frob %o0, %o1\n");
+    FAIL() << "expected AsmError";
+  } catch (const AsmError& e) {
+    EXPECT_EQ(e.line_number, 2u);
+    EXPECT_NE(std::string(e.what()).find("frob"), std::string::npos);
+  }
+}
+
+TEST(Assembler, RejectsMalformedInput) {
+  EXPECT_THROW(assemble("  add %o0, %o1, %o2\n"), AsmError); // no function
+  EXPECT_THROW(assemble("main:\n  add %o9, %o1, %o2\n"), AsmError);
+  EXPECT_THROW(assemble("main:\n  ld %o0, %o1\n"), AsmError); // not a mem op
+  EXPECT_THROW(assemble("main:\n  save %l0, -96, %sp\n"), AsmError);
+  EXPECT_THROW(assemble(".bogus x\n"), AsmError);
+  EXPECT_THROW(assemble(".word 1\n"), AsmError); // outside .data
+}
+
+TEST(Assembler, InstrumentationAndPlatformOps) {
+  const Program program = assemble(R"(
+main:
+  ipoint 1
+  rdtick %o0
+  flush [%o1+32]
+  ipoint 2
+  halt
+)");
+  const Function& fn = program.functions.front();
+  EXPECT_EQ(fn.code[0], make_b(Opcode::kIpoint, 1));
+  EXPECT_EQ(fn.code[1].op, Opcode::kRdtick);
+  EXPECT_EQ(fn.code[2], make_i(Opcode::kFlush, kG0, kO1, 32));
+}
+
+} // namespace

@@ -1,0 +1,123 @@
+// Unit tests for the sparse big-endian guest memory.
+#include "mem/guest_memory.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace {
+
+using proxima::mem::GuestMemory;
+
+TEST(GuestMemory, ZeroInitialised) {
+  GuestMemory mem;
+  EXPECT_EQ(mem.read_u8(0x1000), 0u);
+  EXPECT_EQ(mem.read_u32(0xdeadbeec), 0u);
+  EXPECT_EQ(mem.resident_pages(), 0u); // reads do not materialise pages
+}
+
+TEST(GuestMemory, ByteRoundTrip) {
+  GuestMemory mem;
+  mem.write_u8(0x42, 0xab);
+  EXPECT_EQ(mem.read_u8(0x42), 0xab);
+}
+
+TEST(GuestMemory, WordIsBigEndian) {
+  GuestMemory mem;
+  mem.write_u32(0x100, 0x11223344);
+  EXPECT_EQ(mem.read_u8(0x100), 0x11);
+  EXPECT_EQ(mem.read_u8(0x101), 0x22);
+  EXPECT_EQ(mem.read_u8(0x102), 0x33);
+  EXPECT_EQ(mem.read_u8(0x103), 0x44);
+  EXPECT_EQ(mem.read_u32(0x100), 0x11223344u);
+}
+
+TEST(GuestMemory, HalfwordRoundTrip) {
+  GuestMemory mem;
+  mem.write_u16(0x200, 0xbeef);
+  EXPECT_EQ(mem.read_u16(0x200), 0xbeef);
+  EXPECT_EQ(mem.read_u8(0x200), 0xbe);
+}
+
+TEST(GuestMemory, DoublewordRoundTrip) {
+  GuestMemory mem;
+  mem.write_u64(0x300, 0x0102030405060708ULL);
+  EXPECT_EQ(mem.read_u64(0x300), 0x0102030405060708ULL);
+  EXPECT_EQ(mem.read_u32(0x300), 0x01020304u);
+  EXPECT_EQ(mem.read_u32(0x304), 0x05060708u);
+}
+
+TEST(GuestMemory, DoubleRoundTrip) {
+  GuestMemory mem;
+  mem.write_f64(0x400, 3.14159265358979);
+  EXPECT_DOUBLE_EQ(mem.read_f64(0x400), 3.14159265358979);
+  mem.write_f64(0x408, -0.0);
+  EXPECT_EQ(std::signbit(mem.read_f64(0x408)), true);
+}
+
+TEST(GuestMemory, CrossPageWord) {
+  GuestMemory mem;
+  const std::uint32_t addr = GuestMemory::kPageBytes - 2;
+  mem.write_u32(addr, 0xcafebabe);
+  EXPECT_EQ(mem.read_u32(addr), 0xcafebabeu);
+  EXPECT_EQ(mem.resident_pages(), 2u);
+}
+
+TEST(GuestMemory, CopyNonOverlapping) {
+  GuestMemory mem;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    mem.write_u8(0x1000 + i, static_cast<std::uint8_t>(i * 3));
+  }
+  mem.copy(0x2000, 0x1000, 64);
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    ASSERT_EQ(mem.read_u8(0x2000 + i), static_cast<std::uint8_t>(i * 3));
+  }
+}
+
+TEST(GuestMemory, CopyOverlappingForward) {
+  GuestMemory mem;
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    mem.write_u8(0x100 + i, static_cast<std::uint8_t>(i));
+  }
+  mem.copy(0x104, 0x100, 16); // dst > src overlap
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    ASSERT_EQ(mem.read_u8(0x104 + i), i);
+  }
+}
+
+TEST(GuestMemory, CopyOverlappingBackward) {
+  GuestMemory mem;
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    mem.write_u8(0x100 + i, static_cast<std::uint8_t>(i));
+  }
+  mem.copy(0xfc, 0x100, 16); // dst < src overlap
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    ASSERT_EQ(mem.read_u8(0xfc + i), i);
+  }
+}
+
+TEST(GuestMemory, FillAndLoad) {
+  GuestMemory mem;
+  mem.fill(0x500, 32, 0x5a);
+  EXPECT_EQ(mem.read_u8(0x500), 0x5a);
+  EXPECT_EQ(mem.read_u8(0x51f), 0x5a);
+  EXPECT_EQ(mem.read_u8(0x520), 0u);
+
+  mem.load(0x600, {1, 2, 3, 4});
+  EXPECT_EQ(mem.read_u32(0x600), 0x01020304u);
+}
+
+TEST(GuestMemory, ClearDropsEverything) {
+  GuestMemory mem;
+  mem.write_u32(0x700, 0x12345678);
+  mem.clear();
+  EXPECT_EQ(mem.read_u32(0x700), 0u);
+  EXPECT_EQ(mem.resident_pages(), 0u);
+}
+
+TEST(GuestMemory, HighAddressesWork) {
+  GuestMemory mem;
+  mem.write_u32(0xfffffff8, 0x99aabbcc);
+  EXPECT_EQ(mem.read_u32(0xfffffff8), 0x99aabbccu);
+}
+
+} // namespace

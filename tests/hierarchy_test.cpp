@@ -1,0 +1,225 @@
+// Integration tests for the LEON3 memory hierarchy (Figure 1 of the paper).
+#include "mem/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using proxima::mem::CoherenceError;
+using proxima::mem::HierarchyConfig;
+using proxima::mem::LatencyConfig;
+using proxima::mem::leon3_hierarchy_config;
+using proxima::mem::leon3_hw_randomised_config;
+using proxima::mem::MemoryHierarchy;
+using proxima::mem::Placement;
+using proxima::mem::Replacement;
+
+TEST(Leon3Config, MatchesPaperGeometry) {
+  const HierarchyConfig config = leon3_hierarchy_config();
+  EXPECT_EQ(config.il1.size_bytes, 16u * 1024u);
+  EXPECT_EQ(config.il1.ways, 4u);
+  EXPECT_EQ(config.dl1.size_bytes, 16u * 1024u);
+  EXPECT_EQ(config.dl1.ways, 4u);
+  EXPECT_EQ(config.dl1.write_policy,
+            proxima::mem::WritePolicy::kWriteThroughNoAllocate);
+  EXPECT_EQ(config.l2.size_bytes, 32u * 1024u);
+  EXPECT_EQ(config.l2.ways, 1u); // direct-mapped
+  EXPECT_EQ(config.l2.write_policy,
+            proxima::mem::WritePolicy::kWriteBackAllocate);
+  EXPECT_EQ(config.itlb.entries, 64u);
+  EXPECT_EQ(config.dtlb.entries, 64u);
+}
+
+TEST(Hierarchy, FetchColdCostsDramPlusL2) {
+  MemoryHierarchy h(leon3_hierarchy_config());
+  const LatencyConfig& lat = h.latency();
+  const std::uint32_t cold = h.fetch(0x40000000);
+  // ITLB walk + bus + L2 (miss) + DRAM.
+  EXPECT_EQ(cold, lat.tlb_walk + lat.bus + lat.l2_hit + lat.dram_read);
+  EXPECT_EQ(h.counters().icache_miss, 1u);
+  EXPECT_EQ(h.counters().l2_miss, 1u);
+  EXPECT_EQ(h.counters().itlb_miss, 1u);
+
+  // Same line: zero additional stall.
+  EXPECT_EQ(h.fetch(0x40000004), 0u);
+  EXPECT_EQ(h.counters().icache_miss, 1u);
+}
+
+TEST(Hierarchy, FetchL2HitAfterIl1Eviction) {
+  MemoryHierarchy h(leon3_hierarchy_config());
+  const LatencyConfig& lat = h.latency();
+  h.fetch(0x40000000);
+  // Evict the IL1 line by touching 4 conflicting lines (4-way set).
+  // IL1 way stride = 4 KiB; L2 way stride = 32 KiB, so +4K..+16K conflict
+  // only in IL1, not in the direct-mapped L2.
+  for (std::uint32_t i = 1; i <= 4; ++i) {
+    h.fetch(0x40000000 + i * 4096);
+  }
+  EXPECT_FALSE(h.il1().contains(0x40000000));
+  EXPECT_TRUE(h.l2().contains(0x40000000));
+  const std::uint32_t refetch = h.fetch(0x40000000);
+  EXPECT_EQ(refetch, lat.bus + lat.l2_hit); // L2 hit, no DRAM
+}
+
+TEST(Hierarchy, LoadPathCounters) {
+  MemoryHierarchy h(leon3_hierarchy_config());
+  h.load(0x40100000);
+  EXPECT_EQ(h.counters().dcache_miss, 1u);
+  EXPECT_EQ(h.counters().loads, 1u);
+  EXPECT_EQ(h.counters().dtlb_miss, 1u);
+  h.load(0x40100004);
+  EXPECT_EQ(h.counters().dcache_miss, 1u); // same line
+  EXPECT_EQ(h.counters().loads, 2u);
+}
+
+TEST(Hierarchy, StoreIsAbsorbedByWriteBuffer) {
+  MemoryHierarchy h(leon3_hierarchy_config());
+  // Prime the TLB so the store cost is pure write-buffer behaviour.
+  h.load(0x40100000);
+  const std::uint32_t first = h.store(0x40100000, /*cycle=*/1000);
+  EXPECT_EQ(first, 0u); // buffer empty: fully absorbed
+  // Immediately-following store finds the buffer draining.
+  const std::uint32_t second = h.store(0x40100020, /*cycle=*/1001);
+  EXPECT_GT(second, 0u);
+  // A store far in the future is absorbed again.
+  const std::uint32_t third = h.store(0x40100040, /*cycle=*/10000);
+  EXPECT_EQ(third, 0u);
+}
+
+TEST(Hierarchy, StoreWritesThroughToL2) {
+  MemoryHierarchy h(leon3_hierarchy_config());
+  h.load(0x40100000); // fill DL1 + L2
+  h.store(0x40100000, 0);
+  // L2 line should now be dirty (write-back allocate at L2).
+  EXPECT_TRUE(h.l2().line_dirty(0x40100000));
+  // DL1 line updated but NOT dirty (write-through).
+  EXPECT_TRUE(h.dl1().contains(0x40100000));
+  EXPECT_FALSE(h.dl1().line_dirty(0x40100000));
+}
+
+TEST(Hierarchy, StoreMissDoesNotAllocateDl1) {
+  MemoryHierarchy h(leon3_hierarchy_config());
+  h.store(0x40200000, 0);
+  EXPECT_FALSE(h.dl1().contains(0x40200000)); // no-write-allocate
+  EXPECT_TRUE(h.l2().contains(0x40200000));   // allocated in L2
+}
+
+TEST(Hierarchy, UnifiedL2SharedBetweenCodeAndData) {
+  MemoryHierarchy h(leon3_hierarchy_config());
+  // A fetch fills an L2 line; a load of the same line hits L2.
+  h.fetch(0x40000000);
+  const std::uint32_t load_cost = h.load(0x40000000);
+  const LatencyConfig& lat = h.latency();
+  EXPECT_EQ(load_cost, lat.tlb_walk + lat.bus + lat.l2_hit);
+  EXPECT_EQ(h.counters().l2_miss, 1u); // only the initial fetch missed
+}
+
+TEST(Hierarchy, DirectMappedL2ConflictBetweenCodeAndData) {
+  // The paper's "bad and rare cache layout": code and data 32K apart
+  // thrash the same direct-mapped L2 set.
+  MemoryHierarchy h(leon3_hierarchy_config());
+  const std::uint32_t code = 0x40000000;
+  const std::uint32_t data = code + 32 * 1024; // same L2 set
+  h.fetch(code);
+  h.load(data); // evicts the code line from L2
+  h.il1().invalidate_all();
+  const std::uint32_t refetch = h.fetch(code); // must go to DRAM again
+  const LatencyConfig& lat = h.latency();
+  EXPECT_EQ(refetch, lat.bus + lat.l2_hit + lat.dram_read);
+  EXPECT_EQ(h.counters().l2_miss, 3u);
+}
+
+TEST(Hierarchy, FlushAllEmptiesEverything) {
+  MemoryHierarchy h(leon3_hierarchy_config());
+  h.fetch(0x40000000);
+  h.load(0x40100000);
+  h.store(0x40100000, 0);
+  h.flush_all();
+  EXPECT_FALSE(h.il1().contains(0x40000000));
+  EXPECT_FALSE(h.dl1().contains(0x40100000));
+  EXPECT_FALSE(h.l2().contains(0x40000000));
+  EXPECT_FALSE(h.l2().contains(0x40100000));
+  EXPECT_FALSE(h.itlb().contains(0x40000000));
+  // Dirty L2 line was drained.
+  EXPECT_GE(h.counters().dram_writes, 1u);
+}
+
+TEST(Hierarchy, StaleFetchDetectedWithoutInvalidation) {
+  MemoryHierarchy h(leon3_hierarchy_config());
+  h.fetch(0x40000000);                    // cache old code
+  h.note_memory_written(0x40000000, 64);  // DSR rewrites code behind caches
+  h.fetch(0x40000000);                    // stale hit!
+  EXPECT_EQ(h.counters().coherence_violations, 1u);
+}
+
+TEST(Hierarchy, StrictModeThrowsOnStaleFetch) {
+  MemoryHierarchy h(leon3_hierarchy_config());
+  h.set_strict_coherence(true);
+  h.fetch(0x40000000);
+  h.note_memory_written(0x40000000, 4);
+  EXPECT_THROW(h.fetch(0x40000000), CoherenceError);
+}
+
+TEST(Hierarchy, InvalidationRoutineClearsStaleness) {
+  // This is exactly what the paper's SPARC-compliant invalidation routine
+  // must achieve (Section III.B.1).
+  MemoryHierarchy h(leon3_hierarchy_config());
+  h.set_strict_coherence(true);
+  h.fetch(0x40000000);
+  h.note_memory_written(0x40000000, 64);
+  h.invalidate_range(0x40000000, 64);
+  EXPECT_NO_THROW(h.fetch(0x40000000)); // refilled from (new) memory
+  EXPECT_EQ(h.counters().coherence_violations, 0u);
+}
+
+TEST(Hierarchy, StaleL2AlsoDetected) {
+  MemoryHierarchy h(leon3_hierarchy_config());
+  h.fetch(0x40000000); // fills IL1 + L2
+  h.il1().invalidate_all();
+  h.note_memory_written(0x40000000, 4); // L2 line now stale
+  h.fetch(0x40000000);                  // IL1 miss -> stale L2 hit
+  EXPECT_EQ(h.counters().coherence_violations, 1u);
+}
+
+TEST(Hierarchy, GuestStoreMarksIl1Stale) {
+  // A store executed by the program itself (e.g. self-modifying code /
+  // relocation loop in guest code) also breaks I/D coherence.
+  MemoryHierarchy h(leon3_hierarchy_config());
+  h.fetch(0x40000000);
+  h.store(0x40000000, 0);
+  h.fetch(0x40000000);
+  EXPECT_EQ(h.counters().coherence_violations, 1u);
+}
+
+TEST(Hierarchy, L2MissRatioAsPaperComputesIt) {
+  MemoryHierarchy h(leon3_hierarchy_config());
+  h.fetch(0x40000000);      // icmiss + l2miss
+  h.load(0x40100020);       // dcmiss + l2miss (different L2 set than code)
+  h.il1().invalidate_all();
+  h.fetch(0x40000000);      // icmiss, L2 hit
+  EXPECT_EQ(h.counters().icache_miss, 2u);
+  EXPECT_EQ(h.counters().dcache_miss, 1u);
+  EXPECT_EQ(h.counters().l2_miss, 2u);
+  EXPECT_NEAR(h.counters().l2_miss_ratio(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Hierarchy, HwRandomisedLayoutChangesAcrossSeeds) {
+  // With random placement, the set of L2 conflicts depends on the seed:
+  // two addresses 32K apart need not conflict any more.
+  int conflicts = 0;
+  constexpr int kSeeds = 32;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    MemoryHierarchy h(leon3_hw_randomised_config());
+    h.reseed(static_cast<std::uint64_t>(seed));
+    const std::uint32_t a = 0x40000000;
+    const std::uint32_t b = a + 32 * 1024;
+    if (h.l2().set_index(a) == h.l2().set_index(b)) {
+      ++conflicts;
+    }
+  }
+  // Probability of conflict per seed is 1/1024; 32 seeds virtually never
+  // all conflict (modulo placement would make conflicts == kSeeds).
+  EXPECT_LT(conflicts, kSeeds / 2);
+}
+
+} // namespace

@@ -1,0 +1,199 @@
+// Unit tests for instruction encoding/decoding and the function builder.
+#include "isa/builder.hpp"
+#include "isa/instruction.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace proxima::isa;
+
+TEST(Encoding, RoundTripAllOpcodes) {
+  for (std::uint8_t raw = 0;
+       raw < static_cast<std::uint8_t>(Opcode::kOpcodeCount); ++raw) {
+    ASSERT_TRUE(is_valid_opcode(raw)) << "gap in opcode table at " << int(raw);
+    const Opcode op = static_cast<Opcode>(raw);
+    Instruction instr;
+    instr.op = op;
+    switch (opcode_info(op).format) {
+    case Format::kR:
+      instr.rd = 5;
+      instr.rs1 = 9;
+      instr.rs2 = 30;
+      break;
+    case Format::kI:
+      instr.rd = 14;
+      instr.rs1 = 30;
+      instr.imm = -1234;
+      break;
+    case Format::kB:
+      instr.imm = -99999;
+      break;
+    case Format::kH:
+      instr.rd = 1;
+      instr.imm = 0x7ffff;
+      break;
+    }
+    const std::uint32_t word = encode(instr);
+    const Instruction back = decode(word);
+    EXPECT_EQ(back, instr) << opcode_info(op).name;
+  }
+}
+
+TEST(Encoding, Simm14Bounds) {
+  Instruction instr = make_i(Opcode::kAddi, 1, 2, kSimm14Max);
+  EXPECT_NO_THROW(encode(instr));
+  instr.imm = kSimm14Max + 1;
+  EXPECT_THROW(encode(instr), DecodeError);
+  instr.imm = kSimm14Min;
+  EXPECT_NO_THROW(encode(instr));
+  instr.imm = kSimm14Min - 1;
+  EXPECT_THROW(encode(instr), DecodeError);
+}
+
+TEST(Encoding, Disp24Bounds) {
+  Instruction instr = make_b(Opcode::kCall, kDisp24Max);
+  EXPECT_NO_THROW(encode(instr));
+  instr.imm = kDisp24Max + 1;
+  EXPECT_THROW(encode(instr), DecodeError);
+}
+
+TEST(Encoding, InvalidOpcodeByteRejected) {
+  const std::uint32_t bogus = 0xff000000;
+  EXPECT_THROW(decode(bogus), DecodeError);
+}
+
+TEST(Encoding, RegisterOutOfRangeRejected) {
+  Instruction instr = make_r(Opcode::kAdd, 32, 0, 0);
+  EXPECT_THROW(encode(instr), DecodeError);
+}
+
+TEST(Encoding, SignExtensionNegativeImmediate) {
+  const std::uint32_t word = encode(make_i(Opcode::kAddi, 1, 1, -1));
+  EXPECT_EQ(decode(word).imm, -1);
+}
+
+TEST(Encoding, SethiHiLoReconstruct32BitConstant) {
+  const std::uint32_t value = 0x40123456;
+  const HiLo parts = split_hi_lo(value);
+  EXPECT_EQ((parts.hi << 13) | parts.lo, value);
+  EXPECT_LE(parts.hi, kImm19Max);
+  EXPECT_LT(parts.lo, 8192u);
+}
+
+TEST(Disassembly, RendersCommonForms) {
+  EXPECT_EQ(disassemble(make_r(Opcode::kAdd, kO2, kO0, kO1)),
+            "add %o0, %o1, %o2");
+  EXPECT_EQ(disassemble(make_i(Opcode::kLd, kO0, kSp, 16)),
+            "ld [%sp+16], %o0");
+  EXPECT_EQ(disassemble(make_i(Opcode::kSt, kO0, kFp, -8)),
+            "st %o0, [%fp-8]");
+  EXPECT_EQ(disassemble(make_b(Opcode::kCall, 12)), "call 12");
+  EXPECT_EQ(disassemble(make_r(Opcode::kFaddd, 2, 0, 1)),
+            "faddd %f0, %f1, %f2");
+  EXPECT_EQ(disassemble(make_b(Opcode::kHalt, 0)), "halt");
+}
+
+TEST(Builder, EmitsPrologueWithFrameMetadata) {
+  FunctionBuilder fb("f");
+  fb.prologue(96);
+  fb.epilogue();
+  const Function f = fb.build();
+  EXPECT_TRUE(f.has_prologue);
+  EXPECT_EQ(f.frame_bytes, 96u);
+  EXPECT_EQ(f.prologue_index, 0u);
+  ASSERT_EQ(f.code.size(), 3u);
+  EXPECT_EQ(f.code[0].op, Opcode::kSave);
+  EXPECT_EQ(f.code[0].imm, -96);
+  EXPECT_EQ(f.code[1].op, Opcode::kRestore);
+  EXPECT_EQ(f.code[2].op, Opcode::kJmpl);
+}
+
+TEST(Builder, RejectsBadFrames) {
+  FunctionBuilder small("f");
+  EXPECT_THROW(small.prologue(32), BuildError); // < 64-byte save area
+  FunctionBuilder odd("g");
+  EXPECT_THROW(odd.prologue(100), BuildError); // not 8-byte aligned
+}
+
+TEST(Builder, BranchesReferToLabels) {
+  FunctionBuilder fb("loop");
+  fb.li(kO0, 10);
+  fb.label("top");
+  fb.subcci(kO0, 1);
+  fb.bne("top");
+  fb.ret_leaf();
+  const Function f = fb.build();
+  ASSERT_EQ(f.fixups.size(), 1u);
+  EXPECT_EQ(f.fixups[0].kind, FixupKind::kBranch);
+  EXPECT_EQ(f.fixups[0].symbol, "top");
+  EXPECT_EQ(f.labels.at("top"), 1u);
+}
+
+TEST(Builder, UndefinedLabelRejectedAtBuild) {
+  FunctionBuilder fb("f");
+  fb.bne("nowhere");
+  fb.ret_leaf();
+  EXPECT_THROW(fb.build(), BuildError);
+}
+
+TEST(Builder, DuplicateLabelRejected) {
+  FunctionBuilder fb("f");
+  fb.label("x");
+  fb.nop();
+  EXPECT_THROW(fb.label("x"), BuildError);
+}
+
+TEST(Builder, LiSmallUsesOneInstruction) {
+  FunctionBuilder fb("f");
+  fb.li(kO0, 100);
+  fb.li(kO1, -100);
+  const Function f = fb.build();
+  ASSERT_EQ(f.code.size(), 2u);
+  EXPECT_EQ(f.code[0].op, Opcode::kAddi);
+  EXPECT_EQ(f.code[1].op, Opcode::kAddi);
+}
+
+TEST(Builder, LiLargeUsesSethiOrlo) {
+  FunctionBuilder fb("f");
+  fb.li(kO0, 0x40123456);
+  const Function f = fb.build();
+  ASSERT_EQ(f.code.size(), 2u);
+  EXPECT_EQ(f.code[0].op, Opcode::kSethi);
+  EXPECT_EQ(f.code[1].op, Opcode::kOrlo);
+}
+
+TEST(Builder, LoadAddressEmitsFixupPair) {
+  FunctionBuilder fb("f");
+  fb.load_address(kO0, "table", 8);
+  const Function f = fb.build();
+  ASSERT_EQ(f.fixups.size(), 2u);
+  EXPECT_EQ(f.fixups[0].kind, FixupKind::kHi19);
+  EXPECT_EQ(f.fixups[0].addend, 8);
+  EXPECT_EQ(f.fixups[1].kind, FixupKind::kLo13);
+  EXPECT_EQ(f.fixups[1].symbol, "table");
+}
+
+TEST(Builder, CallEmitsFixup) {
+  FunctionBuilder fb("f");
+  fb.call("callee");
+  const Function f = fb.build();
+  ASSERT_EQ(f.fixups.size(), 1u);
+  EXPECT_EQ(f.fixups[0].kind, FixupKind::kCall);
+  EXPECT_EQ(f.fixups[0].symbol, "callee");
+}
+
+TEST(Builder, CannotReuseAfterBuild) {
+  FunctionBuilder fb("f");
+  fb.ret_leaf();
+  (void)fb.build();
+  EXPECT_THROW(fb.nop(), BuildError);
+  EXPECT_THROW(fb.build(), BuildError);
+}
+
+TEST(Builder, NonBranchOpcodeRejectedInBranch) {
+  FunctionBuilder fb("f");
+  EXPECT_THROW(fb.branch(Opcode::kAdd, "x"), BuildError);
+}
+
+} // namespace

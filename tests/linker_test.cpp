@@ -1,0 +1,195 @@
+// Unit tests for the linker: layout, fixup resolution, explicit placement.
+#include "isa/builder.hpp"
+#include "isa/linker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace proxima::isa;
+using proxima::mem::GuestMemory;
+
+Program two_function_program() {
+  Program program;
+  {
+    FunctionBuilder fb("main");
+    fb.prologue(96);
+    fb.call("helper");
+    fb.epilogue();
+    program.functions.push_back(fb.build());
+  }
+  {
+    FunctionBuilder fb("helper");
+    fb.li(kO0, 7);
+    fb.ret_leaf();
+    program.functions.push_back(fb.build());
+  }
+  program.entry = "main";
+  return program;
+}
+
+TEST(Linker, SequentialLayoutAndSymbols) {
+  const Program program = two_function_program();
+  const LinkedImage image = link(program);
+  const Symbol& main_sym = image.symbol("main");
+  const Symbol& helper_sym = image.symbol("helper");
+  EXPECT_EQ(main_sym.addr, 0x40000000u);
+  EXPECT_EQ(main_sym.size, 4u * 4u); // save, call, restore, jmpl
+  EXPECT_EQ(helper_sym.addr, main_sym.addr + main_sym.size);
+  EXPECT_EQ(image.entry_addr(), main_sym.addr);
+  EXPECT_TRUE(main_sym.is_code);
+}
+
+TEST(Linker, CallDisplacementResolved) {
+  const Program program = two_function_program();
+  const LinkedImage image = link(program);
+  GuestMemory memory;
+  image.load_into(memory);
+  // call is the 2nd instruction of main (index 1).
+  const std::uint32_t call_addr = image.symbol("main").addr + 4;
+  const Instruction call = decode(memory.read_u32(call_addr));
+  EXPECT_EQ(call.op, Opcode::kCall);
+  const std::uint32_t target =
+      call_addr + 4 * static_cast<std::uint32_t>(call.imm);
+  EXPECT_EQ(target, image.symbol("helper").addr);
+}
+
+TEST(Linker, BranchDisplacementResolved) {
+  Program program;
+  FunctionBuilder fb("main");
+  fb.li(kO0, 3);          // index 0
+  fb.label("top");        // -> index 1
+  fb.subcci(kO0, 1);      // index 1
+  fb.bne("top");          // index 2: disp = 1 - 2 = -1
+  fb.halt();
+  program.functions.push_back(fb.build());
+  const LinkedImage image = link(program);
+  GuestMemory memory;
+  image.load_into(memory);
+  const Instruction bne =
+      decode(memory.read_u32(image.symbol("main").addr + 8));
+  EXPECT_EQ(bne.op, Opcode::kBne);
+  EXPECT_EQ(bne.imm, -1);
+}
+
+TEST(Linker, HiLoFixupsResolveDataAddress) {
+  Program program;
+  program.data.push_back(DataObject{.name = "buf", .size = 64, .align = 8});
+  FunctionBuilder fb("main");
+  fb.load_address(kO0, "buf", 12);
+  fb.halt();
+  program.functions.push_back(fb.build());
+  const LinkedImage image = link(program);
+  GuestMemory memory;
+  image.load_into(memory);
+
+  const std::uint32_t base = image.symbol("main").addr;
+  const Instruction sethi = decode(memory.read_u32(base));
+  const Instruction orlo = decode(memory.read_u32(base + 4));
+  const std::uint32_t reconstructed =
+      (static_cast<std::uint32_t>(sethi.imm) << 13) |
+      static_cast<std::uint32_t>(orlo.imm);
+  EXPECT_EQ(reconstructed, image.symbol("buf").addr + 12);
+}
+
+TEST(Linker, DataAlignmentHonoured) {
+  Program program;
+  program.data.push_back(DataObject{.name = "a", .size = 3, .align = 1});
+  program.data.push_back(DataObject{.name = "b", .size = 8, .align = 64});
+  FunctionBuilder fb("main");
+  fb.halt();
+  program.functions.push_back(fb.build());
+  const LinkedImage image = link(program);
+  EXPECT_EQ(image.symbol("b").addr % 64, 0u);
+  EXPECT_GE(image.symbol("b").addr, image.symbol("a").addr + 3);
+}
+
+TEST(Linker, DataInitialContentsLoaded) {
+  Program program;
+  program.data.push_back(
+      DataObject{.name = "tbl", .size = 8, .align = 4, .init = {1, 2, 3}});
+  FunctionBuilder fb("main");
+  fb.halt();
+  program.functions.push_back(fb.build());
+  const LinkedImage image = link(program);
+  GuestMemory memory;
+  image.load_into(memory);
+  const std::uint32_t addr = image.symbol("tbl").addr;
+  EXPECT_EQ(memory.read_u8(addr), 1u);
+  EXPECT_EQ(memory.read_u8(addr + 2), 3u);
+  EXPECT_EQ(memory.read_u8(addr + 3), 0u); // zero-filled tail
+}
+
+TEST(Linker, ExplicitPlacementWins) {
+  Program program = two_function_program();
+  LinkOptions options;
+  options.placement["helper"] = 0x40008000;
+  const LinkedImage image = link(program, options);
+  EXPECT_EQ(image.symbol("helper").addr, 0x40008000u);
+  // Sequential functions skip the reserved range automatically.
+  EXPECT_NE(image.symbol("main").addr, 0x40008000u);
+}
+
+TEST(Linker, FunctionOrderOverride) {
+  Program program = two_function_program();
+  LinkOptions options;
+  options.function_order = {"helper", "main"};
+  const LinkedImage image = link(program, options);
+  EXPECT_LT(image.symbol("helper").addr, image.symbol("main").addr);
+  // Function ids stay in *program* order regardless of layout order.
+  EXPECT_EQ(image.function("main").id, 0u);
+  EXPECT_EQ(image.function("helper").id, 1u);
+}
+
+TEST(Linker, UndefinedCallTargetFails) {
+  Program program;
+  FunctionBuilder fb("main");
+  fb.call("ghost");
+  fb.halt();
+  program.functions.push_back(fb.build());
+  EXPECT_THROW(link(program), LinkError);
+}
+
+TEST(Linker, UndefinedEntryFails) {
+  Program program;
+  FunctionBuilder fb("not_main");
+  fb.halt();
+  program.functions.push_back(fb.build());
+  program.entry = "main";
+  EXPECT_THROW(link(program), LinkError);
+}
+
+TEST(Linker, OverlappingPlacementFails) {
+  Program program = two_function_program();
+  LinkOptions options;
+  options.placement["main"] = 0x40001000;
+  options.placement["helper"] = 0x40001004; // overlaps main (16 bytes)
+  EXPECT_THROW(link(program, options), LinkError);
+}
+
+TEST(Linker, UnknownPlacementSymbolFails) {
+  Program program = two_function_program();
+  LinkOptions options;
+  options.placement["ghost"] = 0x40001000;
+  EXPECT_THROW(link(program, options), LinkError);
+}
+
+TEST(Linker, FunctionRecordsCarryDsrMetadata) {
+  const Program program = two_function_program();
+  const LinkedImage image = link(program);
+  ASSERT_EQ(image.functions().size(), 2u);
+  const FunctionRecord& main_rec = image.function("main");
+  EXPECT_TRUE(main_rec.has_prologue);
+  EXPECT_EQ(main_rec.frame_bytes, 96u);
+  const FunctionRecord& helper_rec = image.function("helper");
+  EXPECT_FALSE(helper_rec.has_prologue);
+  EXPECT_EQ(helper_rec.size_bytes, 8u);
+}
+
+TEST(Linker, CodeBytesSumsFunctions) {
+  const Program program = two_function_program();
+  const LinkedImage image = link(program);
+  EXPECT_EQ(image.code_bytes(), 16u + 8u);
+}
+
+} // namespace

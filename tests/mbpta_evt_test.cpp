@@ -1,0 +1,256 @@
+// Tests for the EVT fits and the pWCET model: parameter recovery on
+// synthetic data with known ground truth, and the structural properties a
+// pWCET curve must have (Figure 3 semantics).
+#include "mbpta/mbpta.hpp"
+#include "rng/distributions.hpp"
+#include "rng/mwc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace {
+
+using namespace proxima::mbpta;
+using proxima::rng::Mwc;
+
+std::vector<double> gumbel_samples(std::uint64_t seed, int n, double mu,
+                                   double beta) {
+  Mwc rng(seed);
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    xs.push_back(proxima::rng::sample_gumbel(rng, mu, beta));
+  }
+  return xs;
+}
+
+TEST(GumbelFit, RecoversParameters) {
+  const auto xs = gumbel_samples(1, 20000, 100.0, 7.0);
+  const GumbelFit fit = fit_gumbel_lmoments(xs);
+  EXPECT_NEAR(fit.location, 100.0, 0.5);
+  EXPECT_NEAR(fit.scale, 7.0, 0.3);
+}
+
+TEST(GumbelFit, QuantileInvertsCdf) {
+  const GumbelFit fit{10.0, 2.0};
+  // F(x) = exp(-exp(-(x-mu)/beta)); check round trip at several levels.
+  for (double f : {0.5, 0.9, 0.99, 0.999999}) {
+    const double x = fit.quantile(f);
+    const double cdf = std::exp(-std::exp(-(x - 10.0) / 2.0));
+    EXPECT_NEAR(cdf, f, 1e-9);
+  }
+  EXPECT_THROW(fit.quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(fit.quantile(1.0), std::invalid_argument);
+}
+
+TEST(GevFit, ShapeNearZeroOnGumbelData) {
+  const auto xs = gumbel_samples(2, 20000, 50.0, 3.0);
+  const GevFit fit = fit_gev_lmoments(xs);
+  EXPECT_NEAR(fit.shape, 0.0, 0.05);
+  EXPECT_NEAR(fit.location, 50.0, 0.5);
+  EXPECT_NEAR(fit.scale, 3.0, 0.2);
+}
+
+TEST(GevFit, DetectsHeavyTail) {
+  // GEV with xi = 0.3 sampled by inverse CDF.
+  Mwc rng(3);
+  std::vector<double> xs;
+  const double xi = 0.3;
+  for (int i = 0; i < 20000; ++i) {
+    double u = rng.next_double();
+    while (u <= 0.0) {
+      u = rng.next_double();
+    }
+    xs.push_back(10.0 + 2.0 * (std::pow(-std::log(u), -xi) - 1.0) / xi);
+  }
+  const GevFit fit = fit_gev_lmoments(xs);
+  EXPECT_NEAR(fit.shape, 0.3, 0.05);
+}
+
+TEST(GevFit, DegenerateDataCollapsesToPointMass) {
+  const std::vector<double> xs(100, 42.0);
+  const GevFit fit = fit_gev_lmoments(xs);
+  EXPECT_EQ(fit.scale, 0.0);
+  EXPECT_EQ(fit.location, 42.0);
+}
+
+TEST(GpdFit, ExponentialTailHasZeroShape) {
+  Mwc rng(4);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) {
+    xs.push_back(proxima::rng::sample_exponential(rng, 0.5)); // mean 2
+  }
+  const GpdFit fit = fit_gpd_lmoments(xs);
+  EXPECT_NEAR(fit.shape, 0.0, 0.05);
+  EXPECT_NEAR(fit.scale, 2.0, 0.1);
+}
+
+TEST(GpdFit, RecoversPositiveShape) {
+  Mwc rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) {
+    xs.push_back(proxima::rng::sample_gpd(rng, 1.0, 0.25));
+  }
+  const GpdFit fit = fit_gpd_lmoments(xs);
+  EXPECT_NEAR(fit.shape, 0.25, 0.05);
+  EXPECT_NEAR(fit.scale, 1.0, 0.1);
+}
+
+TEST(CvTest, ExponentialTailPasses) {
+  Mwc rng(6);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) {
+    xs.push_back(proxima::rng::sample_exponential(rng, 1.0));
+  }
+  const CvTestResult result = cv_exponentiality(xs, 0.8);
+  EXPECT_TRUE(result.passes()) << "cv=" << result.cv;
+  EXPECT_GT(result.exceedances, 500u);
+}
+
+TEST(CvTest, UniformTailFails) {
+  // A bounded (uniform) tail has CV well below 1.
+  Mwc rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) {
+    xs.push_back(proxima::rng::sample_uniform(rng, 0.0, 1.0));
+  }
+  const CvTestResult result = cv_exponentiality(xs, 0.5);
+  EXPECT_LT(result.cv, result.lower);
+  EXPECT_FALSE(result.passes());
+}
+
+// ---------------------------------------------------------------------------
+// pWCET model semantics.
+// ---------------------------------------------------------------------------
+
+TEST(PwcetModel, CurveIsMonotone) {
+  const auto xs = gumbel_samples(8, 5000, 1000.0, 20.0);
+  const PwcetModel model = PwcetModel::fit_block_maxima(xs, 50);
+  const auto curve = model.curve(16);
+  ASSERT_EQ(curve.size(), 16u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GT(curve[i].first, curve[i - 1].first)
+        << "pWCET must grow as exceedance probability shrinks";
+    EXPECT_LT(curve[i].second, curve[i - 1].second);
+  }
+}
+
+TEST(PwcetModel, UpperBoundsObservedTimes) {
+  // Scale/location ratio 0.1%, matching the cache-jitter regime the paper
+  // reports (its pWCET at 1e-15 sits only 0.2% above the MOET).
+  const auto xs = gumbel_samples(9, 2000, 50000.0, 50.0);
+  const PwcetModel model = PwcetModel::fit_block_maxima(xs, 50);
+  const Summary s = summarise(xs);
+  // At an exceedance of 1e-15 the bound must clear every observation...
+  EXPECT_GT(model.pwcet(1e-15), s.max);
+  // ...without the industrial-margin level of pessimism: a light Gumbel
+  // tail extrapolates ~31 scale units (~3%) past the MOET, far below +20%.
+  EXPECT_LT(model.pwcet(1e-15), s.max * 1.06);
+}
+
+TEST(PwcetModel, BlockSizeAdjustsPerRunProbability) {
+  const auto xs = gumbel_samples(10, 5000, 1000.0, 20.0);
+  const PwcetModel model = PwcetModel::fit_block_maxima(xs, 50);
+  // Per-run exceedance p maps to per-block exceedance 50p; the pWCET at
+  // per-run 1e-12 therefore equals the block-level quantile at 5e-11.
+  const double direct = model.info().gumbel.quantile(1.0 - 50.0 * 1e-12);
+  EXPECT_NEAR(model.pwcet(1e-12), direct, 1e-9);
+}
+
+TEST(PwcetModel, PotAgreesWithBlockMaximaOrder) {
+  // Both estimators fit the same light-tailed data; their 1e-12 estimates
+  // should be within a few percent of each other.
+  const auto xs = gumbel_samples(11, 20000, 1000.0, 20.0);
+  const PwcetModel bm = PwcetModel::fit_block_maxima(xs, 50);
+  const PwcetModel pot = PwcetModel::fit_pot(xs, 0.95);
+  const double a = bm.pwcet(1e-12);
+  const double b = pot.pwcet(1e-12);
+  EXPECT_NEAR(a / b, 1.0, 0.08) << "bm=" << a << " pot=" << b;
+}
+
+TEST(PwcetModel, PotReturnsThresholdInsideEmpiricalRange) {
+  const auto xs = gumbel_samples(12, 2000, 100.0, 5.0);
+  const PwcetModel pot = PwcetModel::fit_pot(xs, 0.9);
+  // Exceedance of 0.2 > exceed-rate 0.1: no extrapolation needed.
+  EXPECT_EQ(pot.pwcet(0.2), pot.info().threshold);
+}
+
+TEST(PwcetModel, RejectsBadInputs) {
+  const auto xs = gumbel_samples(13, 100, 10.0, 1.0);
+  EXPECT_THROW(PwcetModel::fit_block_maxima(xs, 0), std::invalid_argument);
+  EXPECT_THROW(PwcetModel::fit_block_maxima(xs, 50), std::invalid_argument)
+      << "only 2 blocks";
+  const PwcetModel model = PwcetModel::fit_block_maxima(xs, 10);
+  EXPECT_THROW(model.pwcet(0.0), std::invalid_argument);
+  EXPECT_THROW(model.pwcet(1.0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Full MBPTA protocol.
+// ---------------------------------------------------------------------------
+
+TEST(Mbpta, EndToEndOnSyntheticCampaign) {
+  const auto xs = gumbel_samples(14, 2000, 50000.0, 400.0);
+  const MbptaAnalysis analysis = analyse(xs);
+  EXPECT_TRUE(analysis.applicable());
+  EXPECT_GT(analysis.pwcet(1e-15), analysis.summary.max);
+  // Paper headline shape: pWCET(1e-15) close to MOET, far below MOET+20%.
+  EXPECT_LT(analysis.pwcet(1e-15), analysis.summary.max * 1.20);
+}
+
+TEST(Mbpta, NotApplicableOnCorrelatedData) {
+  Mwc rng(15);
+  std::vector<double> xs{0.0};
+  for (int i = 1; i < 2000; ++i) {
+    xs.push_back(0.9 * xs.back() +
+                 proxima::rng::sample_normal(rng, 0.0, 1.0) + 100.0 * 0.1);
+  }
+  const MbptaAnalysis analysis = analyse(xs);
+  EXPECT_FALSE(analysis.applicable());
+}
+
+TEST(Mbpta, PotMethodSelectable) {
+  const auto xs = gumbel_samples(16, 5000, 1000.0, 10.0);
+  MbptaConfig config;
+  config.method = TailMethod::kPotGpd;
+  const MbptaAnalysis analysis = analyse(xs, config);
+  EXPECT_EQ(analysis.model.info().method, TailMethod::kPotGpd);
+  EXPECT_GT(analysis.pwcet(1e-15), analysis.summary.max);
+}
+
+TEST(Convergence, StabilisesOnStationaryData) {
+  Mwc rng(17);
+  ConvergenceController::Config config;
+  config.target_exceedance = 1e-12;
+  config.epsilon = 0.02;
+  config.stable_rounds = 3;
+  config.min_samples = 300;
+  ConvergenceController controller(config);
+  bool converged = false;
+  int batches = 0;
+  while (!converged && batches < 100) {
+    std::vector<double> batch;
+    for (int i = 0; i < 100; ++i) {
+      batch.push_back(proxima::rng::sample_gumbel(rng, 50000.0, 300.0));
+    }
+    converged = controller.add_batch(batch);
+    ++batches;
+  }
+  EXPECT_TRUE(converged);
+  EXPECT_GE(controller.samples_used(), 300u);
+  const MbptaAnalysis final = controller.result();
+  EXPECT_TRUE(final.applicable());
+}
+
+TEST(Convergence, DoesNotConvergeBeforeMinSamples) {
+  ConvergenceController::Config config;
+  config.min_samples = 10000;
+  ConvergenceController controller(config);
+  std::vector<double> batch(100, 1.0);
+  EXPECT_FALSE(controller.add_batch(batch));
+  EXPECT_FALSE(controller.converged());
+}
+
+} // namespace

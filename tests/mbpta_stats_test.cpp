@@ -1,0 +1,275 @@
+// Tests for the statistical foundations: special functions, descriptive
+// statistics, and the i.i.d. tests (Ljung-Box, two-sample KS).
+#include "mbpta/descriptive.hpp"
+#include "mbpta/iid_tests.hpp"
+#include "mbpta/stats_math.hpp"
+#include "rng/distributions.hpp"
+#include "rng/mwc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace {
+
+using namespace proxima::mbpta;
+using proxima::rng::Mwc;
+
+// ---------------------------------------------------------------------------
+// Special functions against reference values.
+// ---------------------------------------------------------------------------
+
+TEST(StatsMath, LogGammaMatchesKnownValues) {
+  EXPECT_NEAR(log_gamma(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(log_gamma(2.0), 0.0, 1e-12);
+  EXPECT_NEAR(log_gamma(5.0), std::log(24.0), 1e-10);
+  EXPECT_NEAR(log_gamma(0.5), std::log(std::sqrt(M_PI)), 1e-10);
+  for (double x : {0.3, 1.7, 3.14, 10.0, 42.5}) {
+    EXPECT_NEAR(log_gamma(x), std::lgamma(x), 1e-9) << x;
+  }
+  EXPECT_THROW(log_gamma(0.0), std::domain_error);
+}
+
+TEST(StatsMath, ChiSquareCdfCriticalValues) {
+  // Textbook 95th percentiles: chi2(1)=3.841, chi2(5)=11.070, chi2(20)=31.410.
+  EXPECT_NEAR(chi_square_cdf(3.841, 1), 0.95, 1e-3);
+  EXPECT_NEAR(chi_square_cdf(11.070, 5), 0.95, 1e-3);
+  EXPECT_NEAR(chi_square_cdf(31.410, 20), 0.95, 1e-3);
+  // 99th percentile chi2(10) = 23.209.
+  EXPECT_NEAR(chi_square_cdf(23.209, 10), 0.99, 1e-3);
+  EXPECT_EQ(chi_square_cdf(0.0, 4), 0.0);
+  EXPECT_EQ(chi_square_cdf(-1.0, 4), 0.0);
+}
+
+TEST(StatsMath, RegularizedGammaComplementarity) {
+  // Continuity across the series/continued-fraction switch at x = a+1.
+  for (double a : {0.5, 2.0, 7.5}) {
+    const double below = regularized_gamma_p(a, a + 0.999);
+    const double above = regularized_gamma_p(a, a + 1.001);
+    EXPECT_NEAR(below, above, 2e-3) << a;
+    EXPECT_GT(above, below) << "CDF must increase";
+  }
+}
+
+TEST(StatsMath, KsSurvivalKnownValues) {
+  // Q(1.358) ~= 0.05 (the classic 5% critical value).
+  EXPECT_NEAR(ks_survival(1.358), 0.05, 2e-3);
+  // Q(1.628) ~= 0.01.
+  EXPECT_NEAR(ks_survival(1.628), 0.01, 1e-3);
+  EXPECT_EQ(ks_survival(0.0), 1.0);
+  EXPECT_LT(ks_survival(3.0), 1e-6);
+}
+
+TEST(StatsMath, NormalCdf) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.96), 0.975, 1e-4);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.025, 1e-4);
+}
+
+// ---------------------------------------------------------------------------
+// Descriptive statistics.
+// ---------------------------------------------------------------------------
+
+TEST(Descriptive, SummaryBasics) {
+  const std::vector<double> xs{3, 1, 4, 1, 5, 9, 2, 6};
+  const Summary s = summarise(xs);
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 9.0);
+  EXPECT_NEAR(s.mean, 31.0 / 8.0, 1e-12);
+  EXPECT_GT(s.stddev, 0.0);
+}
+
+TEST(Descriptive, SummaryEmptyAndSingle) {
+  EXPECT_EQ(summarise({}).count, 0u);
+  const std::vector<double> one{7.0};
+  const Summary s = summarise(one);
+  EXPECT_EQ(s.mean, 7.0);
+  EXPECT_EQ(s.variance, 0.0);
+}
+
+TEST(Descriptive, QuantileInterpolation) {
+  const std::vector<double> xs{10, 20, 30, 40, 50};
+  EXPECT_NEAR(quantile(xs, 0.0), 10.0, 1e-12);
+  EXPECT_NEAR(quantile(xs, 1.0), 50.0, 1e-12);
+  EXPECT_NEAR(quantile(xs, 0.5), 30.0, 1e-12);
+  EXPECT_NEAR(quantile(xs, 0.25), 20.0, 1e-12);
+  EXPECT_NEAR(quantile(xs, 0.1), 14.0, 1e-12); // interpolated
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(quantile(xs, 1.5), std::invalid_argument);
+}
+
+TEST(Descriptive, AutocorrelationOfAlternatingSeries) {
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) {
+    xs.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  }
+  EXPECT_NEAR(autocorrelation(xs, 1), -1.0, 0.05);
+  EXPECT_NEAR(autocorrelation(xs, 2), 1.0, 0.05);
+  EXPECT_EQ(autocorrelation(xs, 200), 0.0); // lag beyond series
+}
+
+TEST(Descriptive, AutocorrelationOfConstantSeriesIsZero) {
+  const std::vector<double> xs(50, 42.0);
+  EXPECT_EQ(autocorrelation(xs, 1), 0.0);
+}
+
+TEST(Descriptive, BlockMaxima) {
+  const std::vector<double> xs{1, 5, 2, 8, 3, 4, 9, 1, 7};
+  const std::vector<double> maxima = block_maxima(xs, 3);
+  ASSERT_EQ(maxima.size(), 3u);
+  EXPECT_EQ(maxima[0], 5.0);
+  EXPECT_EQ(maxima[1], 8.0);
+  EXPECT_EQ(maxima[2], 9.0);
+  // Partial trailing block dropped.
+  EXPECT_EQ(block_maxima(xs, 4).size(), 2u);
+  EXPECT_THROW(block_maxima(xs, 0), std::invalid_argument);
+}
+
+TEST(Descriptive, Exceedances) {
+  const std::vector<double> xs{1, 5, 3, 7, 2};
+  const std::vector<double> tail = exceedances_over(xs, 3.0);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0], 2.0); // 5 - 3
+  EXPECT_EQ(tail[1], 4.0); // 7 - 3
+}
+
+// ---------------------------------------------------------------------------
+// Ljung-Box: the paper's independence test.
+// ---------------------------------------------------------------------------
+
+TEST(LjungBox, PassesOnIidSamples) {
+  Mwc rng(1);
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) {
+    xs.push_back(proxima::rng::sample_normal(rng, 0.0, 1.0));
+  }
+  const LjungBoxResult result = ljung_box(xs, 20);
+  EXPECT_GT(result.p_value, 0.05);
+  EXPECT_TRUE(result.passes());
+}
+
+TEST(LjungBox, RejectsAr1Series) {
+  // Strongly autocorrelated AR(1): x_t = 0.8 x_{t-1} + e_t.
+  Mwc rng(2);
+  std::vector<double> xs{0.0};
+  for (int i = 1; i < 1000; ++i) {
+    xs.push_back(0.8 * xs.back() +
+                 proxima::rng::sample_normal(rng, 0.0, 1.0));
+  }
+  const LjungBoxResult result = ljung_box(xs, 20);
+  EXPECT_LT(result.p_value, 1e-9);
+  EXPECT_FALSE(result.passes());
+}
+
+TEST(LjungBox, RejectsDeterministicRamp) {
+  // A monotone ramp is the classic non-i.i.d. failure of a non-randomised
+  // platform warming its caches run over run.
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) {
+    xs.push_back(1000.0 - i);
+  }
+  EXPECT_FALSE(ljung_box(xs, 20).passes());
+}
+
+TEST(LjungBox, ConstantSeriesTriviallyPasses) {
+  const std::vector<double> xs(200, 5.0);
+  const LjungBoxResult result = ljung_box(xs, 10);
+  EXPECT_EQ(result.statistic, 0.0);
+  EXPECT_EQ(result.p_value, 1.0);
+}
+
+TEST(LjungBox, RejectsBadArguments) {
+  const std::vector<double> xs(30, 1.0);
+  EXPECT_THROW(ljung_box(xs, 0), std::invalid_argument);
+  EXPECT_THROW(ljung_box(xs, 30), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Two-sample KS: the paper's identical-distribution test.
+// ---------------------------------------------------------------------------
+
+TEST(KsTwoSample, PassesOnSameDistribution) {
+  Mwc rng(3);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 500; ++i) {
+    a.push_back(proxima::rng::sample_gumbel(rng, 100.0, 5.0));
+    b.push_back(proxima::rng::sample_gumbel(rng, 100.0, 5.0));
+  }
+  const KsResult result = ks_two_sample(a, b);
+  EXPECT_GT(result.p_value, 0.05);
+}
+
+TEST(KsTwoSample, RejectsShiftedDistribution) {
+  Mwc rng(4);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 500; ++i) {
+    a.push_back(proxima::rng::sample_normal(rng, 0.0, 1.0));
+    b.push_back(proxima::rng::sample_normal(rng, 1.0, 1.0)); // shifted
+  }
+  const KsResult result = ks_two_sample(a, b);
+  EXPECT_LT(result.p_value, 1e-6);
+  EXPECT_GT(result.statistic, 0.3);
+}
+
+TEST(KsTwoSample, IdenticalSamplesGiveZeroStatistic) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const KsResult result = ks_two_sample(xs, xs);
+  EXPECT_EQ(result.statistic, 0.0);
+  EXPECT_NEAR(result.p_value, 1.0, 1e-9);
+}
+
+TEST(KsTwoSample, DisjointSamplesGiveFullStatistic) {
+  const std::vector<double> a{1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<double> b{11, 12, 13, 14, 15, 16, 17, 18};
+  const KsResult result = ks_two_sample(a, b);
+  EXPECT_EQ(result.statistic, 1.0);
+  EXPECT_LT(result.p_value, 0.01);
+}
+
+TEST(KsTwoSample, EmptySampleRejected) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW(ks_two_sample(xs, {}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Combined i.i.d. verdict (the paper's acceptance protocol).
+// ---------------------------------------------------------------------------
+
+TEST(CheckIid, AcceptsRandomisedLikeData) {
+  Mwc rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) {
+    xs.push_back(proxima::rng::sample_gumbel(rng, 50000.0, 300.0));
+  }
+  const IidVerdict verdict = check_iid(xs);
+  EXPECT_TRUE(verdict.passes());
+  EXPECT_GE(verdict.independence.p_value, 0.05);
+  EXPECT_GE(verdict.identical_distribution.p_value, 0.05);
+}
+
+TEST(CheckIid, RejectsDriftingCampaign) {
+  // First half and second half differ (e.g. thermal drift / cache warmup):
+  // the split-half KS must catch it.
+  Mwc rng(6);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) {
+    xs.push_back(proxima::rng::sample_normal(rng, 100.0, 2.0));
+  }
+  for (int i = 0; i < 500; ++i) {
+    xs.push_back(proxima::rng::sample_normal(rng, 104.0, 2.0));
+  }
+  const IidVerdict verdict = check_iid(xs);
+  EXPECT_FALSE(verdict.passes());
+  EXPECT_FALSE(verdict.identical_distribution.passes());
+}
+
+TEST(CheckIid, TooFewSamplesRejected) {
+  const std::vector<double> xs(10, 1.0);
+  EXPECT_THROW(check_iid(xs), std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,221 @@
+// Tests for the RVS/GRMON-style measurement pipeline (Section V).
+#include "rng/distributions.hpp"
+#include "rng/mwc.hpp"
+#include "trace/report.hpp"
+#include "trace/trace.hpp"
+#include "vm_harness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace {
+
+using namespace proxima::isa;
+using proxima::test::TestMachine;
+using proxima::trace::extract_execution_times;
+using proxima::trace::instrument_function;
+using proxima::trace::TimingReport;
+using proxima::trace::TraceBuffer;
+using proxima::trace::TraceError;
+using proxima::trace::TraceRecord;
+
+TEST(TraceBuffer, BinaryRoundTrip) {
+  TraceBuffer buffer;
+  buffer.append(1, 100);
+  buffer.append(2, 250);
+  buffer.append(1, 90000000000ULL); // > 32 bits of cycles
+  buffer.append(2, 90000000123ULL);
+  const std::vector<std::uint8_t> bytes = buffer.serialise();
+  EXPECT_EQ(bytes.size(), 4u * 12u);
+  const TraceBuffer back = TraceBuffer::deserialise(bytes);
+  ASSERT_EQ(back.size(), 4u);
+  EXPECT_EQ(back.records()[2], (TraceRecord{1, 90000000000ULL}));
+  EXPECT_EQ(back.records()[3], (TraceRecord{2, 90000000123ULL}));
+}
+
+TEST(TraceBuffer, CorruptDumpRejected) {
+  const std::vector<std::uint8_t> bytes(13, 0);
+  EXPECT_THROW(TraceBuffer::deserialise(bytes), TraceError);
+}
+
+TEST(ExtractTimes, PairsEntriesAndExits) {
+  TraceBuffer buffer;
+  buffer.append(1, 100);
+  buffer.append(2, 350);
+  buffer.append(1, 1000);
+  buffer.append(2, 1400);
+  const std::vector<double> times = extract_execution_times(buffer, 1, 2);
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0], 250.0);
+  EXPECT_EQ(times[1], 400.0);
+}
+
+TEST(ExtractTimes, IgnoresForeignIpoints) {
+  TraceBuffer buffer;
+  buffer.append(1, 100);
+  buffer.append(7, 150); // another UoA's ipoint
+  buffer.append(2, 300);
+  const std::vector<double> times = extract_execution_times(buffer, 1, 2);
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_EQ(times[0], 200.0);
+}
+
+TEST(ExtractTimes, MalformedTracesRejected) {
+  {
+    TraceBuffer nested;
+    nested.append(1, 1);
+    nested.append(1, 2);
+    EXPECT_THROW(extract_execution_times(nested, 1, 2), TraceError);
+  }
+  {
+    TraceBuffer orphan_exit;
+    orphan_exit.append(2, 5);
+    EXPECT_THROW(extract_execution_times(orphan_exit, 1, 2), TraceError);
+  }
+  {
+    TraceBuffer unclosed;
+    unclosed.append(1, 5);
+    EXPECT_THROW(extract_execution_times(unclosed, 1, 2), TraceError);
+  }
+}
+
+TEST(Instrumenter, WrapsFunctionWithIpoints) {
+  Program program;
+  {
+    FunctionBuilder fb("uoa");
+    fb.prologue(96);
+    fb.li(kO0, 3);
+    fb.epilogue();
+    program.functions.push_back(fb.build());
+  }
+  {
+    FunctionBuilder fb("main");
+    fb.call("uoa");
+    fb.halt();
+    program.functions.push_back(fb.build());
+  }
+  program.entry = "main";
+  const std::uint32_t exits = instrument_function(program, "uoa");
+  EXPECT_EQ(exits, 1u);
+
+  const Function& uoa = *program.find_function("uoa");
+  EXPECT_EQ(uoa.code.front().op, Opcode::kIpoint);
+  EXPECT_EQ(uoa.code.front().imm, 1);
+  // Exit ipoint sits right before the restore.
+  bool found_exit_before_restore = false;
+  for (std::size_t i = 0; i + 1 < uoa.code.size(); ++i) {
+    if (uoa.code[i].op == Opcode::kIpoint && uoa.code[i].imm == 2 &&
+        uoa.code[i + 1].op == Opcode::kRestore) {
+      found_exit_before_restore = true;
+    }
+  }
+  EXPECT_TRUE(found_exit_before_restore);
+
+  // The instrumented program runs and produces a well-formed trace.
+  TestMachine machine(program);
+  TraceBuffer buffer;
+  buffer.attach(machine.cpu);
+  machine.run();
+  const std::vector<double> times = extract_execution_times(buffer);
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_GT(times[0], 0.0);
+}
+
+TEST(Instrumenter, LeafFunctionAndRepeatedCalls) {
+  Program program;
+  {
+    FunctionBuilder fb("leaf_uoa");
+    fb.add(kO0, kO0, kO0);
+    fb.ret_leaf();
+    program.functions.push_back(fb.build());
+  }
+  {
+    FunctionBuilder fb("main");
+    fb.li(kO0, 1);
+    fb.call("leaf_uoa");
+    fb.call("leaf_uoa");
+    fb.call("leaf_uoa");
+    fb.halt();
+    program.functions.push_back(fb.build());
+  }
+  program.entry = "main";
+  instrument_function(program, "leaf_uoa");
+  TestMachine machine(program);
+  TraceBuffer buffer;
+  buffer.attach(machine.cpu);
+  machine.run();
+  const std::vector<double> times = extract_execution_times(buffer);
+  EXPECT_EQ(times.size(), 3u);
+}
+
+TEST(Instrumenter, UnknownFunctionRejected) {
+  Program program;
+  FunctionBuilder fb("main");
+  fb.halt();
+  program.functions.push_back(fb.build());
+  EXPECT_THROW(instrument_function(program, "ghost"), TraceError);
+}
+
+TEST(Instrumenter, BranchesSurviveInsertion) {
+  // A loop inside the UoA must still terminate after ipoint insertion.
+  Program program;
+  FunctionBuilder fb("main");
+  fb.li(kO0, 5);
+  fb.li(kO1, 0);
+  fb.label("top");
+  fb.addi(kO1, kO1, 1);
+  fb.subcci(kO0, 1);
+  fb.subi(kO0, kO0, 1);
+  fb.bg("top");
+  fb.halt();
+  program.functions.push_back(fb.build());
+  program.entry = "main";
+  instrument_function(program, "main"); // halt acts as the exit
+  TestMachine machine(program);
+  TraceBuffer buffer;
+  buffer.attach(machine.cpu);
+  machine.run();
+  EXPECT_EQ(machine.cpu.reg(kO1), 5u);
+  EXPECT_EQ(extract_execution_times(buffer).size(), 1u);
+}
+
+TEST(Report, SummaryAndMargin) {
+  const std::vector<double> times{100, 120, 110, 130, 90};
+  const TimingReport report = TimingReport::from_times(times);
+  EXPECT_EQ(report.moet(), 130.0);
+  EXPECT_NEAR(report.mbdta_bound(), 156.0, 1e-9); // MOET + 20%
+  EXPECT_NEAR(report.mbdta_bound(0.10), 143.0, 1e-9);
+  EXPECT_NE(report.to_string().find("max(MOET)=130"), std::string::npos);
+}
+
+TEST(Report, AsciiPlotRendersBothSeries) {
+  proxima::rng::Mwc rng(1);
+  std::vector<double> samples;
+  for (int i = 0; i < 1000; ++i) {
+    samples.push_back(proxima::rng::sample_gumbel(rng, 10000.0, 50.0));
+  }
+  const auto model = proxima::mbpta::PwcetModel::fit_block_maxima(samples, 50);
+  const std::string plot =
+      proxima::trace::ascii_exceedance_plot(model, samples);
+  EXPECT_NE(plot.find('+'), std::string::npos); // measured staircase
+  EXPECT_NE(plot.find('*'), std::string::npos); // fitted curve
+  EXPECT_NE(plot.find("1e-15"), std::string::npos);
+}
+
+TEST(Report, CsvOutputs) {
+  proxima::rng::Mwc rng(2);
+  std::vector<double> samples;
+  for (int i = 0; i < 600; ++i) {
+    samples.push_back(proxima::rng::sample_gumbel(rng, 1000.0, 10.0));
+  }
+  const auto model = proxima::mbpta::PwcetModel::fit_block_maxima(samples, 50);
+  const std::string curve = proxima::trace::pwcet_curve_csv(model, 5);
+  EXPECT_NE(curve.find("exceedance_probability,pwcet_cycles"),
+            std::string::npos);
+  EXPECT_EQ(std::count(curve.begin(), curve.end(), '\n'), 6); // header + 5
+  const std::string times = proxima::trace::times_csv(samples);
+  EXPECT_NE(times.find("run,cycles"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,41 @@
+// Shared test fixture: build a Program, link it, load it, run it on a
+// LEON3-configured machine.
+#pragma once
+
+#include "isa/builder.hpp"
+#include "isa/linker.hpp"
+#include "mem/guest_memory.hpp"
+#include "mem/hierarchy.hpp"
+#include "vm/vm.hpp"
+
+namespace proxima::test {
+
+inline constexpr std::uint32_t kStackTop = 0x4080'0000;
+
+struct TestMachine {
+  mem::GuestMemory memory;
+  mem::MemoryHierarchy hierarchy;
+  vm::Vm cpu;
+  isa::LinkedImage image;
+
+  explicit TestMachine(const isa::Program& program,
+                       const isa::LinkOptions& options = {},
+                       vm::VmConfig vm_config = {})
+      : hierarchy(mem::leon3_hierarchy_config()),
+        cpu(memory, hierarchy, vm_config),
+        image(isa::link(program, options)) {
+    image.load_into(memory);
+    cpu.reset(image.entry_addr(), kStackTop);
+  }
+
+  vm::RunResult run() { return cpu.run(); }
+
+  std::uint32_t word_at(const std::string& symbol, std::uint32_t offset = 0) {
+    return memory.read_u32(image.symbol(symbol).addr + offset);
+  }
+  double f64_at(const std::string& symbol, std::uint32_t offset = 0) {
+    return memory.read_f64(image.symbol(symbol).addr + offset);
+  }
+};
+
+} // namespace proxima::test
