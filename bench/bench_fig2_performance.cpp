@@ -21,10 +21,10 @@ int main() {
   print_header("Figure 2 — control task execution times (" +
                std::to_string(runs) + " runs each)");
 
-  const CampaignResult cots =
-      run_control_campaign(operation_config(Randomisation::kNone, runs));
-  const CampaignResult dsr =
-      run_control_campaign(operation_config(Randomisation::kDsr, runs));
+  // Registry scenarios executed on the parallel campaign engine
+  // (bit-identical to the sequential protocol at any worker count).
+  const CampaignResult cots = run_scenario("control/operation-cots", runs);
+  const CampaignResult dsr = run_scenario("control/operation-dsr", runs);
 
   const mbpta::Summary cots_summary = mbpta::summarise(cots.times);
   const mbpta::Summary dsr_summary = mbpta::summarise(dsr.times);

@@ -19,14 +19,14 @@ int main() {
                std::to_string(runs) + " runs)");
 
   // Current practice: stress scenario on the COTS platform, MOET + 20%.
-  const CampaignResult cots = run_control_campaign(
-      analysis_config(Randomisation::kNone, std::max(50u, runs / 10)));
+  // Both campaigns are registry scenarios on the parallel engine.
+  const CampaignResult cots =
+      run_scenario("control/analysis-cots", std::max(50u, runs / 10));
   const trace::TimingReport cots_report =
       trace::TimingReport::from_times(cots.times);
 
   // MBPTA: DSR measurement campaign, EVT fit, pWCET at 1e-15.
-  const CampaignResult dsr =
-      run_control_campaign(analysis_config(Randomisation::kDsr, runs));
+  const CampaignResult dsr = run_scenario("control/analysis-dsr", runs);
   const mbpta::MbptaAnalysis analysis =
       mbpta::analyse(dsr.times, analysis_mbpta(runs));
   const double pwcet = analysis.pwcet(1e-15);

@@ -1,0 +1,93 @@
+// E7 — Parallel campaign engine throughput.
+//
+// Measures campaign throughput (measured runs per second) for the
+// sequential driver and for `exec::CampaignEngine` at 1/2/4/8 workers on
+// the control-task scenario, prints the speedup, and cross-checks that the
+// engine's output stays bit-identical to the sequential baseline (the
+// engine's defining property — see campaign_runner.hpp).
+//
+//   $ PROXIMA_RUNS=400 ./bench_parallel_campaign
+#include "bench_util.hpp"
+#include "exec/engine.hpp"
+#include "exec/registry.hpp"
+
+#include <chrono>
+#include <thread>
+
+using namespace proxima;
+using namespace proxima::bench;
+using namespace proxima::casestudy;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+} // namespace
+
+int main() {
+  const std::uint32_t runs = campaign_runs(160);
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  print_header("Parallel campaign engine throughput (" +
+               std::to_string(runs) + " runs, " + std::to_string(cores) +
+               " hardware threads)");
+
+  const exec::Scenario& scenario =
+      exec::ScenarioRegistry::global().at("control/operation-dsr");
+  const CampaignConfig config = scenario.make_config(runs);
+
+  // Sequential baseline (also the correctness reference).
+  const auto sequential_start = std::chrono::steady_clock::now();
+  const CampaignResult baseline = run_control_campaign(config);
+  const double sequential_seconds = seconds_since(sequential_start);
+  const double sequential_rate = runs / sequential_seconds;
+  std::printf("%-22s %10.2f s %12.1f runs/s %10s\n", "sequential",
+              sequential_seconds, sequential_rate, "1.00x");
+
+  bool identical = true;
+  double best_speedup = 0.0;
+  std::printf("\ncsv,workers,seconds,runs_per_sec,speedup,identical\n");
+  std::printf("csv,0,%.3f,%.1f,1.00,yes\n", sequential_seconds,
+              sequential_rate);
+  for (unsigned workers : {1u, 2u, 4u, 8u}) {
+    exec::EngineOptions options;
+    options.workers = workers;
+    const exec::CampaignEngine engine(options);
+
+    const auto start = std::chrono::steady_clock::now();
+    const CampaignResult result = engine.run(config);
+    const double seconds = seconds_since(start);
+    const double rate = runs / seconds;
+    const double speedup = sequential_seconds / seconds;
+    best_speedup = std::max(best_speedup, speedup);
+
+    const bool same = result.times == baseline.times &&
+                      result.samples == baseline.samples &&
+                      result.verified_runs == baseline.verified_runs;
+    identical = identical && same;
+
+    std::printf("%-19s %2u %10.2f s %12.1f runs/s %9.2fx   identical: %s\n",
+                "engine, workers =", workers, seconds, rate, speedup,
+                same ? "yes" : "NO");
+    std::printf("csv,%u,%.3f,%.1f,%.2f,%s\n", workers, seconds, rate, speedup,
+                same ? "yes" : "no");
+  }
+
+  std::printf("\nbit-identical to the sequential campaign at every worker "
+              "count: %s\n",
+              identical ? "yes" : "NO");
+  if (cores >= 4) {
+    const bool fast_enough = best_speedup > 1.5;
+    std::printf("shape check: >1.5x throughput with 4+ workers: %s "
+                "(best %.2fx)\n",
+                fast_enough ? "yes" : "NO", best_speedup);
+    return identical && fast_enough ? 0 : 1;
+  }
+  std::printf("shape check: speedup not assessed (%u hardware thread%s); "
+              "correctness only\n",
+              cores, cores == 1 ? "" : "s");
+  return identical ? 0 : 1;
+}

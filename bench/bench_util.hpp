@@ -1,16 +1,21 @@
 // Shared plumbing for the reproduction benches: campaign sizing via the
-// PROXIMA_RUNS environment variable, aligned table printing, and the
-// standard campaign configurations (operation-like for Figure 2 / Table I,
+// PROXIMA_RUNS environment variable, worker-count selection via
+// PROXIMA_WORKERS, aligned table printing, and the standard campaign
+// configurations — all drawn from the scenario registry so every bench
+// enumerates the same catalogue (operation-like for Figure 2 / Table I,
 // analysis-like for Figure 3 / the margin comparison).
 #pragma once
 
 #include "casestudy/campaign.hpp"
+#include "exec/engine.hpp"
+#include "exec/registry.hpp"
 #include "mbpta/mbpta.hpp"
 
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <string_view>
 
 namespace proxima::bench {
 
@@ -25,26 +30,62 @@ inline std::uint32_t campaign_runs(std::uint32_t fallback) {
   return fallback;
 }
 
+/// Engine worker count: PROXIMA_WORKERS env var, or the hardware
+/// concurrency (engine default).
+inline unsigned campaign_workers() {
+  if (const char* env = std::getenv("PROXIMA_WORKERS")) {
+    const long value = std::strtol(env, nullptr, 10);
+    if (value > 0) {
+      return static_cast<unsigned>(value);
+    }
+  }
+  return 0; // engine resolves to hardware concurrency
+}
+
+/// Execute a campaign through the parallel engine.  Bit-identical to
+/// `run_control_campaign` at any worker count.
+inline casestudy::CampaignResult
+run_campaign(const casestudy::CampaignConfig& config) {
+  exec::EngineOptions options;
+  options.workers = campaign_workers();
+  return exec::CampaignEngine(options).run(config);
+}
+
+/// Execute a registry scenario through the parallel engine.
+inline casestudy::CampaignResult run_scenario(std::string_view name,
+                                              std::uint32_t runs) {
+  return run_campaign(
+      exec::ScenarioRegistry::global().at(name).make_config(runs));
+}
+
+/// Registry key for a randomisation technology.
+inline const char* randomisation_key(casestudy::Randomisation randomisation) {
+  switch (randomisation) {
+  case casestudy::Randomisation::kNone: return "cots";
+  case casestudy::Randomisation::kDsr: return "dsr";
+  case casestudy::Randomisation::kStatic: return "static";
+  case casestudy::Randomisation::kHardware: return "hwrand";
+  }
+  return "cots";
+}
+
 /// Operation-like campaign: random inputs every activation (Figure 2,
-/// Table I conditions).
+/// Table I conditions).  Drawn from the scenario registry.
 inline casestudy::CampaignConfig operation_config(
     casestudy::Randomisation randomisation, std::uint32_t runs) {
-  casestudy::CampaignConfig config;
-  config.runs = runs;
-  config.randomisation = randomisation;
-  return config;
+  return exec::ScenarioRegistry::global()
+      .at(std::string("control/operation-") + randomisation_key(randomisation))
+      .make_config(runs);
 }
 
 /// Analysis-like campaign: pinned stress input (recovery path on), so the
 /// measured variability is the platform's (MBPTA methodology, Figure 3).
+/// Drawn from the scenario registry.
 inline casestudy::CampaignConfig analysis_config(
     casestudy::Randomisation randomisation, std::uint32_t runs) {
-  casestudy::CampaignConfig config;
-  config.runs = runs;
-  config.randomisation = randomisation;
-  config.fixed_inputs = true;
-  config.control.corrupt_rate = 1.0;
-  return config;
+  return exec::ScenarioRegistry::global()
+      .at(std::string("control/analysis-") + randomisation_key(randomisation))
+      .make_config(runs);
 }
 
 /// EVT configuration scaled to the campaign size: ~40 block maxima.

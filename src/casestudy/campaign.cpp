@@ -1,183 +1,26 @@
 #include "campaign.hpp"
 
-#include "core/static_rand.hpp"
-#include "isa/linker.hpp"
-#include "mem/guest_memory.hpp"
-#include "mem/hierarchy.hpp"
-#include "rng/lfsr.hpp"
-#include "rng/mwc.hpp"
-#include "trace/trace.hpp"
-#include "vm/vm.hpp"
-
-#include <memory>
-#include <sstream>
-#include <stdexcept>
+#include "casestudy/campaign_runner.hpp"
 
 namespace proxima::casestudy {
 
-namespace {
-
-constexpr std::uint32_t kStackTop = 0x4080'0000; // 1 KiB aligned
-
-std::unique_ptr<rng::RandomSource> make_prng(PrngKind kind,
-                                             std::uint64_t seed) {
-  if (kind == PrngKind::kLfsr) {
-    return std::make_unique<rng::Lfsr>(seed);
-  }
-  return std::make_unique<rng::Mwc>(seed);
-}
-
-[[noreturn]] void campaign_fault(std::uint32_t run, const std::string& what) {
-  std::ostringstream oss;
-  oss << "campaign run " << run << ": " << what;
-  throw std::runtime_error(oss.str());
-}
-
-} // namespace
-
 CampaignResult run_control_campaign(const CampaignConfig& config) {
+  // Thin sequential wrapper over the per-run protocol: one runner, runs
+  // executed in order.  `exec::CampaignEngine` shards the same protocol
+  // across workers and produces bit-identical results (see
+  // campaign_runner.hpp for the determinism contract).
+  CampaignRunner runner(config);
   CampaignResult result;
   result.times.reserve(config.runs);
   result.samples.reserve(config.runs);
-
-  const auto layout_options = [&] {
-    isa::LinkOptions options =
-        control_layout(config.control, config.layout, kStackTop);
-    options.function_order = config.function_order;
-    return options;
-  };
-
-  // ---- build & link ------------------------------------------------------
-  isa::Program program = build_control_program(config.control);
-  trace::instrument_function(program, "control_step");
-  const bool use_dsr = config.randomisation == Randomisation::kDsr;
-  if (use_dsr) {
-    result.pass_report = dsr::apply_pass(program, config.pass_options);
+  for (std::uint32_t run = 0; run < config.runs; ++run) {
+    const RunSample sample = runner.run(run);
+    result.times.push_back(sample.uoa_cycles);
+    result.samples.push_back(sample);
   }
-
-  std::unique_ptr<rng::RandomSource> layout_rng =
-      make_prng(config.prng, config.layout_seed);
-  rng::Mwc input_rng(config.input_seed);
-
-  isa::LinkedImage image = isa::link(program, layout_options());
-  result.code_bytes = image.code_bytes();
-
-  // ---- platform -----------------------------------------------------------
-  mem::GuestMemory memory;
-  const bool hw_random = config.randomisation == Randomisation::kHardware;
-  mem::MemoryHierarchy hierarchy(hw_random
-                                     ? mem::leon3_hw_randomised_config()
-                                     : mem::leon3_hierarchy_config());
-  hierarchy.set_strict_coherence(true); // any stale fetch is a campaign bug
-  vm::Vm cpu(memory, hierarchy);
-  trace::TraceBuffer trace_buffer;
-  trace_buffer.attach(cpu);
-
-  image.load_into(memory);
-  std::unique_ptr<dsr::DsrRuntime> runtime;
-  if (use_dsr) {
-    runtime = std::make_unique<dsr::DsrRuntime>(memory, hierarchy, image,
-                                                *layout_rng,
-                                                config.dsr_options);
-    runtime->initialise();
-    runtime->attach(cpu);
-  }
-
-  // ---- measurement loop ----------------------------------------------------
-  ControlInputs inputs = initial_control_inputs(config.control);
-  const std::uint32_t total_runs = config.warmup_runs + config.runs;
-  for (std::uint32_t run = 0; run < total_runs; ++run) {
-    const bool measured = run >= config.warmup_runs;
-    // (1) per-run randomisation (partition reboot / reseed / re-link).
-    switch (config.randomisation) {
-    case Randomisation::kNone:
-      break;
-    case Randomisation::kDsr:
-      if (run != 0) {
-        runtime->rerandomise();
-      }
-      break;
-    case Randomisation::kStatic: {
-      // A freshly linked binary with a random layout every run.
-      const isa::LinkOptions random_options =
-          dsr::random_layout(program, *layout_rng);
-      image = isa::link(program, random_options);
-      memory.clear();
-      image.load_into(memory);
-      hierarchy.flush_all(); // a re-flashed board starts cold
-      inputs = initial_control_inputs(config.control);
-      break;
-    }
-    case Randomisation::kHardware:
-      hierarchy.reseed(config.layout_seed + run);
-      hierarchy.flush_all(); // a new placement hash invalidates old sets
-      break;
-    }
-
-    // (2) fresh inputs (or the pinned analysis vector), staged DMA-style:
-    // the staged ranges must be invalidated explicitly (LEON3 DMA is not
-    // cache-coherent).
-    if (!config.fixed_inputs || run == 0) {
-      refresh_control_inputs(input_rng, config.control, inputs);
-    }
-    const auto staged = stage_control_inputs(memory, image, inputs);
-    for (const auto& [addr, length] : staged) {
-      hierarchy.note_memory_written(addr, length);
-      hierarchy.invalidate_range(addr, length);
-    }
-
-    // (3) well-defined initial state, independent across runs *by
-    // construction* (the paper's own requirement): wipe every level, run
-    // one unmeasured warm-up activation under THIS run's layout and
-    // inputs, then apply the PikeOS partition-start L1 flush.  The
-    // measured activation thus starts from a warm L2 whose contents are a
-    // function of the current run only.
-    const std::uint32_t entry =
-        use_dsr ? runtime->entry_address() : image.entry_addr();
-    hierarchy.flush_all();
-    cpu.reset(entry, kStackTop);
-    if (cpu.run().stop != vm::RunResult::Stop::kHalt) {
-      campaign_fault(run, "warm-up activation did not halt");
-    }
-    hierarchy.flush_l1s();
-    hierarchy.counters().reset();
-    trace_buffer.clear();
-
-    // (4) the measured activation.
-    cpu.reset(entry, kStackTop);
-    const vm::RunResult run_result = cpu.run();
-    if (run_result.stop != vm::RunResult::Stop::kHalt) {
-      campaign_fault(run, "activation did not halt");
-    }
-
-    // (5) extract the UoA time + counters (one invocation: the warm-up's
-    // trace was cleared).
-    const std::vector<double> times =
-        trace::extract_execution_times(trace_buffer);
-    if (times.size() != 1) {
-      campaign_fault(run, "expected exactly one UoA invocation");
-    }
-    if (measured) {
-      RunSample sample;
-      sample.uoa_cycles = times.front();
-      sample.corrupt_input = inputs.corrupt;
-      sample.counters = hierarchy.counters();
-      result.times.push_back(sample.uoa_cycles);
-      result.samples.push_back(sample);
-    }
-
-    // (6) functional verification against the golden model.
-    if (config.verify_outputs) {
-      const ControlOutputs expected =
-          reference_control(config.control, inputs);
-      const ControlOutputs actual =
-          read_control_outputs(memory, image, config.control);
-      if (!(expected == actual)) {
-        campaign_fault(run, "guest outputs diverge from the golden model");
-      }
-      ++result.verified_runs;
-    }
-  }
+  result.pass_report = runner.pass_report();
+  result.code_bytes = runner.code_bytes();
+  result.verified_runs = runner.verified_runs();
   return result;
 }
 

@@ -39,6 +39,11 @@ struct CampaignConfig {
   std::uint32_t runs = 1000;
   /// Extra unmeasured activations before the campaign (each measured run
   /// already gets its own same-layout warm-up; this is rarely needed).
+  /// Warm-up activations occupy the first slots of the global activation
+  /// sequence: they consume input-stream refreshes and shift every measured
+  /// run's derived seeds, but are not executed on the guest — the protocol
+  /// rebuilds the platform state from scratch each run, so an unmeasured
+  /// extra activation has no other observable effect.
   std::uint32_t warmup_runs = 0;
   std::uint64_t input_seed = 2017;
   std::uint64_t layout_seed = 611085; // PROXIMA grant number
@@ -61,6 +66,8 @@ struct RunSample {
   double uoa_cycles = 0.0;
   bool corrupt_input = false;
   mem::PerfCounters counters; // per-run snapshot
+
+  friend bool operator==(const RunSample&, const RunSample&) = default;
 };
 
 struct CampaignResult {
@@ -71,8 +78,14 @@ struct CampaignResult {
   std::uint64_t verified_runs = 0; // golden-model matches
 };
 
-/// Execute the campaign.  Throws on any functional mismatch or platform
-/// fault — a measurement campaign must never silently produce bad data.
+/// Execute the campaign sequentially.  Throws on any functional mismatch
+/// or platform fault — a measurement campaign must never silently produce
+/// bad data.
+///
+/// Every run's randomness is derived from (seed, stream, activation index)
+/// via `exec::derive_run_seed`, making each run a pure function of its
+/// index; `exec::CampaignEngine` exploits this to shard the same campaign
+/// across workers with bit-identical `times`/`samples`.
 CampaignResult run_control_campaign(const CampaignConfig& config);
 
 } // namespace proxima::casestudy

@@ -1,0 +1,253 @@
+#include "campaign_runner.hpp"
+
+#include "core/static_rand.hpp"
+#include "exec/seed.hpp"
+#include "rng/lfsr.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace proxima::casestudy {
+
+namespace {
+
+constexpr std::uint32_t kStackTop = 0x4080'0000; // 1 KiB aligned
+
+std::unique_ptr<rng::RandomSource> make_prng(PrngKind kind,
+                                             std::uint64_t seed) {
+  if (kind == PrngKind::kLfsr) {
+    return std::make_unique<rng::Lfsr>(seed);
+  }
+  return std::make_unique<rng::Mwc>(seed);
+}
+
+/// Build, instrument and (for DSR) transform the control program.
+isa::Program make_program(const CampaignConfig& config,
+                          dsr::PassReport& pass_report) {
+  isa::Program program = build_control_program(config.control);
+  trace::instrument_function(program, "control_step");
+  if (config.randomisation == Randomisation::kDsr) {
+    pass_report = dsr::apply_pass(program, config.pass_options);
+  }
+  return program;
+}
+
+isa::LinkOptions base_layout_options(const CampaignConfig& config) {
+  isa::LinkOptions options =
+      control_layout(config.control, config.layout, kStackTop);
+  options.function_order = config.function_order;
+  return options;
+}
+
+} // namespace
+
+CampaignRunner::CampaignRunner(const CampaignConfig& config)
+    : config_(config), program_(make_program(config_, pass_report_)),
+      layout_rng_(make_prng(config_.prng, config_.layout_seed)),
+      input_rng_(config_.input_seed),
+      image_(isa::link(program_, base_layout_options(config_))),
+      code_bytes_(image_.code_bytes()),
+      hierarchy_(config_.randomisation == Randomisation::kHardware
+                     ? mem::leon3_hw_randomised_config()
+                     : mem::leon3_hierarchy_config()),
+      cpu_(memory_, hierarchy_) {
+  hierarchy_.set_strict_coherence(true); // any stale fetch is a campaign bug
+  trace_buffer_.attach(cpu_);
+  image_.load_into(memory_);
+  if (config_.randomisation == Randomisation::kDsr) {
+    runtime_ = std::make_unique<dsr::DsrRuntime>(
+        memory_, hierarchy_, image_, *layout_rng_, config_.dsr_options);
+    runtime_->attach(cpu_);
+  }
+  inputs_ = initial_control_inputs(config_.control);
+}
+
+void CampaignRunner::fault(const std::string& what) const {
+  std::ostringstream oss;
+  oss << "campaign run "
+      << (current_run_ ? static_cast<long long>(*current_run_) : -1) << ": "
+      << what;
+  throw std::runtime_error(oss.str());
+}
+
+void CampaignRunner::apply_randomisation(std::uint64_t activation) {
+  const std::uint64_t layout_seed = exec::derive_run_seed(
+      config_.layout_seed, exec::SeedStream::kLayout, activation);
+  switch (config_.randomisation) {
+  case Randomisation::kNone:
+    break;
+  case Randomisation::kDsr:
+    // Partition reboot: a fresh layout drawn from this run's derived seed
+    // (the first call doubles as the runtime's initialisation).
+    layout_rng_->seed(layout_seed);
+    runtime_->rerandomise();
+    break;
+  case Randomisation::kStatic: {
+    // A freshly linked binary with a random layout every run.
+    layout_rng_->seed(layout_seed);
+    const isa::LinkOptions random_options =
+        dsr::random_layout(program_, *layout_rng_);
+    image_ = isa::link(program_, random_options);
+    memory_.clear();
+    image_.load_into(memory_);
+    hierarchy_.flush_all(); // a re-flashed board starts cold
+    break;
+  }
+  case Randomisation::kHardware:
+    hierarchy_.reseed(layout_seed);
+    hierarchy_.flush_all(); // a new placement hash invalidates old sets
+    break;
+  }
+}
+
+void CampaignRunner::advance_inputs(std::uint64_t activation) {
+  if (config_.randomisation == Randomisation::kStatic) {
+    // A re-flashed board: the persistent instrument state restarts from the
+    // image's load-time contents every run.
+    if (config_.fixed_inputs) {
+      if (!pinned_inputs_) {
+        inputs_ = initial_control_inputs(config_.control);
+        input_rng_.seed(exec::derive_run_seed(config_.input_seed,
+                                              exec::SeedStream::kInput, 0));
+        refresh_control_inputs(input_rng_, config_.control, inputs_);
+        pinned_inputs_ = inputs_;
+      } else {
+        inputs_ = *pinned_inputs_;
+      }
+    } else {
+      inputs_ = initial_control_inputs(config_.control);
+      input_rng_.seed(exec::derive_run_seed(
+          config_.input_seed, exec::SeedStream::kInput, activation));
+      refresh_control_inputs(input_rng_, config_.control, inputs_);
+    }
+    return;
+  }
+  // Streamed persistent state: replay the per-activation refreshes across
+  // any skipped indices so the host mirror (telemetry rotation, protocol
+  // block) is exactly what the sequential protocol would hold.
+  while (input_pos_ <= activation) {
+    if (!config_.fixed_inputs || input_pos_ == 0) {
+      input_rng_.seed(exec::derive_run_seed(
+          config_.input_seed, exec::SeedStream::kInput, input_pos_));
+      refresh_control_inputs(input_rng_, config_.control, inputs_);
+    }
+    ++input_pos_;
+  }
+}
+
+void CampaignRunner::stage_inputs(std::uint64_t activation) {
+  // Staged DMA-style: the staged ranges must be invalidated explicitly
+  // (LEON3 DMA is not cache-coherent).  After a skip in the activation
+  // sequence (shard boundary) the incremental dirty ranges no longer cover
+  // the guest/mirror difference, so the full persistent state is re-staged.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> staged;
+  const bool consecutive =
+      staged_activation_ && activation == *staged_activation_ + 1;
+  if (config_.randomisation != Randomisation::kStatic && !consecutive) {
+    ControlInputs full = inputs_;
+    full.telemetry_dirty_offset = 0;
+    full.telemetry_dirty_bytes =
+        static_cast<std::uint32_t>(full.telemetry.size());
+    full.packets_dirty = true;
+    staged = stage_control_inputs(memory_, image_, full);
+  } else {
+    staged = stage_control_inputs(memory_, image_, inputs_);
+  }
+  for (const auto& [addr, length] : staged) {
+    hierarchy_.note_memory_written(addr, length);
+    hierarchy_.invalidate_range(addr, length);
+  }
+  staged_activation_ = activation;
+}
+
+void CampaignRunner::setup(std::uint64_t run_index) {
+  if (run_index >= config_.runs) {
+    throw std::invalid_argument("CampaignRunner::setup: run index " +
+                                std::to_string(run_index) +
+                                " out of range (runs = " +
+                                std::to_string(config_.runs) + ")");
+  }
+  if (current_run_ && run_index <= *current_run_) {
+    throw std::invalid_argument(
+        "CampaignRunner::setup: run indices must be strictly ascending");
+  }
+  current_run_ = run_index;
+  executed_ = false;
+
+  // Warm-up activations occupy the first `warmup_runs` slots of the global
+  // activation sequence: they advance the input stream (host-side replay)
+  // but are never executed — the protocol rebuilds the platform state from
+  // scratch every run, so an unmeasured extra activation has no observable
+  // effect beyond its input-stream consumption.
+  const std::uint64_t activation = config_.warmup_runs + run_index;
+  apply_randomisation(activation);
+  advance_inputs(activation);
+  stage_inputs(activation);
+}
+
+void CampaignRunner::execute() {
+  if (!current_run_ || executed_) {
+    throw std::logic_error("CampaignRunner::execute: no run staged");
+  }
+  const bool use_dsr = config_.randomisation == Randomisation::kDsr;
+  const std::uint32_t entry =
+      use_dsr ? runtime_->entry_address() : image_.entry_addr();
+
+  // Well-defined initial state, independent across runs *by construction*
+  // (the paper's own requirement): wipe every level, run one unmeasured
+  // warm-up activation under THIS run's layout and inputs, then apply the
+  // PikeOS partition-start L1 flush.  The measured activation thus starts
+  // from a warm L2 whose contents are a function of the current run only.
+  hierarchy_.flush_all();
+  cpu_.reset(entry, kStackTop);
+  if (cpu_.run().stop != vm::RunResult::Stop::kHalt) {
+    fault("warm-up activation did not halt");
+  }
+  hierarchy_.flush_l1s();
+  hierarchy_.counters().reset();
+  trace_buffer_.clear();
+
+  // The measured activation.
+  cpu_.reset(entry, kStackTop);
+  if (cpu_.run().stop != vm::RunResult::Stop::kHalt) {
+    fault("activation did not halt");
+  }
+  executed_ = true;
+}
+
+RunSample CampaignRunner::collect() {
+  if (!current_run_ || !executed_) {
+    throw std::logic_error("CampaignRunner::collect: no executed run");
+  }
+  // Extract the UoA time + counters (one invocation: the warm-up's trace
+  // was cleared).
+  const std::vector<double> times =
+      trace::extract_execution_times(trace_buffer_);
+  if (times.size() != 1) {
+    fault("expected exactly one UoA invocation");
+  }
+  RunSample sample;
+  sample.uoa_cycles = times.front();
+  sample.corrupt_input = inputs_.corrupt;
+  sample.counters = hierarchy_.counters();
+
+  // Functional verification against the golden model.
+  if (config_.verify_outputs) {
+    const ControlOutputs expected = reference_control(config_.control, inputs_);
+    const ControlOutputs actual =
+        read_control_outputs(memory_, image_, config_.control);
+    if (!(expected == actual)) {
+      fault("guest outputs diverge from the golden model");
+    }
+    ++verified_runs_;
+  }
+  return sample;
+}
+
+RunSample CampaignRunner::run(std::uint64_t run_index) {
+  setup(run_index);
+  execute();
+  return collect();
+}
+
+} // namespace proxima::casestudy

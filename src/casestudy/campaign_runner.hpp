@@ -1,0 +1,106 @@
+// Per-worker campaign execution: one isolated platform instance (guest
+// memory + cache hierarchy + VM + trace buffer + DSR runtime) plus the
+// per-run measurement protocol of Section IV, split into the
+// setup / execute / collect stages the parallel engine drives.
+//
+// Determinism contract
+// --------------------
+// Every measured run is a *pure function of its global activation index*:
+// the input vector and the layout (DSR relocation, static re-link, hardware
+// cache reseed) are drawn from generators seeded via
+// `exec::derive_run_seed(seed, stream, index)`, and the platform state a
+// run observes is rebuilt by the protocol itself (full cache flush,
+// same-layout warm-up activation, PikeOS-style L1 flush).  Two runners
+// executing the same run index therefore produce bit-identical samples,
+// which is what lets `exec::CampaignEngine` shard a campaign across
+// workers and still match the sequential `run_control_campaign` exactly.
+//
+// A runner executes run indices in strictly ascending order.  The
+// persistent input state (telemetry store rotation, protocol block) is
+// replayed host-side across skipped indices, so a worker may own any
+// ascending subset of [0, runs); after a skip the full instrument state is
+// re-staged into guest memory so the guest's persistent stores match the
+// host mirror exactly.
+#pragma once
+
+#include "casestudy/campaign.hpp"
+#include "core/dsr_runtime.hpp"
+#include "isa/linker.hpp"
+#include "mem/guest_memory.hpp"
+#include "mem/hierarchy.hpp"
+#include "rng/mwc.hpp"
+#include "trace/trace.hpp"
+#include "vm/vm.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace proxima::casestudy {
+
+class CampaignRunner {
+public:
+  /// Build the platform: program generation, instrumentation, DSR pass,
+  /// base link, image load, DSR runtime attach.  Deterministic for a given
+  /// config, so every worker's platform is identical.
+  explicit CampaignRunner(const CampaignConfig& config);
+
+  /// Stage 1 — prepare measured run `run_index` (0-based, < config.runs):
+  /// derive this run's seeds, apply the configured randomisation (partition
+  /// reboot / re-link / cache reseed), advance the input stream to the
+  /// run's global activation index, and stage the inputs DMA-style.
+  /// Indices must be strictly ascending per runner.
+  void setup(std::uint64_t run_index);
+
+  /// Stage 2 — the measurement protocol proper: flush every level, run the
+  /// unmeasured same-layout warm-up activation, apply the PikeOS partition
+  /// start L1 flush, then run the measured activation.
+  void execute();
+
+  /// Stage 3 — extract the UoA time from the trace, snapshot the
+  /// performance counters, and verify the guest outputs against the host
+  /// golden model (throws on mismatch).
+  RunSample collect();
+
+  /// setup + execute + collect.
+  RunSample run(std::uint64_t run_index);
+
+  const CampaignConfig& config() const noexcept { return config_; }
+  const dsr::PassReport& pass_report() const noexcept { return pass_report_; }
+  std::uint32_t code_bytes() const noexcept { return code_bytes_; }
+  std::uint64_t verified_runs() const noexcept { return verified_runs_; }
+
+private:
+  void apply_randomisation(std::uint64_t activation);
+  void advance_inputs(std::uint64_t activation);
+  void stage_inputs(std::uint64_t activation);
+  [[noreturn]] void fault(const std::string& what) const;
+
+  CampaignConfig config_;
+  dsr::PassReport pass_report_;
+  isa::Program program_;
+  std::unique_ptr<rng::RandomSource> layout_rng_;
+  rng::Mwc input_rng_;
+  isa::LinkedImage image_;
+  std::uint32_t code_bytes_ = 0;
+
+  mem::GuestMemory memory_;
+  mem::MemoryHierarchy hierarchy_;
+  vm::Vm cpu_;
+  trace::TraceBuffer trace_buffer_;
+  std::unique_ptr<dsr::DsrRuntime> runtime_;
+
+  ControlInputs inputs_;
+  std::optional<ControlInputs> pinned_inputs_; // fixed_inputs analysis vector
+  std::uint64_t input_pos_ = 0; // activations consumed from the input stream
+  /// Last activation whose input state was staged into guest memory; a
+  /// non-consecutive successor forces a full state re-sync.
+  std::optional<std::uint64_t> staged_activation_;
+
+  std::optional<std::uint64_t> current_run_; // set by setup, used by stages
+  bool executed_ = false;
+  std::uint64_t verified_runs_ = 0;
+};
+
+} // namespace proxima::casestudy

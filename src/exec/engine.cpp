@@ -1,0 +1,159 @@
+#include "engine.hpp"
+
+#include "casestudy/campaign_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace proxima::exec {
+
+namespace {
+
+unsigned hardware_workers() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// Shared campaign state the workers cooperate on.
+struct CampaignJob {
+  CampaignJob(const casestudy::CampaignConfig& config_in,
+              const std::vector<ShardRange>& shards_in,
+              casestudy::CampaignResult& result_in, ProgressMeter& meter_in,
+              const ShardSink& sink_in)
+      : config(config_in), shards(shards_in), result(result_in),
+        meter(meter_in), sink(sink_in) {}
+
+  const casestudy::CampaignConfig& config;
+  const std::vector<ShardRange>& shards;
+  casestudy::CampaignResult& result;   // times/samples pre-sized
+  ProgressMeter& meter;
+  const ShardSink& sink;
+
+  std::atomic<std::size_t> next_shard{0};
+  std::atomic<bool> abort{false};
+
+  std::mutex mutex; // guards sink calls, metadata, verified_runs, error
+  bool metadata_set = false;
+  std::uint64_t verified_runs = 0;
+  std::exception_ptr error;
+};
+
+/// One worker: own platform instance, chunk-claiming loop.
+void worker_main(CampaignJob& job) {
+  try {
+    // The platform is built lazily: a worker that finds the queue already
+    // drained never pays the program-build/link cost.
+    std::unique_ptr<casestudy::CampaignRunner> runner;
+    while (!job.abort.load(std::memory_order_relaxed)) {
+      const std::size_t shard_index =
+          job.next_shard.fetch_add(1, std::memory_order_relaxed);
+      if (shard_index >= job.shards.size()) {
+        break;
+      }
+      if (!runner) {
+        runner = std::make_unique<casestudy::CampaignRunner>(job.config);
+      }
+      const ShardRange shard = job.shards[shard_index];
+      for (std::uint64_t index = shard.begin; index < shard.end; ++index) {
+        const casestudy::RunSample sample = runner->run(index);
+        // Disjoint slots: no lock needed for the result vectors.
+        job.result.times[index] = sample.uoa_cycles;
+        job.result.samples[index] = sample;
+      }
+      job.meter.add(shard.size());
+      if (job.sink) {
+        std::lock_guard<std::mutex> lock(job.mutex);
+        job.sink(shard, std::span<const double>(
+                            job.result.times.data() + shard.begin,
+                            static_cast<std::size_t>(shard.size())));
+      }
+    }
+    if (runner) {
+      std::lock_guard<std::mutex> lock(job.mutex);
+      job.verified_runs += runner->verified_runs();
+      if (!job.metadata_set) {
+        // Identical on every worker: the build/link pipeline is
+        // deterministic for a given config.
+        job.result.pass_report = runner->pass_report();
+        job.result.code_bytes = runner->code_bytes();
+        job.metadata_set = true;
+      }
+    }
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(job.mutex);
+    if (!job.error) {
+      job.error = std::current_exception();
+    }
+    job.abort.store(true, std::memory_order_relaxed);
+  }
+}
+
+} // namespace
+
+CampaignEngine::CampaignEngine(EngineOptions options)
+    : options_(std::move(options)) {}
+
+CampaignEngine::Plan CampaignEngine::plan(std::uint64_t runs) const {
+  const unsigned requested =
+      options_.workers == 0 ? hardware_workers() : options_.workers;
+  Plan plan;
+  plan.shards = plan_shards(runs, requested, options_.sharding);
+  plan.workers = static_cast<unsigned>(std::max<std::size_t>(
+      1, std::min<std::size_t>(requested, plan.shards.size())));
+  return plan;
+}
+
+unsigned CampaignEngine::resolved_workers(std::uint64_t runs) const {
+  return plan(runs).workers;
+}
+
+casestudy::CampaignResult
+CampaignEngine::run(const casestudy::CampaignConfig& config) const {
+  casestudy::CampaignResult result;
+  const std::uint64_t runs = config.runs;
+  if (runs == 0) {
+    // Match the sequential wrapper exactly: the platform is still built,
+    // so the pass report and code size are populated.
+    casestudy::CampaignRunner runner(config);
+    result.pass_report = runner.pass_report();
+    result.code_bytes = runner.code_bytes();
+    if (options_.progress) {
+      options_.progress(0, 0);
+    }
+    return result;
+  }
+
+  const Plan execution_plan = plan(runs);
+  const std::vector<ShardRange>& shards = execution_plan.shards;
+  const unsigned workers = execution_plan.workers;
+
+  result.times.resize(static_cast<std::size_t>(runs));
+  result.samples.resize(static_cast<std::size_t>(runs));
+  ProgressMeter meter(runs, options_.progress);
+  CampaignJob job{config, shards, result, meter, options_.shard_sink};
+
+  if (workers == 1) {
+    worker_main(job); // no thread spawn for the sequential case
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      pool.emplace_back(worker_main, std::ref(job));
+    }
+    for (std::thread& thread : pool) {
+      thread.join();
+    }
+  }
+  if (job.error) {
+    std::rethrow_exception(job.error);
+  }
+  result.verified_runs = job.verified_runs;
+  return result;
+}
+
+} // namespace proxima::exec

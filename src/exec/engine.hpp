@@ -1,0 +1,69 @@
+// Parallel campaign execution engine.
+//
+// Shards a `CampaignConfig`'s measured runs across N workers.  Each worker
+// owns a fully isolated platform instance (guest memory + cache hierarchy
+// + VM + trace buffer + DSR runtime) wrapped in a
+// `casestudy::CampaignRunner`, and claims contiguous chunks of run indices
+// from a shared queue.  Because every run's randomness is derived from
+// (seed, stream, activation index) — see exec/seed.hpp — the assembled
+// `CampaignResult.times`/`samples` are bit-identical to the sequential
+// `run_control_campaign` regardless of worker count or scheduling order.
+//
+// Completed shards can be streamed to a sink while the campaign is still
+// running (e.g. to feed `mbpta::ConvergenceController` with measurement
+// batches), and a progress callback reports the running completed/total
+// counts.
+#pragma once
+
+#include "casestudy/campaign.hpp"
+#include "exec/progress.hpp"
+#include "exec/shard.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+namespace proxima::exec {
+
+/// Streaming per-shard aggregation: invoked once per completed shard with
+/// the shard's UoA times in run-index order.  Shards arrive in completion
+/// order (not index order) but carry their range; calls are serialised by
+/// the engine.  Typical use: `controller.add_batch(times)` for the MBPTA
+/// convergence loop.
+using ShardSink = std::function<void(const ShardRange& range,
+                                     std::span<const double> times)>;
+
+struct EngineOptions {
+  /// Worker threads; 0 picks the hardware concurrency.  The effective
+  /// count never exceeds the number of planned shards.
+  unsigned workers = 0;
+  ShardOptions sharding;
+  ProgressFn progress;   // optional completed/total callback
+  ShardSink shard_sink;  // optional streaming aggregation
+};
+
+class CampaignEngine {
+public:
+  explicit CampaignEngine(EngineOptions options = {});
+
+  /// Execute the campaign across the configured workers.  Rethrows the
+  /// first worker fault (functional mismatch, platform fault) after all
+  /// workers have stopped.
+  casestudy::CampaignResult run(const casestudy::CampaignConfig& config) const;
+
+  /// The worker count `run` would use for a campaign of `runs` runs.
+  unsigned resolved_workers(std::uint64_t runs) const;
+
+  const EngineOptions& options() const noexcept { return options_; }
+
+private:
+  struct Plan {
+    std::vector<ShardRange> shards;
+    unsigned workers = 1;
+  };
+  Plan plan(std::uint64_t runs) const;
+
+  EngineOptions options_;
+};
+
+} // namespace proxima::exec

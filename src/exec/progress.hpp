@@ -1,0 +1,47 @@
+// Thread-safe campaign progress accounting.
+//
+// Workers report completed shards; the meter aggregates and forwards the
+// running total to a user callback (rendering, logging, convergence
+// control).  Callbacks are invoked under the meter's lock, so they are
+// naturally serialised — keep them short.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+namespace proxima::exec {
+
+/// completed / total measured runs.
+using ProgressFn = std::function<void(std::uint64_t completed,
+                                      std::uint64_t total)>;
+
+class ProgressMeter {
+public:
+  ProgressMeter(std::uint64_t total, ProgressFn callback)
+      : total_(total), callback_(std::move(callback)) {}
+
+  /// Record `runs` newly completed runs and notify the callback.
+  void add(std::uint64_t runs) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    completed_ += runs;
+    if (callback_) {
+      callback_(completed_, total_);
+    }
+  }
+
+  std::uint64_t completed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return completed_;
+  }
+
+  std::uint64_t total() const noexcept { return total_; }
+
+private:
+  mutable std::mutex mutex_;
+  std::uint64_t completed_ = 0;
+  const std::uint64_t total_;
+  ProgressFn callback_;
+};
+
+} // namespace proxima::exec

@@ -1,0 +1,189 @@
+#include "registry.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace proxima::exec {
+
+void ScenarioRegistry::add(Scenario scenario) {
+  if (scenario.name.empty()) {
+    throw std::invalid_argument("scenario name must not be empty");
+  }
+  if (!scenario.make_config) {
+    throw std::invalid_argument("scenario '" + scenario.name +
+                                "' has no config factory");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string key = scenario.name; // keep the key independent of the move
+  const auto [it, inserted] =
+      scenarios_.emplace(std::move(key), std::move(scenario));
+  if (!inserted) {
+    throw std::invalid_argument("scenario '" + it->first +
+                                "' is already registered");
+  }
+}
+
+bool ScenarioRegistry::contains(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return scenarios_.find(name) != scenarios_.end();
+}
+
+const Scenario* ScenarioRegistry::find(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = scenarios_.find(name);
+  return it == scenarios_.end() ? nullptr : &it->second;
+}
+
+const Scenario& ScenarioRegistry::at(std::string_view name) const {
+  if (const Scenario* scenario = find(name)) {
+    return *scenario;
+  }
+  std::ostringstream oss;
+  oss << "unknown scenario '" << name << "'; known scenarios:";
+  for (const std::string& known : names()) {
+    oss << "\n  " << known;
+  }
+  throw std::out_of_range(oss.str());
+}
+
+std::vector<std::string> ScenarioRegistry::names(
+    std::string_view prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> result;
+  result.reserve(scenarios_.size());
+  for (const auto& [name, scenario] : scenarios_) {
+    (void)scenario;
+    if (name.size() >= prefix.size() &&
+        std::string_view(name).substr(0, prefix.size()) == prefix) {
+      result.push_back(name); // std::map iterates in sorted order
+    }
+  }
+  return result;
+}
+
+std::size_t ScenarioRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return scenarios_.size();
+}
+
+ScenarioRegistry& ScenarioRegistry::global() {
+  static ScenarioRegistry* registry = [] {
+    auto* fresh = new ScenarioRegistry;
+    register_default_scenarios(*fresh);
+    return fresh;
+  }();
+  return *registry;
+}
+
+// ---------------------------------------------------------------------------
+// Default catalogue.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using casestudy::CampaignConfig;
+using casestudy::Layout;
+using casestudy::PrngKind;
+using casestudy::Randomisation;
+
+/// Operation-like protocol: fresh random inputs every activation
+/// (Figure 2 / Table I conditions).
+CampaignConfig operation_base(Randomisation randomisation,
+                              std::uint32_t runs) {
+  CampaignConfig config;
+  config.runs = runs;
+  config.randomisation = randomisation;
+  return config;
+}
+
+/// Analysis-like protocol: one pinned stress input (recovery path forced),
+/// so the measured variability is the platform's (MBPTA methodology,
+/// Figure 3).
+CampaignConfig analysis_base(Randomisation randomisation,
+                             std::uint32_t runs) {
+  CampaignConfig config = operation_base(randomisation, runs);
+  config.fixed_inputs = true;
+  config.control.corrupt_rate = 1.0;
+  return config;
+}
+
+struct NamedRandomisation {
+  const char* key;
+  const char* label;
+  Randomisation randomisation;
+};
+
+constexpr NamedRandomisation kRandomisations[] = {
+    {"cots", "fixed COTS layout", Randomisation::kNone},
+    {"dsr", "dynamic software randomisation", Randomisation::kDsr},
+    {"static", "static per-run re-link", Randomisation::kStatic},
+    {"hwrand", "hardware time-randomised caches", Randomisation::kHardware},
+};
+
+} // namespace
+
+void register_default_scenarios(ScenarioRegistry& registry) {
+  // The paper's two measurement protocols, for every randomisation
+  // technology under comparison.
+  for (const NamedRandomisation& r : kRandomisations) {
+    registry.add(Scenario{
+        std::string("control/operation-") + r.key,
+        std::string("control task, operation-like inputs, ") + r.label,
+        [randomisation = r.randomisation](std::uint32_t runs) {
+          return operation_base(randomisation, runs);
+        }});
+    registry.add(Scenario{
+        std::string("control/analysis-") + r.key,
+        std::string("control task, pinned stress input (MBPTA), ") + r.label,
+        [randomisation = r.randomisation](std::uint32_t runs) {
+          return analysis_base(randomisation, runs);
+        }});
+  }
+
+  // Layout sweep: the engineered bad-and-rare COTS layout vs a
+  // conflict-free placement (ablation baseline).
+  registry.add(Scenario{
+      "control/layout-neutral",
+      "control task on the deliberately conflict-free link layout",
+      [](std::uint32_t runs) {
+        CampaignConfig config = operation_base(Randomisation::kNone, runs);
+        config.layout = Layout::kNeutral;
+        return config;
+      }});
+
+  // PRNG sweep: the paper selects MWC; LFSR is the qualified alternative
+  // (ablation A4).
+  registry.add(Scenario{
+      "control/prng-lfsr",
+      "DSR with the LFSR random source instead of MWC",
+      [](std::uint32_t runs) {
+        CampaignConfig config = operation_base(Randomisation::kDsr, runs);
+        config.prng = PrngKind::kLfsr;
+        return config;
+      }});
+
+  // Offset-range sweep: shrinking the random-offset range to the L1 way
+  // size shows what randomising only the L1 layout would lose (ablation).
+  registry.add(Scenario{
+      "control/offset-l1",
+      "DSR with the offset range shrunk to the L1 way size (4 KiB)",
+      [](std::uint32_t runs) {
+        CampaignConfig config = operation_base(Randomisation::kDsr, runs);
+        config.dsr_options.offset_range = 4 * 1024;
+        return config;
+      }});
+
+  // Fixed-input stress without randomisation: the validation expert's
+  // worst-case scenario on the bare COTS platform, with the recovery path
+  // pinned on but inputs still varying run to run.
+  registry.add(Scenario{
+      "control/stress-corrupt",
+      "control task with every activation carrying a corrupt packet",
+      [](std::uint32_t runs) {
+        CampaignConfig config = operation_base(Randomisation::kNone, runs);
+        config.control.corrupt_rate = 1.0;
+        return config;
+      }});
+}
+
+} // namespace proxima::exec

@@ -1,0 +1,48 @@
+// Deterministic per-run seed derivation for the campaign engine.
+//
+// Every measurement run of a campaign draws its randomness (input vector,
+// DSR/static/hardware layout) from generators seeded as a pure function of
+// (campaign seed, stream, global activation index).  This is what makes a
+// sharded campaign reproducible: any worker can execute any run and obtain
+// exactly the randomness the sequential protocol would have used, so the
+// aggregated `CampaignResult` is bit-identical regardless of worker count
+// or scheduling order.
+//
+// The derivation is the SplitMix64 finaliser (Steele, Lea & Flood, OOPSLA
+// 2014) applied in three chained rounds — base seed, stream tag, run index —
+// giving well-mixed, collision-resistant 64-bit seeds for the target
+// generators (MWC, LFSR).  It is host-side machinery only and not part of
+// the paper's target software stack.
+#pragma once
+
+#include <cstdint>
+
+namespace proxima::exec {
+
+/// Independent randomness streams of one campaign.  Streams keep the input
+/// draw of run k uncorrelated with the layout draw of run k even though
+/// both derive from the same run index.
+enum class SeedStream : std::uint64_t {
+  kInput = 0x1,  // sensor / spacecraft-bus input vectors
+  kLayout = 0x2, // DSR relocation, static re-link, hardware cache reseed
+};
+
+/// The SplitMix64 output finaliser: a 64-bit mixing bijection.
+constexpr std::uint64_t splitmix64_mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Seed for `stream` at global activation index `run` of a campaign whose
+/// base seed is `base`.  Pure function of its arguments.
+constexpr std::uint64_t derive_run_seed(std::uint64_t base, SeedStream stream,
+                                        std::uint64_t run) noexcept {
+  return splitmix64_mix(
+      splitmix64_mix(splitmix64_mix(base) ^
+                     static_cast<std::uint64_t>(stream)) ^
+      run);
+}
+
+} // namespace proxima::exec

@@ -40,6 +40,8 @@ struct PerfCounters {
   }
 
   void reset() { *this = PerfCounters{}; }
+
+  friend bool operator==(const PerfCounters&, const PerfCounters&) = default;
 };
 
 } // namespace proxima::mem
