@@ -23,8 +23,10 @@ int main() {
 
   // Registry scenarios executed on the parallel campaign engine
   // (bit-identical to the sequential protocol at any worker count).
-  const CampaignResult cots = run_scenario("control/operation-cots", runs);
-  const CampaignResult dsr = run_scenario("control/operation-dsr", runs);
+  const TimedCampaign cots_timed = run_scenario_timed("control/operation-cots", runs);
+  const TimedCampaign dsr_timed = run_scenario_timed("control/operation-dsr", runs);
+  const CampaignResult& cots = cots_timed.result;
+  const CampaignResult& dsr = dsr_timed.result;
 
   const mbpta::Summary cots_summary = mbpta::summarise(cots.times);
   const mbpta::Summary dsr_summary = mbpta::summarise(dsr.times);
@@ -32,6 +34,9 @@ int main() {
   print_summary_table_header();
   print_summary_row("No Rand (COTS)", cots_summary);
   print_summary_row("Sw Rand (DSR)", dsr_summary);
+  std::printf("\n");
+  print_throughput("No Rand (COTS)", cots_timed);
+  print_throughput("Sw Rand (DSR)", dsr_timed);
 
   std::printf("\naverage delta: %+.2f%%   (paper: DSR does not impact "
               "average performance)\n",

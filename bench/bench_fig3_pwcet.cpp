@@ -47,15 +47,21 @@ int main() {
       controller.add_batch(it->second);
     }
   };
+  const auto campaign_start = std::chrono::steady_clock::now();
   const CampaignResult dsr =
       exec::CampaignEngine(engine_options)
           .run(exec::ScenarioRegistry::global()
                    .at("control/analysis-dsr")
                    .make_config(runs));
+  const double campaign_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    campaign_start)
+          .count();
   std::printf("convergence controller: %zu samples streamed, pWCET "
               "estimate %s after the campaign\n",
               controller.samples_used(),
               controller.converged() ? "stable" : "still moving");
+  print_throughput("analysis-dsr campaign", dsr, campaign_seconds);
 
   const mbpta::MbptaAnalysis analysis =
       mbpta::analyse(dsr.times, analysis_mbpta(runs));

@@ -20,13 +20,17 @@ int main() {
 
   // Current practice: stress scenario on the COTS platform, MOET + 20%.
   // Both campaigns are registry scenarios on the parallel engine.
-  const CampaignResult cots =
-      run_scenario("control/analysis-cots", std::max(50u, runs / 10));
+  const TimedCampaign cots_timed =
+      run_scenario_timed("control/analysis-cots", std::max(50u, runs / 10));
+  const CampaignResult& cots = cots_timed.result;
   const trace::TimingReport cots_report =
       trace::TimingReport::from_times(cots.times);
 
   // MBPTA: DSR measurement campaign, EVT fit, pWCET at 1e-15.
-  const CampaignResult dsr = run_scenario("control/analysis-dsr", runs);
+  const TimedCampaign dsr_timed = run_scenario_timed("control/analysis-dsr", runs);
+  const CampaignResult& dsr = dsr_timed.result;
+  print_throughput("analysis-cots campaign", cots_timed);
+  print_throughput("analysis-dsr campaign", dsr_timed);
   const mbpta::MbptaAnalysis analysis =
       mbpta::analyse(dsr.times, analysis_mbpta(runs));
   const double pwcet = analysis.pwcet(1e-15);

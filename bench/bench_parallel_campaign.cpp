@@ -46,6 +46,7 @@ int main() {
   const double sequential_rate = runs / sequential_seconds;
   std::printf("%-22s %10.2f s %12.1f runs/s %10s\n", "sequential",
               sequential_seconds, sequential_rate, "1.00x");
+  print_throughput("sequential", baseline, sequential_seconds);
 
   bool identical = true;
   double best_speedup = 0.0;

@@ -11,6 +11,7 @@
 #include "exec/registry.hpp"
 #include "mbpta/mbpta.hpp"
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -56,6 +57,64 @@ inline casestudy::CampaignResult run_scenario(std::string_view name,
                                               std::uint32_t runs) {
   return run_campaign(
       exec::ScenarioRegistry::global().at(name).make_config(runs));
+}
+
+/// Guest instructions retired across all *measured* activations of a
+/// campaign (the per-run counters are reset after the warm-up activation).
+inline std::uint64_t
+guest_instructions(const casestudy::CampaignResult& result) {
+  std::uint64_t total = 0;
+  for (const casestudy::RunSample& sample : result.samples) {
+    total += sample.counters.instructions;
+  }
+  return total;
+}
+
+/// A campaign result with its wall time and guest-instruction throughput,
+/// so dispatch-speed changes are visible in every bench, not just
+/// bench_vm_dispatch.
+struct TimedCampaign {
+  casestudy::CampaignResult result;
+  double seconds = 0.0;
+
+  std::uint64_t instructions() const { return guest_instructions(result); }
+  double mips() const {
+    return seconds <= 0.0 ? 0.0
+                          : static_cast<double>(instructions()) / seconds / 1e6;
+  }
+};
+
+inline TimedCampaign run_campaign_timed(const casestudy::CampaignConfig& config) {
+  TimedCampaign timed;
+  const auto start = std::chrono::steady_clock::now();
+  timed.result = run_campaign(config);
+  timed.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  return timed;
+}
+
+inline TimedCampaign run_scenario_timed(std::string_view name,
+                                        std::uint32_t runs) {
+  return run_campaign_timed(
+      exec::ScenarioRegistry::global().at(name).make_config(runs));
+}
+
+/// One line of wall time + instructions/second for a campaign result
+/// timed externally (no copy of the result involved).
+inline void print_throughput(const char* label,
+                             const casestudy::CampaignResult& result,
+                             double seconds) {
+  const std::uint64_t instructions = guest_instructions(result);
+  const double mips =
+      seconds <= 0.0 ? 0.0 : static_cast<double>(instructions) / seconds / 1e6;
+  std::printf("%-22s %8.3f s wall   %8.1f Minstr/s   (%llu guest instr)\n",
+              label, seconds, mips,
+              static_cast<unsigned long long>(instructions));
+}
+
+inline void print_throughput(const char* label, const TimedCampaign& timed) {
+  print_throughput(label, timed.result, timed.seconds);
 }
 
 /// Registry key for a randomisation technology.

@@ -1,0 +1,90 @@
+// Dispatch-core comparison: predecoded fast core vs reference interpreter.
+//
+// Runs the same control-task campaigns sequentially on both execution
+// cores and reports guest instructions per wall second for each, plus the
+// speedup ratio.  The campaigns must be *bit-identical* across cores —
+// any divergence in UoA cycles or counters fails the bench outright —
+// so the number this bench prints is a pure dispatch-speed delta, not a
+// behaviour change.
+//
+// Exit status: 0 iff results are identical on every workload AND the fast
+// core sustains >= 1.5x the reference core's instructions/second on the
+// operation-like control-task workload.
+#include "bench_util.hpp"
+#include "casestudy/control_task.hpp"
+
+#include <chrono>
+
+using namespace proxima;
+using namespace proxima::bench;
+using namespace proxima::casestudy;
+
+namespace {
+
+struct CoreRun {
+  CampaignResult result;
+  double seconds = 0.0;
+};
+
+CoreRun run_core(const CampaignConfig& base, vm::VmCore core) {
+  CampaignConfig config = base;
+  config.vm_core = core;
+  CoreRun run;
+  const auto start = std::chrono::steady_clock::now();
+  // Sequential on purpose: worker scheduling must not pollute the timing.
+  run.result = run_control_campaign(config);
+  run.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return run;
+}
+
+bool identical(const CampaignResult& a, const CampaignResult& b) {
+  return a.times == b.times && a.samples == b.samples;
+}
+
+} // namespace
+
+int main() {
+  const std::uint32_t runs = campaign_runs(300);
+  print_header("VM dispatch: predecoded fast core vs reference interpreter (" +
+               std::to_string(runs) + " runs each, sequential)");
+  std::printf("control program: %zu static instructions (predecode slots)\n\n",
+              build_control_program(ControlParams{}).total_instructions());
+
+  bool all_identical = true;
+  double control_ratio = 0.0;
+
+  std::printf("%-26s %12s %12s %8s  %s\n", "workload", "ref Minstr/s",
+              "fast Minstr/s", "ratio", "bit-identical");
+  for (const char* name :
+       {"control/operation-cots", "control/analysis-dsr",
+        "control/operation-hwrand"}) {
+    const CampaignConfig config =
+        exec::ScenarioRegistry::global().at(name).make_config(runs);
+    const CoreRun reference = run_core(config, vm::VmCore::kReference);
+    const CoreRun fast = run_core(config, vm::VmCore::kFast);
+
+    const auto instr =
+        static_cast<double>(guest_instructions(reference.result));
+    const double ref_mips = instr / reference.seconds / 1e6;
+    const double fast_mips =
+        static_cast<double>(guest_instructions(fast.result)) / fast.seconds /
+        1e6;
+    const double ratio = fast_mips / ref_mips;
+    const bool same = identical(fast.result, reference.result);
+    all_identical = all_identical && same;
+    if (std::string_view(name) == "control/operation-cots") {
+      control_ratio = ratio;
+    }
+    std::printf("%-26s %12.1f %12.1f %7.2fx  %s\n", name, ref_mips, fast_mips,
+                ratio, same ? "yes" : "NO — DIVERGENCE");
+  }
+
+  std::printf("\nshape check: bit-identical on all workloads: %s\n",
+              all_identical ? "yes" : "NO");
+  std::printf("shape check: fast core >= 1.5x on the control task: %s "
+              "(%.2fx)\n",
+              control_ratio >= 1.5 ? "yes" : "NO", control_ratio);
+  return (all_identical && control_ratio >= 1.5) ? 0 : 1;
+}

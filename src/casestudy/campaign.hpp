@@ -16,6 +16,7 @@
 #include "core/dsr_pass.hpp"
 #include "core/dsr_runtime.hpp"
 #include "mem/counters.hpp"
+#include "vm/vm.hpp"
 
 #include <cstdint>
 #include <string>
@@ -36,6 +37,10 @@ struct CampaignConfig {
   ControlParams control;
   Layout layout = Layout::kCotsBad;
   Randomisation randomisation = Randomisation::kNone;
+  /// Execution core for the guest activations.  The predecoded fast core
+  /// is the default; the reference interpreter is the differential-test
+  /// oracle (both produce bit-identical samples).
+  vm::VmCore vm_core = vm::VmCore::kFast;
   std::uint32_t runs = 1000;
   /// Extra unmeasured activations before the campaign (each measured run
   /// already gets its own same-layout warm-up; this is rarely needed).

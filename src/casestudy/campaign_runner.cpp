@@ -39,6 +39,12 @@ isa::LinkOptions base_layout_options(const CampaignConfig& config) {
   return options;
 }
 
+vm::VmConfig vm_config_for(const CampaignConfig& config) {
+  vm::VmConfig vm_config;
+  vm_config.core = config.vm_core;
+  return vm_config;
+}
+
 } // namespace
 
 CampaignRunner::CampaignRunner(const CampaignConfig& config)
@@ -50,10 +56,14 @@ CampaignRunner::CampaignRunner(const CampaignConfig& config)
       hierarchy_(config_.randomisation == Randomisation::kHardware
                      ? mem::leon3_hw_randomised_config()
                      : mem::leon3_hierarchy_config()),
-      cpu_(memory_, hierarchy_) {
+      cpu_(memory_, hierarchy_, vm_config_for(config_)) {
   hierarchy_.set_strict_coherence(true); // any stale fetch is a campaign bug
   trace_buffer_.attach(cpu_);
   image_.load_into(memory_);
+  // One-time predecode pass over the loaded image (fast core only): the
+  // decode cache stays coherent through DSR relocation and re-links via
+  // the guest-memory write listener, so this is purely a warm start.
+  cpu_.predecode(image_.code_begin(), image_.code_end() - image_.code_begin());
   if (config_.randomisation == Randomisation::kDsr) {
     runtime_ = std::make_unique<dsr::DsrRuntime>(
         memory_, hierarchy_, image_, *layout_rng_, config_.dsr_options);

@@ -162,6 +162,20 @@ void register_default_scenarios(ScenarioRegistry& registry) {
         return config;
       }});
 
+  // Lazy relocation scheme: per-function first-call traps instead of the
+  // eager start-up loop (the trade-off of Section III.B.1).  Also the
+  // scenario that rewrites code *mid-activation*, which is what the fast
+  // VM core's decode-cache coherence is differentially tested against.
+  registry.add(Scenario{
+      "control/dsr-lazy",
+      "DSR with lazy first-call relocation instead of the eager loop",
+      [](std::uint32_t runs) {
+        CampaignConfig config = operation_base(Randomisation::kDsr, runs);
+        config.pass_options.lazy_stubs = true;
+        config.dsr_options.eager = false;
+        return config;
+      }});
+
   // Offset-range sweep: shrinking the random-offset range to the L1 way
   // size shows what randomising only the L1 layout would lose (ablation).
   registry.add(Scenario{

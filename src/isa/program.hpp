@@ -90,6 +90,17 @@ struct Program {
     }
     return total;
   }
+
+  /// Static instruction count across all functions — the number of
+  /// DecodedOp slots a full predecode pass of this program resolves
+  /// (vm/decode.hpp predecodes the linked image of exactly these words).
+  std::size_t total_instructions() const {
+    std::size_t total = 0;
+    for (const Function& f : functions) {
+      total += f.code.size();
+    }
+    return total;
+  }
 };
 
 } // namespace proxima::isa

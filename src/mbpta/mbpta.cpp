@@ -33,19 +33,27 @@ MbptaAnalysis analyse(std::span<const double> samples,
 
 bool ConvergenceController::add_batch(std::span<const double> batch) {
   samples_.insert(samples_.end(), batch.begin(), batch.end());
+  const auto done = [this](bool result) {
+    if (!result && !converged() && config_.max_samples != 0 &&
+        samples_.size() >= config_.max_samples) {
+      capped_ = true; // budget exhausted without convergence
+      return true;
+    }
+    return result;
+  };
   if (samples_.size() < config_.min_samples) {
-    return false;
+    return done(false);
   }
   MbptaAnalysis analysis;
   try {
     analysis = analyse(samples_, config_.mbpta);
   } catch (const std::invalid_argument&) {
-    return false; // not enough tail points yet
+    return done(false); // not enough tail points yet
   }
   if (!analysis.applicable()) {
     stable_count_ = 0;
     estimates_.push_back(std::nan(""));
-    return false;
+    return done(false);
   }
   const double estimate = analysis.pwcet(config_.target_exceedance);
   if (!estimates_.empty() && !std::isnan(estimates_.back())) {
@@ -59,7 +67,10 @@ bool ConvergenceController::add_batch(std::span<const double> batch) {
     }
   }
   estimates_.push_back(estimate);
-  return converged();
+  if (converged()) {
+    return true;
+  }
+  return done(false);
 }
 
 } // namespace proxima::mbpta

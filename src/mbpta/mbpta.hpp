@@ -53,16 +53,25 @@ public:
     double epsilon = 0.01;
     int stable_rounds = 3;
     std::size_t min_samples = 200;
+    /// Non-convergence cap: once this many samples have been consumed
+    /// without convergence, `add_batch` reports completion with
+    /// `converged() == false` and `capped() == true` — the signal that the
+    /// campaign budget is exhausted and MBPTA is not (yet) applicable.
+    /// 0 disables the cap.
+    std::size_t max_samples = 0;
     MbptaConfig mbpta;
   };
 
   ConvergenceController();
   explicit ConvergenceController(const Config& config) : config_(config) {}
 
-  /// Add a batch; returns true once converged.
+  /// Add a batch; returns true once the controller is done — converged,
+  /// or stopped by the non-convergence cap (check `capped()`).
   bool add_batch(std::span<const double> batch);
 
   bool converged() const noexcept { return stable_count_ >= config_.stable_rounds; }
+  /// True when the `max_samples` cap stopped the campaign unconverged.
+  bool capped() const noexcept { return capped_; }
   std::size_t samples_used() const noexcept { return samples_.size(); }
   const std::vector<double>& estimates() const noexcept { return estimates_; }
 
@@ -74,6 +83,7 @@ private:
   std::vector<double> samples_;
   std::vector<double> estimates_;
   int stable_count_ = 0;
+  bool capped_ = false;
 };
 
 } // namespace proxima::mbpta

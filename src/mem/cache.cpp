@@ -31,6 +31,8 @@ Cache::Cache(CacheConfig config) : config_(std::move(config)) {
     throw std::invalid_argument(config_.name + ": set count must be a power of two");
   }
   lines_.resize(static_cast<std::size_t>(config_.sets()) * config_.ways);
+  line_shift_ = static_cast<std::uint32_t>(std::countr_zero(config_.line_bytes));
+  set_mask_ = config_.sets() - 1;
 }
 
 std::uint32_t Cache::set_index(std::uint32_t addr) const {

@@ -85,6 +85,79 @@ public:
   /// Read access (instruction fetch or data load).
   AccessResult read(std::uint32_t addr);
 
+  /// Inline clean-hit probe for the fast VM core.  Returns true — with the
+  /// hit fully accounted exactly as `read` would (hit counter, LRU bump) —
+  /// only for a valid, non-stale line under modulo placement.  Returns
+  /// false with NO state change otherwise; the caller must then perform
+  /// the full `read`.
+  bool read_hit_fast(std::uint32_t addr) {
+    if (config_.placement != Placement::kModulo) {
+      return false;
+    }
+    const std::uint32_t tag = addr >> line_shift_;
+    Line* base = &lines_[static_cast<std::size_t>(tag & set_mask_) *
+                         config_.ways];
+    for (std::uint32_t w = 0; w < config_.ways; ++w) {
+      Line& line = base[w];
+      if (line.valid && line.tag == tag) {
+        if (line.stale) {
+          return false; // coherence bookkeeping needs the slow path
+        }
+        ++stats_.hits;
+        line.last_use = ++use_clock_;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Inline write-hit probe, the store-path counterpart of
+  /// `read_hit_fast`: accounts a hit exactly as `write` would (including
+  /// the dirty/write-through policy effects) or changes nothing.
+  bool write_hit_fast(std::uint32_t addr) {
+    if (config_.placement != Placement::kModulo) {
+      return false;
+    }
+    const std::uint32_t tag = addr >> line_shift_;
+    Line* base = &lines_[static_cast<std::size_t>(tag & set_mask_) *
+                         config_.ways];
+    for (std::uint32_t w = 0; w < config_.ways; ++w) {
+      Line& line = base[w];
+      if (line.valid && line.tag == tag) {
+        ++stats_.hits;
+        line.last_use = ++use_clock_;
+        line.stale = false;
+        if (config_.write_policy == WritePolicy::kWriteBackAllocate) {
+          line.dirty = true;
+        } else {
+          ++stats_.write_through;
+        }
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Inline single-line staleness probe: equivalent to `mark_stale` when
+  /// the range sits inside one line (every aligned VM store does), falls
+  /// back to it otherwise.
+  void mark_stale_fast(std::uint32_t addr, std::uint32_t length) {
+    if (length != 0 && config_.placement == Placement::kModulo &&
+        line_base(addr) == line_base(addr + length - 1)) {
+      const std::uint32_t tag = addr >> line_shift_;
+      Line* base = &lines_[static_cast<std::size_t>(tag & set_mask_) *
+                           config_.ways];
+      for (std::uint32_t w = 0; w < config_.ways; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+          base[w].stale = true;
+          return;
+        }
+      }
+      return;
+    }
+    mark_stale(addr, length);
+  }
+
   /// Write access; behaviour depends on the configured write policy.
   /// Write-through no-allocate: hit updates the line, miss changes nothing;
   /// either way the write is forwarded downstream (stats.write_through).
@@ -153,6 +226,10 @@ private:
   CacheConfig config_;
   CacheStats stats_;
   std::vector<Line> lines_; // sets * ways, row-major by set
+  /// Precomputed shift/mask for the inline hit probes (line size and set
+  /// count are validated powers of two at construction).
+  std::uint32_t line_shift_ = 5;
+  std::uint32_t set_mask_ = 0;
   std::uint64_t use_clock_ = 0;
   std::uint64_t hash_seed_ = 0x9e3779b97f4a7c15ULL;
   std::uint32_t rng_state_ = 0x1234567u;

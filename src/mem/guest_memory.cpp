@@ -54,12 +54,18 @@ double GuestMemory::read_f64(std::uint32_t addr) const {
 }
 
 void GuestMemory::write_u8(std::uint32_t addr, std::uint8_t value) {
-  page_for(addr)[addr % kPageBytes] = value;
+  poke_u8(addr, value);
+  if (!listeners_.empty()) {
+    notify_written(addr, 1);
+  }
 }
 
 void GuestMemory::write_u16(std::uint32_t addr, std::uint16_t value) {
-  write_u8(addr, static_cast<std::uint8_t>(value >> 8));
-  write_u8(addr + 1, static_cast<std::uint8_t>(value));
+  poke_u8(addr, static_cast<std::uint8_t>(value >> 8));
+  poke_u8(addr + 1, static_cast<std::uint8_t>(value));
+  if (!listeners_.empty()) {
+    notify_written(addr, 2);
+  }
 }
 
 void GuestMemory::write_u32(std::uint32_t addr, std::uint32_t value) {
@@ -70,10 +76,15 @@ void GuestMemory::write_u32(std::uint32_t addr, std::uint32_t value) {
     page[offset + 1] = static_cast<std::uint8_t>(value >> 16);
     page[offset + 2] = static_cast<std::uint8_t>(value >> 8);
     page[offset + 3] = static_cast<std::uint8_t>(value);
-    return;
+  } else {
+    poke_u8(addr, static_cast<std::uint8_t>(value >> 24));
+    poke_u8(addr + 1, static_cast<std::uint8_t>(value >> 16));
+    poke_u8(addr + 2, static_cast<std::uint8_t>(value >> 8));
+    poke_u8(addr + 3, static_cast<std::uint8_t>(value));
   }
-  write_u16(addr, static_cast<std::uint16_t>(value >> 16));
-  write_u16(addr + 2, static_cast<std::uint16_t>(value));
+  if (!listeners_.empty()) {
+    notify_written(addr, 4);
+  }
 }
 
 void GuestMemory::write_u64(std::uint32_t addr, std::uint64_t value) {
@@ -90,27 +101,46 @@ void GuestMemory::copy(std::uint32_t dst, std::uint32_t src,
   // Byte loop is fine: relocation copies a few KB once per run.
   if (dst <= src) {
     for (std::uint32_t i = 0; i < length; ++i) {
-      write_u8(dst + i, read_u8(src + i));
+      poke_u8(dst + i, read_u8(src + i));
     }
   } else {
     for (std::uint32_t i = length; i-- > 0;) {
-      write_u8(dst + i, read_u8(src + i));
+      poke_u8(dst + i, read_u8(src + i));
     }
+  }
+  if (length != 0 && !listeners_.empty()) {
+    notify_written(dst, length);
   }
 }
 
 void GuestMemory::fill(std::uint32_t addr, std::uint32_t length,
                        std::uint8_t value) {
   for (std::uint32_t i = 0; i < length; ++i) {
-    write_u8(addr + i, value);
+    poke_u8(addr + i, value);
+  }
+  if (length != 0 && !listeners_.empty()) {
+    notify_written(addr, length);
   }
 }
 
 void GuestMemory::load(std::uint32_t addr,
                        const std::vector<std::uint8_t>& bytes) {
   for (std::size_t i = 0; i < bytes.size(); ++i) {
-    write_u8(addr + static_cast<std::uint32_t>(i), bytes[i]);
+    poke_u8(addr + static_cast<std::uint32_t>(i), bytes[i]);
   }
+  if (!bytes.empty() && !listeners_.empty()) {
+    notify_written(addr, static_cast<std::uint32_t>(bytes.size()));
+  }
+}
+
+void GuestMemory::add_write_listener(MemoryWriteListener* listener) {
+  if (listener != nullptr) {
+    listeners_.push_back(listener);
+  }
+}
+
+void GuestMemory::remove_write_listener(MemoryWriteListener* listener) {
+  std::erase(listeners_, listener);
 }
 
 } // namespace proxima::mem

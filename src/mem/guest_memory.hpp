@@ -14,6 +14,19 @@
 
 namespace proxima::mem {
 
+/// Observer of guest-memory mutations.  The fast VM core's decode cache
+/// registers one so that any write behind its back — DSR relocation, a
+/// static re-link reload, a guest store into code — invalidates the
+/// affected predecoded instructions before they can be dispatched again.
+class MemoryWriteListener {
+public:
+  virtual ~MemoryWriteListener() = default;
+  /// [addr, addr+length) was (re)written.
+  virtual void on_memory_written(std::uint32_t addr, std::uint32_t length) = 0;
+  /// The whole address space was dropped (partition image wipe).
+  virtual void on_memory_cleared() = 0;
+};
+
 class GuestMemory {
 public:
   static constexpr std::uint32_t kPageBytes = 4096;
@@ -45,7 +58,17 @@ public:
 
   /// Drop all contents (partition reboot wipes the partition image before
   /// the loader rewrites it).
-  void clear() { pages_.clear(); }
+  void clear() {
+    pages_.clear();
+    for (MemoryWriteListener* listener : listeners_) {
+      listener->on_memory_cleared();
+    }
+  }
+
+  /// Register / deregister a mutation observer.  Listeners are notified on
+  /// every write; with none registered the notification cost is one branch.
+  void add_write_listener(MemoryWriteListener* listener);
+  void remove_write_listener(MemoryWriteListener* listener);
 
 private:
   using Page = std::array<std::uint8_t, kPageBytes>;
@@ -53,7 +76,20 @@ private:
   Page& page_for(std::uint32_t addr);
   const Page* page_if_present(std::uint32_t addr) const;
 
+  void notify_written(std::uint32_t addr, std::uint32_t length) {
+    for (MemoryWriteListener* listener : listeners_) {
+      listener->on_memory_written(addr, length);
+    }
+  }
+
+  /// Non-notifying byte write used by the bulk operations, which notify
+  /// once for the whole range instead of once per byte.
+  void poke_u8(std::uint32_t addr, std::uint8_t value) {
+    page_for(addr)[addr % kPageBytes] = value;
+  }
+
   std::unordered_map<std::uint32_t, std::unique_ptr<Page>> pages_;
+  std::vector<MemoryWriteListener*> listeners_;
 };
 
 } // namespace proxima::mem

@@ -118,6 +118,49 @@ std::uint32_t MemoryHierarchy::store(std::uint32_t addr,
   return cycles;
 }
 
+std::uint32_t MemoryHierarchy::fetch_after_itlb(std::uint32_t addr) {
+  const AccessResult l1 = il1_.read(addr);
+  if (l1.hit) {
+    if (l1.stale_hit) {
+      on_stale_hit("IL1", addr);
+    }
+    return 0;
+  }
+  ++counters_.icache_miss;
+  return latency_.bus + l2_fill(addr);
+}
+
+std::uint32_t MemoryHierarchy::load_after_dtlb(std::uint32_t addr) {
+  const AccessResult l1 = dl1_.read(addr);
+  if (l1.hit) {
+    if (l1.stale_hit) {
+      on_stale_hit("DL1", addr);
+    }
+    return 0;
+  }
+  ++counters_.dcache_miss;
+  return latency_.bus + l2_fill(addr);
+}
+
+std::uint32_t MemoryHierarchy::store_after_l2_probe(std::uint32_t addr,
+                                                    std::uint64_t current_cycle,
+                                                    std::uint32_t cycles) {
+  std::uint32_t drain = latency_.store_drain;
+  const AccessResult l2 = l2_.write(addr);
+  if (!l2.hit) {
+    // Allocate-on-write: the L2 fills the line from DRAM while draining.
+    ++counters_.dram_reads;
+    drain += latency_.dram_read;
+    if (l2.writeback_addr) {
+      ++counters_.l2_writebacks;
+      ++counters_.dram_writes;
+      drain += latency_.dram_write;
+    }
+  }
+  store_buffer_free_at_ = current_cycle + cycles + drain;
+  return cycles;
+}
+
 void MemoryHierarchy::flush_l1s() {
   il1_.invalidate_all();
   dl1_.invalidate_all();

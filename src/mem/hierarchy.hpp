@@ -59,6 +59,73 @@ public:
   /// Data load: DTLB + DL1 + (bus + L2) + (DRAM).
   std::uint32_t load(std::uint32_t addr);
 
+  // -------------------------------------------------------------------
+  // Inline hit fast paths for the fast VM core.  Cycle-for-cycle and
+  // counter-for-counter identical to fetch/load/store: the common case
+  // (TLB memo hit + clean L1 hit) resolves entirely inline so the
+  // dispatch loop never takes a call; every other case falls through to
+  // the out-of-line continuations, which are the same code the slow
+  // entry points use.  The differential VM suite pins the equivalence.
+  // -------------------------------------------------------------------
+
+  std::uint32_t fetch_fast(std::uint32_t addr) {
+    if (itlb_.access_fast(addr)) [[likely]] {
+      ++counters_.icache_access;
+      if (il1_.read_hit_fast(addr)) [[likely]] {
+        return 0;
+      }
+      return fetch_after_itlb(addr);
+    }
+    ++counters_.itlb_miss;
+    ++counters_.icache_access;
+    if (il1_.read_hit_fast(addr)) {
+      return latency_.tlb_walk;
+    }
+    return latency_.tlb_walk + fetch_after_itlb(addr);
+  }
+
+  std::uint32_t load_fast(std::uint32_t addr) {
+    if (dtlb_.access_fast(addr)) [[likely]] {
+      ++counters_.dcache_access;
+      ++counters_.loads;
+      if (dl1_.read_hit_fast(addr)) [[likely]] {
+        return 0;
+      }
+      return load_after_dtlb(addr);
+    }
+    ++counters_.dtlb_miss;
+    ++counters_.dcache_access;
+    ++counters_.loads;
+    if (dl1_.read_hit_fast(addr)) {
+      return latency_.tlb_walk;
+    }
+    return latency_.tlb_walk + load_after_dtlb(addr);
+  }
+
+  std::uint32_t store_fast(std::uint32_t addr, std::uint64_t current_cycle,
+                           std::uint32_t length = 4) {
+    std::uint32_t cycles = 0;
+    il1_.mark_stale_fast(addr, length); // no I/D coherence on SPARC
+    if (!dtlb_.access_fast(addr)) [[unlikely]] {
+      ++counters_.dtlb_miss;
+      cycles += latency_.tlb_walk;
+    }
+    ++counters_.dcache_access;
+    ++counters_.stores;
+    if (!dl1_.write_hit_fast(addr)) {
+      (void)dl1_.write(addr);
+    }
+    const std::uint64_t now = current_cycle + cycles;
+    if (store_buffer_free_at_ > now) {
+      cycles += static_cast<std::uint32_t>(store_buffer_free_at_ - now);
+    }
+    if (l2_.write_hit_fast(addr)) [[likely]] {
+      store_buffer_free_at_ = current_cycle + cycles + latency_.store_drain;
+      return cycles;
+    }
+    return store_after_l2_probe(addr, current_cycle, cycles);
+  }
+
   /// Data store of `length` bytes at the current pipeline cycle.  DL1 is
   /// write-through no-write-allocate; stores are absorbed by a single-entry
   /// write buffer that drains through the bus into the L2, so a store only
@@ -112,6 +179,15 @@ private:
   std::uint32_t l2_fill(std::uint32_t addr);
 
   void on_stale_hit(const char* who, std::uint32_t addr);
+
+  // Out-of-line continuations of the inline fast paths: everything after
+  // the TLB (fetch/load) or after the L2 write probe (store) when the
+  // inline clean-hit probe declined.
+  std::uint32_t fetch_after_itlb(std::uint32_t addr);
+  std::uint32_t load_after_dtlb(std::uint32_t addr);
+  std::uint32_t store_after_l2_probe(std::uint32_t addr,
+                                     std::uint64_t current_cycle,
+                                     std::uint32_t cycles);
 
   Cache il1_;
   Cache dl1_;

@@ -1,9 +1,19 @@
 #include "tlb.hpp"
 
+#include <bit>
+
 namespace proxima::mem {
 
 Tlb::Tlb(TlbConfig config) : config_(config) {
   entries_.resize(config_.entries);
+  // The MRU memo needs a shift-expressible page size; with an exotic
+  // non-power-of-two configuration the memo stays disabled and every
+  // access takes the full scan (timing and stats are unaffected).
+  memo_ok_ = config_.page_bytes != 0 && std::has_single_bit(config_.page_bytes);
+  page_shift_ = memo_ok_
+                    ? static_cast<std::uint32_t>(
+                          std::countr_zero(config_.page_bytes))
+                    : 0;
 }
 
 bool Tlb::access(std::uint32_t addr) {
@@ -14,6 +24,9 @@ bool Tlb::access(std::uint32_t addr) {
     if (entry.valid && entry.page == page) {
       entry.last_use = ++use_clock_;
       ++stats_.hits;
+      if (memo_ok_) {
+        mru_index_ = static_cast<std::uint32_t>(&entry - entries_.data());
+      }
       return true;
     }
     if (!entry.valid && free_entry == nullptr) {
@@ -28,6 +41,9 @@ bool Tlb::access(std::uint32_t addr) {
   victim.valid = true;
   victim.page = page;
   victim.last_use = ++use_clock_;
+  if (memo_ok_) {
+    mru_index_ = static_cast<std::uint32_t>(&victim - entries_.data());
+  }
   return false;
 }
 
@@ -45,6 +61,7 @@ void Tlb::flush() {
   for (Entry& entry : entries_) {
     entry.valid = false;
   }
+  mru_index_ = kNoMru;
 }
 
 } // namespace proxima::mem

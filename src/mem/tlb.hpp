@@ -33,6 +33,23 @@ public:
   /// closely enough for timing purposes.
   bool access(std::uint32_t addr);
 
+  /// Inline hit-path probe for the fast VM core: a most-recently-used
+  /// memo that resolves the overwhelmingly common same-page access without
+  /// the full associative scan.  Accounting (hit counter, LRU timestamp) is
+  /// identical to `access`, so the two are interchangeable access-for-access
+  /// — the differential VM suite relies on that.
+  bool access_fast(std::uint32_t addr) {
+    if (mru_index_ != kNoMru) {
+      Entry& entry = entries_[mru_index_];
+      if (entry.valid && entry.page == (addr >> page_shift_)) {
+        entry.last_use = ++use_clock_;
+        ++stats_.hits;
+        return true;
+      }
+    }
+    return access(addr);
+  }
+
   /// True if the page holding `addr` is resident (no state change).
   bool contains(std::uint32_t addr) const;
 
@@ -49,10 +66,18 @@ private:
     bool valid = false;
   };
 
+  static constexpr std::uint32_t kNoMru = 0xffff'ffff;
+
   TlbConfig config_;
   TlbStats stats_;
   std::vector<Entry> entries_;
   std::uint64_t use_clock_ = 0;
+  /// Index of the entry touched by the last access.  Only a memo:
+  /// correctness never depends on it, and flush() drops it.  Stored as an
+  /// index (not a pointer) so the default copy stays valid.
+  std::uint32_t mru_index_ = kNoMru;
+  std::uint32_t page_shift_ = 12;
+  bool memo_ok_ = true;
 };
 
 } // namespace proxima::mem

@@ -25,17 +25,36 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
 namespace proxima::vm {
+
+class DecodeCache;
 
 class VmError : public std::runtime_error {
 public:
   explicit VmError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Execution-core selection.  Both cores implement the identical
+/// architecture and timing model and are kept bit-identical — cycles,
+/// instruction counts and memory-event counters — by the differential
+/// test suite (tests/vm_differential_test.cpp).
+enum class VmCore : std::uint8_t {
+  /// Predecoded fast-dispatch core (src/vm/fast_vm.cpp): a one-time
+  /// decode pass into a flat DecodedOp cache, executed by a computed-goto
+  /// loop with inlined L1/TLB hit paths.  The default everywhere.
+  kFast,
+  /// The original fetch-decode-execute switch interpreter
+  /// (src/vm/reference_vm.cpp): the oracle the fast core is differentially
+  /// tested against.
+  kReference,
+};
+
 struct VmConfig {
+  VmCore core = VmCore::kFast;
   std::uint32_t nwindows = 8; // LEON3: 8 register windows
   std::uint32_t branch_taken_penalty = 1;
   std::uint32_t load_use_cycles = 1; // extra M-stage occupancy for loads
@@ -76,6 +95,12 @@ public:
 
   Vm(mem::GuestMemory& memory, mem::MemoryHierarchy& hierarchy,
      VmConfig config = {});
+  ~Vm();
+
+  // The fast core registers its decode cache as a guest-memory write
+  // listener; copying would double-register it.
+  Vm(const Vm&) = delete;
+  Vm& operator=(const Vm&) = delete;
 
   /// Reset architectural state and start executing at `entry_pc` with the
   /// stack top at `stack_top` (16-byte aligned recommended).  Cycle and
@@ -87,8 +112,16 @@ public:
   /// absolute cycle budget — the hypervisor's temporal-isolation fence.
   RunResult run(std::uint64_t cycle_budget = 0);
 
-  /// Execute a single instruction (test hook).
+  /// Execute a single instruction (test hook; always the reference path —
+  /// both cores share the same architectural state, so stepping and
+  /// running interleave freely).
   void step();
+
+  /// Warm the fast core's decode cache over [addr, addr+length) — the
+  /// one-time predecode pass over a loaded image.  No-op on the reference
+  /// core; purely a warm-up, never required for correctness (the cache
+  /// decodes on demand and self-invalidates on memory writes).
+  void predecode(std::uint32_t addr, std::uint32_t length);
 
   bool halted() const noexcept { return halted_; }
   std::uint32_t pc() const noexcept { return pc_; }
@@ -116,6 +149,9 @@ public:
 private:
   std::uint32_t& visible(std::uint8_t index);
   std::uint32_t visible_value(std::uint8_t index) const;
+
+  RunResult run_reference(std::uint64_t cycle_budget);
+  RunResult run_fast(std::uint64_t cycle_budget);
 
   void execute(const isa::Instruction& instr);
   void do_save(std::uint8_t rd, std::uint32_t value);
@@ -145,6 +181,7 @@ private:
   bool halted_ = true;
   IpointSink ipoint_sink_;
   RelocTrapSink reloc_trap_sink_;
+  std::unique_ptr<DecodeCache> decode_; // fast core only
 };
 
 } // namespace proxima::vm

@@ -31,15 +31,16 @@ TEST(ScenarioRegistry, DefaultCatalogue) {
   FreshRegistry fixture;
   const exec::ScenarioRegistry& registry = fixture.get();
   // Operation + analysis for every randomisation technology, plus the
-  // layout / PRNG / offset sweeps and the stress scenario.
-  EXPECT_EQ(registry.size(), 12u);
+  // layout / PRNG / offset / relocation-scheme sweeps and the stress
+  // scenario.
+  EXPECT_EQ(registry.size(), 13u);
   for (const char* name :
        {"control/operation-cots", "control/operation-dsr",
         "control/operation-static", "control/operation-hwrand",
         "control/analysis-cots", "control/analysis-dsr",
         "control/analysis-static", "control/analysis-hwrand",
         "control/layout-neutral", "control/prng-lfsr", "control/offset-l1",
-        "control/stress-corrupt"}) {
+        "control/dsr-lazy", "control/stress-corrupt"}) {
     EXPECT_TRUE(registry.contains(name)) << name;
   }
 }
@@ -94,7 +95,7 @@ TEST(ScenarioRegistry, RejectsInvalidRegistrations) {
                    "control/operation-dsr", "duplicate",
                    [](std::uint32_t) { return CampaignConfig{}; }}),
                std::invalid_argument);
-  EXPECT_EQ(registry.size(), 12u) << "failed adds must not register";
+  EXPECT_EQ(registry.size(), 13u) << "failed adds must not register";
 }
 
 TEST(ScenarioRegistry, FactoriesHonourRunsAndScenarioKnobs) {
@@ -130,7 +131,7 @@ TEST(ScenarioRegistry, GlobalIsASingletonWithDefaults) {
   exec::ScenarioRegistry& a = exec::ScenarioRegistry::global();
   exec::ScenarioRegistry& b = exec::ScenarioRegistry::global();
   EXPECT_EQ(&a, &b);
-  EXPECT_GE(a.size(), 12u);
+  EXPECT_GE(a.size(), 13u);
   EXPECT_TRUE(a.contains("control/operation-cots"));
 }
 

@@ -1,0 +1,154 @@
+// Edge-case tests for the MBPTA ConvergenceController: the incremental
+// measure-test-extend loop that decides when a measurement campaign has
+// collected enough runs.  Covers the paths a streaming campaign can hit:
+// empty shards, degenerate (constant) timing, an i.i.d. verdict that flips
+// mid-stream, and the non-convergence cap that bounds the campaign budget.
+#include "mbpta/mbpta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace {
+
+using proxima::mbpta::ConvergenceController;
+
+ConvergenceController::Config small_config() {
+  ConvergenceController::Config config;
+  config.min_samples = 50;
+  config.mbpta.block_size = 10;
+  return config;
+}
+
+/// Deterministic pseudo-random execution times (no global RNG state so the
+/// test is order-independent).
+class Lcg {
+public:
+  explicit Lcg(std::uint64_t seed) : state_(seed) {}
+  double next() {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return 1000.0 + static_cast<double>((state_ >> 33) % 1000);
+  }
+  std::vector<double> batch(std::size_t n) {
+    std::vector<double> values;
+    values.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      values.push_back(next());
+    }
+    return values;
+  }
+
+private:
+  std::uint64_t state_;
+};
+
+TEST(ConvergenceController, EmptyBatchesAreHarmless) {
+  ConvergenceController controller(small_config());
+  EXPECT_FALSE(controller.add_batch({}));
+  EXPECT_FALSE(controller.add_batch({}));
+  EXPECT_EQ(controller.samples_used(), 0u);
+  EXPECT_TRUE(controller.estimates().empty());
+  EXPECT_FALSE(controller.converged());
+  EXPECT_FALSE(controller.capped());
+
+  // An empty batch between real ones must not disturb the accounting.
+  Lcg rng(7);
+  EXPECT_FALSE(controller.add_batch(rng.batch(30)));
+  EXPECT_FALSE(controller.add_batch({}));
+  EXPECT_EQ(controller.samples_used(), 30u);
+}
+
+TEST(ConvergenceController, DegenerateConstantSamplesConvergeToTheConstant) {
+  // A perfectly deterministic platform: every run takes exactly the same
+  // time.  The Gumbel fit degenerates (zero scale) and the pWCET estimate
+  // IS the constant; the controller must converge rather than wedge.
+  ConvergenceController controller(small_config());
+  const std::vector<double> constant(60, 1000.0);
+  bool done = false;
+  for (int batch = 0; batch < 10 && !done; ++batch) {
+    done = controller.add_batch(constant);
+  }
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(controller.converged());
+  EXPECT_FALSE(controller.capped());
+  ASSERT_FALSE(controller.estimates().empty());
+  EXPECT_EQ(controller.estimates().back(), 1000.0);
+}
+
+TEST(ConvergenceController, IidVerdictFlippingMidStreamResetsStability) {
+  ConvergenceController controller(small_config());
+  Lcg rng(12345);
+  // Seed with well-behaved batches (not yet converged).
+  for (int batch = 0; batch < 3; ++batch) {
+    ASSERT_FALSE(controller.add_batch(rng.batch(50)));
+  }
+  const std::size_t estimates_before = controller.estimates().size();
+
+  // A strong trend destroys independence: the i.i.d. verdict flips, the
+  // estimate slot records NaN, and the stability streak resets.
+  std::vector<double> ramp;
+  for (int i = 0; i < 200; ++i) {
+    ramp.push_back(1000.0 + 50.0 * i);
+  }
+  EXPECT_FALSE(controller.add_batch(ramp));
+  EXPECT_FALSE(controller.converged());
+  ASSERT_GT(controller.estimates().size(), estimates_before);
+  EXPECT_TRUE(std::isnan(controller.estimates().back()))
+      << "a failed i.i.d. verdict must be recorded as a NaN estimate";
+
+  // Even if the verdict recovered instantly, stable_rounds consecutive
+  // stable estimates are required from scratch — the next few batches
+  // cannot possibly converge.
+  for (int batch = 0; batch < 3; ++batch) {
+    controller.add_batch(rng.batch(50));
+    EXPECT_FALSE(controller.converged())
+        << "stability must restart after an i.i.d. flip";
+  }
+}
+
+TEST(ConvergenceController, NonConvergenceCapStopsTheCampaign) {
+  ConvergenceController::Config config = small_config();
+  config.max_samples = 700;
+  ConvergenceController controller(config);
+
+  // Alternate between two shifted distributions so the KS identical-
+  // distribution test keeps failing and convergence never happens.
+  Lcg rng(99);
+  bool done = false;
+  int batches = 0;
+  while (!done && batches < 100) {
+    std::vector<double> batch = rng.batch(50);
+    if (batches % 2 == 1) {
+      for (double& value : batch) {
+        value += 100000.0; // gross distribution shift
+      }
+    }
+    done = controller.add_batch(batch);
+    ++batches;
+  }
+  EXPECT_TRUE(done) << "the cap must terminate a non-converging campaign";
+  EXPECT_TRUE(controller.capped());
+  EXPECT_FALSE(controller.converged());
+  EXPECT_GE(controller.samples_used(), 700u);
+  EXPECT_LE(controller.samples_used(), 750u) << "cap must fire on the first "
+                                                "batch crossing max_samples";
+}
+
+TEST(ConvergenceController, CapDoesNotFireWhenConvergenceComesFirst) {
+  ConvergenceController::Config config = small_config();
+  config.max_samples = 100000; // far beyond what convergence needs
+  ConvergenceController controller(config);
+  Lcg rng(12345);
+  bool done = false;
+  int batches = 0;
+  while (!done && batches < 100) {
+    done = controller.add_batch(rng.batch(50));
+    ++batches;
+  }
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(controller.converged());
+  EXPECT_FALSE(controller.capped());
+}
+
+} // namespace
