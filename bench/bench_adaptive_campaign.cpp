@@ -1,0 +1,92 @@
+// Adaptive (convergence-driven) campaign sizing vs the fixed-count habit.
+//
+// The paper's protocol collects runs until the MBPTA convergence criterion
+// holds; a fixed-size campaign must be provisioned for the worst case and
+// therefore over-samples whenever the estimate stabilises early.  This
+// bench runs the analysis-like DSR scenario (pinned stress input, the
+// Figure-3 conditions) both ways and reports the run savings, then
+// re-runs the adaptive campaign at a different worker count and checks
+// the engine's determinism contract: same stop count, bit-identical
+// times (same digest).
+//
+//   PROXIMA_RUNS     campaign budget (default 2000)
+//   PROXIMA_WORKERS  worker count of the "parallel" leg (default: hardware)
+#include "bench_util.hpp"
+
+#include "trace/report.hpp"
+
+#include <cinttypes>
+
+using namespace proxima;
+using namespace proxima::bench;
+using namespace proxima::casestudy;
+
+namespace {
+
+exec::ConvergenceOptions convergence_for(std::uint32_t budget) {
+  exec::ConvergenceOptions convergence;
+  convergence.batch_runs = std::max<std::uint64_t>(50, budget / 20);
+  convergence.max_runs = budget;
+  convergence.controller.target_exceedance = 1e-12;
+  convergence.controller.epsilon = 0.01;
+  convergence.controller.stable_rounds = 3;
+  convergence.controller.min_samples = std::min<std::size_t>(400, budget);
+  convergence.controller.mbpta = analysis_mbpta(budget);
+  return convergence;
+}
+
+} // namespace
+
+int main() {
+  const std::uint32_t budget = campaign_runs(2000);
+  print_header("Adaptive campaign sizing (budget " + std::to_string(budget) +
+               " runs, target 1e-12)");
+  const CampaignConfig config =
+      analysis_config(Randomisation::kDsr, budget);
+
+  // Fixed-count habit: run the whole budget.
+  const TimedCampaign fixed = run_campaign_timed(config);
+  print_throughput("fixed (full budget)", fixed);
+
+  // Convergence-driven: stop at the first stable batch boundary.
+  const auto start = std::chrono::steady_clock::now();
+  const exec::AdaptiveCampaignResult adaptive =
+      run_campaign_adaptive(config, convergence_for(budget));
+  const double seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  print_throughput("adaptive", adaptive.campaign, seconds);
+  std::printf("  stopped at %" PRIu64 " of %u budgeted runs (%s, %zu "
+              "batches): %.1f%% of the budget\n",
+              adaptive.runs(), budget,
+              adaptive.converged ? "converged" : "budget exhausted",
+              adaptive.batches,
+              100.0 * static_cast<double>(adaptive.runs()) / budget);
+
+  // The adaptive prefix is the fixed campaign's prefix, bit for bit.
+  const std::span<const double> prefix(
+      fixed.result.times.data(), static_cast<std::size_t>(adaptive.runs()));
+  const bool prefix_identical =
+      trace::times_digest(prefix) ==
+      trace::times_digest(adaptive.campaign.times);
+
+  // Determinism contract: a different worker count stops at the same
+  // boundary with bit-identical times.
+  exec::EngineOptions one_worker;
+  one_worker.workers = 1;
+  const exec::AdaptiveCampaignResult sequential =
+      exec::CampaignEngine(one_worker).run_adaptive(config,
+                                                    convergence_for(budget));
+  const bool deterministic =
+      sequential.runs() == adaptive.runs() &&
+      trace::times_digest(sequential.campaign.times) ==
+          trace::times_digest(adaptive.campaign.times);
+  std::printf("  digest %s (workers=1 %s at the same stop count)\n",
+              trace::times_digest_hex(adaptive.campaign.times).c_str(),
+              deterministic ? "bit-identical" : "DIVERGED");
+  std::printf("shape check: adaptive prefix of fixed campaign: %s; "
+              "deterministic across worker counts: %s\n",
+              prefix_identical ? "yes" : "NO",
+              deterministic ? "yes" : "NO");
+  return prefix_identical && deterministic ? 0 : 1;
+}

@@ -59,6 +59,16 @@ inline casestudy::CampaignResult run_scenario(std::string_view name,
       exec::ScenarioRegistry::global().at(name).make_config(runs));
 }
 
+/// Execute a campaign adaptively (convergence-driven growth) through the
+/// parallel engine.  Deterministic at any PROXIMA_WORKERS setting.
+inline exec::AdaptiveCampaignResult
+run_campaign_adaptive(const casestudy::CampaignConfig& config,
+                      const exec::ConvergenceOptions& convergence) {
+  exec::EngineOptions options;
+  options.workers = campaign_workers();
+  return exec::CampaignEngine(options).run_adaptive(config, convergence);
+}
+
 /// Guest instructions retired across all *measured* activations of a
 /// campaign (the per-run counters are reset after the warm-up activation).
 inline std::uint64_t

@@ -10,9 +10,11 @@
 //
 //   $ ./wcet_analysis        (PROXIMA_RUNS scales the campaign)
 #include "casestudy/campaign.hpp"
+#include "exec/engine.hpp"
 #include "mbpta/mbpta.hpp"
 #include "trace/report.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -50,34 +52,42 @@ int main() {
               report.mbdta_bound());
 
   // --- MBPTA with DSR ---------------------------------------------------
+  // The engine's adaptive mode replaces the hand-rolled batch loop this
+  // example used to carry: it grows the campaign, feeds each batch to the
+  // convergence controller at a deterministic boundary, and stops at the
+  // first boundary where the estimate is stable — reproducibly, at any
+  // worker count, and bit-identical to a fixed campaign of the stop length.
   std::printf("== MBPTA: DSR campaign with convergence control ==\n");
-  mbpta::ConvergenceController::Config cc;
-  cc.target_exceedance = 1e-15;
-  cc.epsilon = 0.005;
-  cc.stable_rounds = 3;
-  cc.min_samples = 300;
-  cc.mbpta.block_size = std::max(10u, runs / 40u);
-  mbpta::ConvergenceController controller(cc);
+  exec::ConvergenceOptions convergence;
+  convergence.batch_runs = 100;
+  convergence.max_runs = runs;
+  convergence.controller.target_exceedance = 1e-15;
+  convergence.controller.epsilon = 0.005;
+  convergence.controller.stable_rounds = 3;
+  convergence.controller.min_samples = 300;
+  convergence.controller.mbpta.block_size = std::max(10u, runs / 40u);
 
-  CampaignConfig dsr_config = analysis_config(Randomisation::kDsr, 0);
-  std::vector<double> all_times;
-  std::uint32_t collected = 0;
-  bool converged = false;
-  while (!converged && collected < runs) {
-    const std::uint32_t batch = std::min(100u, runs - collected);
-    dsr_config.runs = batch;
-    dsr_config.input_seed = 2017;            // same pinned scenario
-    dsr_config.layout_seed = 611085 + collected; // fresh layouts
-    const CampaignResult result = run_control_campaign(dsr_config);
-    all_times.insert(all_times.end(), result.times.begin(),
-                     result.times.end());
-    converged = controller.add_batch(result.times);
-    collected += batch;
-    std::printf("  %4u runs collected%s\n", collected,
-                converged ? "  -> estimate stable" : "");
+  const exec::AdaptiveCampaignResult adaptive =
+      exec::CampaignEngine().run_adaptive(
+          analysis_config(Randomisation::kDsr, runs), convergence);
+  const std::vector<double>& all_times = adaptive.campaign.times;
+  std::printf("  %llu of %u budgeted runs (%s after %zu batches)\n",
+              static_cast<unsigned long long>(adaptive.runs()), runs,
+              adaptive.converged ? "estimate stable" : "budget exhausted",
+              adaptive.batches);
+  // Estimates exist only for batches past min_samples, so they are
+  // numbered as evaluations rather than batches.
+  for (std::size_t i = 0; i < adaptive.estimates.size(); ++i) {
+    if (std::isnan(adaptive.estimates[i])) {
+      std::printf("  evaluation %zu: i.i.d. verdict failed\n", i + 1);
+    } else {
+      std::printf("  evaluation %zu: pWCET estimate %.0f\n", i + 1,
+                  adaptive.estimates[i]);
+    }
   }
 
-  const mbpta::MbptaAnalysis analysis = controller.result();
+  const mbpta::MbptaAnalysis analysis =
+      mbpta::analyse(all_times, convergence.controller.mbpta);
   std::printf("\ni.i.d.: Ljung-Box p=%.3f, KS p=%.3f -> %s\n",
               analysis.iid.independence.p_value,
               analysis.iid.identical_distribution.p_value,

@@ -19,6 +19,7 @@
 #include "vm/vm.hpp"
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -65,6 +66,11 @@ struct CampaignConfig {
   /// with control.corrupt_rate = 1.0 to pin the recovery path — the
   /// stressful scenario a validation expert would design.
   bool fixed_inputs = false;
+  /// Fault injection: the runner throws a simulated platform fault while
+  /// setting up this run index.  Lets the engine's cancellation path be
+  /// tested with a deterministically poisoned campaign; disabled when
+  /// unset.
+  std::optional<std::uint64_t> fault_at_run;
 };
 
 struct RunSample {

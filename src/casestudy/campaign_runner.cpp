@@ -183,6 +183,9 @@ void CampaignRunner::setup(std::uint64_t run_index) {
   }
   current_run_ = run_index;
   executed_ = false;
+  if (config_.fault_at_run && run_index == *config_.fault_at_run) {
+    fault("injected platform fault (CampaignConfig::fault_at_run)");
+  }
 
   // Warm-up activations occupy the first `warmup_runs` slots of the global
   // activation sequence: they advance the input stream (host-side replay)

@@ -1,0 +1,41 @@
+#include "cli.hpp"
+
+#include <exception>
+
+namespace proxima::cli {
+
+int run_cli(int argc, const char* const* argv, std::ostream& out,
+            std::ostream& err) {
+  Command command;
+  try {
+    command = parse_command_line(std::span<const char* const>(
+        argv + (argc > 0 ? 1 : 0),
+        static_cast<std::size_t>(argc > 0 ? argc - 1 : 0)));
+  } catch (const UsageError& error) {
+    err << "proxima: " << error.what() << "\n\n" << usage();
+    return 2;
+  }
+
+  try {
+    switch (command.kind) {
+    case Command::Kind::kHelp:
+      out << usage();
+      return 0;
+    case Command::Kind::kList:
+      return cmd_list(command.options, out);
+    case Command::Kind::kRun:
+      return cmd_run(command.options, out);
+    case Command::Kind::kReport:
+      return cmd_report(command.options, out);
+    }
+  } catch (const std::out_of_range& error) {
+    err << "proxima: " << error.what() << '\n';
+    return 2;
+  } catch (const std::exception& error) {
+    err << "proxima: campaign failed: " << error.what() << '\n';
+    return 3;
+  }
+  return 2;
+}
+
+} // namespace proxima::cli

@@ -1,0 +1,30 @@
+// The `proxima` command-line driver: list | run | report over the scenario
+// registry, on top of the parallel campaign engine (fixed or adaptive
+// convergence-driven campaigns) and the trace/mbpta reporting stack.
+//
+// The commands write to caller-supplied streams and return process exit
+// codes, so the CLI smoke tests drive them in-process; tools/proxima_main
+// is a two-line shim around `run_cli`.
+//
+// Exit codes: 0 success, 1 a scenario's MBPTA analysis could not run
+// (report), 2 usage / unknown scenario, 3 campaign fault.
+#pragma once
+
+#include "cli/options.hpp"
+
+#include <ostream>
+
+namespace proxima::cli {
+
+/// Parse argv and dispatch.  Never throws: errors are rendered to `err`.
+int run_cli(int argc, const char* const* argv, std::ostream& out,
+            std::ostream& err);
+
+/// Individual commands (parsed options already validated).  May throw
+/// (unknown scenario: std::out_of_range; campaign fault: runtime_error) —
+/// `run_cli` turns those into exit codes.
+int cmd_list(const CampaignOptions& options, std::ostream& out);
+int cmd_run(const CampaignOptions& options, std::ostream& out);
+int cmd_report(const CampaignOptions& options, std::ostream& out);
+
+} // namespace proxima::cli

@@ -1,0 +1,444 @@
+// Implementation of `proxima list|run|report`.
+//
+// `run` executes scenarios through the parallel engine (fixed size, or
+// `--adaptive`: convergence-driven growth with deterministic batch
+// boundaries) and prints timing summaries plus a times digest that is
+// bit-stable across worker counts.  `report` additionally runs the MBPTA
+// pipeline and renders the pWCET curve (text plot / JSON / CSV).
+#include "cli.hpp"
+
+#include "cli/json_writer.hpp"
+#include "exec/engine.hpp"
+#include "exec/registry.hpp"
+#include "exec/seed.hpp"
+#include "mbpta/mbpta.hpp"
+#include "trace/report.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace proxima::cli {
+
+namespace {
+
+std::vector<std::string> selected_scenarios(const CampaignOptions& options) {
+  const exec::ScenarioRegistry& registry = exec::ScenarioRegistry::global();
+  if (options.all) {
+    return registry.names();
+  }
+  for (const std::string& name : options.scenarios) {
+    (void)registry.at(name); // throws std::out_of_range with the catalogue
+  }
+  return options.scenarios;
+}
+
+casestudy::CampaignConfig scenario_config(const std::string& name,
+                                          const CampaignOptions& options) {
+  casestudy::CampaignConfig config =
+      exec::ScenarioRegistry::global().at(name).make_config(options.runs);
+  config.vm_core = options.vm_core;
+  if (options.seed) {
+    // One knob reseeds the whole campaign: the layout stream gets a
+    // SplitMix64-mixed companion so the two streams never coincide.
+    config.input_seed = *options.seed;
+    config.layout_seed = exec::splitmix64_mix(*options.seed);
+  }
+  return config;
+}
+
+std::uint64_t effective_batch(const CampaignOptions& options) {
+  if (options.batch_runs != 0) {
+    return options.batch_runs;
+  }
+  return std::max<std::uint64_t>(50, options.runs / 10);
+}
+
+exec::ConvergenceOptions convergence_options(const CampaignOptions& options) {
+  exec::ConvergenceOptions convergence;
+  convergence.batch_runs = effective_batch(options);
+  convergence.max_runs = options.runs; // --runs is the adaptive budget
+  convergence.controller.target_exceedance = 1e-12;
+  convergence.controller.epsilon = 0.01;
+  convergence.controller.stable_rounds = 3;
+  convergence.controller.min_samples =
+      std::min<std::size_t>(200, options.runs);
+  convergence.controller.mbpta.block_size =
+      std::max(10u, options.runs / 40u);
+  return convergence;
+}
+
+/// One executed scenario: the campaign, its wall time, and (adaptive) the
+/// convergence trace.
+struct Execution {
+  std::string name;
+  casestudy::CampaignConfig config;
+  casestudy::CampaignResult result;
+  double seconds = 0.0;
+  std::optional<exec::AdaptiveCampaignResult> adaptive; // trace only
+  std::uint64_t budget = 0;     // adaptive: --runs
+  std::uint64_t batch_runs = 0; // adaptive growth quantum
+  unsigned workers = 0;         // resolved count the engine actually uses
+
+  std::uint64_t guest_instructions() const {
+    std::uint64_t total = 0;
+    for (const casestudy::RunSample& sample : result.samples) {
+      total += sample.counters.instructions;
+    }
+    return total;
+  }
+  double minstr_per_second() const {
+    return seconds <= 0.0
+               ? 0.0
+               : static_cast<double>(guest_instructions()) / seconds / 1e6;
+  }
+};
+
+Execution execute_scenario(const std::string& name,
+                           const CampaignOptions& options) {
+  Execution execution;
+  execution.name = name;
+  execution.config = scenario_config(name, options);
+  exec::EngineOptions engine_options;
+  engine_options.workers = options.workers;
+  const exec::CampaignEngine engine(engine_options);
+
+  const auto start = std::chrono::steady_clock::now();
+  if (options.adaptive) {
+    execution.budget = options.runs;
+    execution.batch_runs = effective_batch(options);
+    // Adaptive campaigns shard one batch at a time.
+    execution.workers = engine.resolved_workers(
+        std::min<std::uint64_t>(execution.batch_runs, execution.budget));
+    exec::AdaptiveCampaignResult adaptive =
+        engine.run_adaptive(execution.config, convergence_options(options));
+    execution.result = std::move(adaptive.campaign);
+    adaptive.campaign = {};
+    execution.adaptive = std::move(adaptive);
+  } else {
+    execution.workers = engine.resolved_workers(options.runs);
+    execution.result = engine.run(execution.config);
+  }
+  execution.seconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  return execution;
+}
+
+const char* vm_core_name(vm::VmCore core) {
+  return core == vm::VmCore::kFast ? "fast" : "reference";
+}
+
+void write_adaptive_json(JsonWriter& json, const Execution& execution) {
+  json.key("adaptive");
+  if (!execution.adaptive) {
+    json.null();
+    return;
+  }
+  const exec::AdaptiveCampaignResult& adaptive = *execution.adaptive;
+  json.begin_object();
+  json.key("budget").value(execution.budget);
+  json.key("batch_runs").value(execution.batch_runs);
+  json.key("batches").value(std::uint64_t{adaptive.batches});
+  json.key("converged").value(adaptive.converged);
+  json.key("capped").value(adaptive.capped);
+  json.key("estimates").begin_array();
+  for (const double estimate : adaptive.estimates) {
+    json.value(estimate); // NaN (i.i.d. failed) renders as null
+  }
+  json.end_array();
+  json.end_object();
+}
+
+void write_times_json(JsonWriter& json, const Execution& execution) {
+  const mbpta::Summary summary = mbpta::summarise(execution.result.times);
+  json.key("times").begin_object();
+  json.key("n").value(std::uint64_t{summary.count});
+  json.key("min").value(summary.min);
+  json.key("mean").value(summary.mean);
+  json.key("max").value(summary.max);
+  json.key("stddev").value(summary.stddev);
+  json.key("digest").value(trace::times_digest_hex(execution.result.times));
+  json.end_object();
+}
+
+void write_throughput_json(JsonWriter& json, const Execution& execution) {
+  json.key("throughput").begin_object();
+  json.key("wall_seconds").value(execution.seconds);
+  json.key("guest_instructions").value(execution.guest_instructions());
+  json.key("minstr_per_second").value(execution.minstr_per_second());
+  json.end_object();
+}
+
+void write_execution_header_json(JsonWriter& json, const Execution& execution,
+                                 const CampaignOptions& options) {
+  json.key("name").value(execution.name);
+  json.key("vm_core").value(vm_core_name(options.vm_core));
+  json.key("seed").begin_object();
+  json.key("input").value(execution.config.input_seed);
+  json.key("layout").value(execution.config.layout_seed);
+  json.end_object();
+  json.key("runs").value(
+      std::uint64_t{execution.result.times.size()});
+  json.key("workers").value(execution.workers);
+}
+
+void print_adaptive_text(std::ostream& out, const Execution& execution) {
+  if (!execution.adaptive) {
+    return;
+  }
+  const exec::AdaptiveCampaignResult& adaptive = *execution.adaptive;
+  out << "  adaptive: " << execution.result.times.size() << " of "
+      << execution.budget << " budgeted runs ("
+      << (adaptive.converged ? "converged" : "budget exhausted") << " after "
+      << adaptive.batches << " batches of " << execution.batch_runs << ")\n";
+  // Estimates exist only for batches past the controller's min_samples,
+  // so they are numbered as evaluations rather than batches.
+  std::size_t index = 0;
+  for (const double estimate : adaptive.estimates) {
+    std::ostringstream line;
+    if (std::isnan(estimate)) {
+      line << "i.i.d. failed";
+    } else {
+      line << "pWCET estimate " << estimate;
+    }
+    out << "    evaluation " << ++index << ": " << line.str() << '\n';
+  }
+}
+
+} // namespace
+
+int cmd_list(const CampaignOptions& options, std::ostream& out) {
+  const exec::ScenarioRegistry& registry = exec::ScenarioRegistry::global();
+  const std::vector<std::string> names = registry.names();
+  if (options.format == OutputFormat::kJson) {
+    JsonWriter json(out);
+    json.begin_object();
+    json.key("command").value("list");
+    json.key("scenarios").begin_array();
+    for (const std::string& name : names) {
+      json.begin_object();
+      json.key("name").value(name);
+      json.key("description").value(registry.at(name).description);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    return 0;
+  }
+  for (const std::string& name : names) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-28s %s\n", name.c_str(),
+                  registry.at(name).description.c_str());
+    out << line;
+  }
+  out << '(' << names.size() << " scenarios)\n";
+  return 0;
+}
+
+int cmd_run(const CampaignOptions& options, std::ostream& out) {
+  const std::vector<std::string> names = selected_scenarios(options);
+  // Execute everything before emitting: a campaign fault on a later
+  // scenario propagates BEFORE any output, so machine consumers never see
+  // a truncated (syntactically invalid) JSON/CSV document.
+  std::vector<Execution> executions;
+  executions.reserve(names.size());
+  for (const std::string& name : names) {
+    executions.push_back(execute_scenario(name, options));
+  }
+
+  if (options.format == OutputFormat::kJson) {
+    JsonWriter json(out);
+    json.begin_object();
+    json.key("command").value("run");
+    json.key("scenarios").begin_array();
+    for (const Execution& execution : executions) {
+      json.begin_object();
+      write_execution_header_json(json, execution, options);
+      write_adaptive_json(json, execution);
+      write_times_json(json, execution);
+      write_throughput_json(json, execution);
+      json.key("verified_runs").value(execution.result.verified_runs);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    return 0;
+  }
+
+  if (options.format == OutputFormat::kCsv) {
+    out << "scenario,runs,min,mean,max,stddev,digest,converged,"
+           "wall_seconds,minstr_per_second\n";
+    for (const Execution& execution : executions) {
+      const mbpta::Summary summary = mbpta::summarise(execution.result.times);
+      out << execution.name << ',' << summary.count << ',' << summary.min
+          << ',' << summary.mean << ',' << summary.max << ',' << summary.stddev
+          << ',' << trace::times_digest_hex(execution.result.times) << ','
+          << (execution.adaptive
+                  ? (execution.adaptive->converged ? "true" : "false")
+                  : "")
+          << ',' << execution.seconds << ',' << execution.minstr_per_second()
+          << '\n';
+    }
+    return 0;
+  }
+
+  for (const Execution& execution : executions) {
+    const trace::TimingReport report =
+        trace::TimingReport::from_times(execution.result.times);
+    out << execution.name << " (" << vm_core_name(options.vm_core) << " core, "
+        << execution.result.times.size() << " runs)\n";
+    out << "  " << report.to_string() << '\n';
+    print_adaptive_text(out, execution);
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "  %.3f s wall, %.1f Minstr/s, digest %s\n",
+                  execution.seconds, execution.minstr_per_second(),
+                  trace::times_digest_hex(execution.result.times).c_str());
+    out << line;
+  }
+  return 0;
+}
+
+int cmd_report(const CampaignOptions& options, std::ostream& out) {
+  const std::vector<std::string> names = selected_scenarios(options);
+  int exit_code = 0;
+
+  // Execute and analyse everything before emitting (see cmd_run).
+  struct Reported {
+    Execution execution;
+    std::optional<mbpta::MbptaAnalysis> analysis;
+    std::string error;
+  };
+  std::vector<Reported> reports;
+  reports.reserve(names.size());
+  for (const std::string& name : names) {
+    Reported reported{execute_scenario(name, options), {}, {}};
+    mbpta::MbptaConfig analysis_config;
+    if (options.adaptive) {
+      // The reported fit must be the estimator whose stability the
+      // convergence decision certified: reuse the controller's tail-fit
+      // config rather than re-deriving a block size from the stop count.
+      analysis_config = convergence_options(options).controller.mbpta;
+    } else {
+      analysis_config.block_size = std::max(
+          10u,
+          static_cast<std::uint32_t>(reported.execution.result.times.size() /
+                                     40));
+    }
+    try {
+      reported.analysis =
+          mbpta::analyse(reported.execution.result.times, analysis_config);
+    } catch (const std::invalid_argument& error) {
+      reported.error = error.what(); // campaign too short for the fit
+      exit_code = 1;
+    }
+    reports.push_back(std::move(reported));
+  }
+
+  std::optional<JsonWriter> json;
+  if (options.format == OutputFormat::kJson) {
+    json.emplace(out);
+    json->begin_object();
+    json->key("command").value("report");
+    json->key("scenarios").begin_array();
+  } else if (options.format == OutputFormat::kCsv) {
+    out << "scenario,exceedance_probability,pwcet_cycles\n";
+  }
+
+  for (const Reported& reported : reports) {
+    const Execution& execution = reported.execution;
+    const std::size_t n = execution.result.times.size();
+    const std::optional<mbpta::MbptaAnalysis>& analysis = reported.analysis;
+    const std::string& analysis_error = reported.error;
+
+    if (json) {
+      json->begin_object();
+      write_execution_header_json(*json, execution, options);
+      write_adaptive_json(*json, execution);
+      write_times_json(*json, execution);
+      if (analysis) {
+        json->key("analysis").begin_object();
+        json->key("iid").begin_object();
+        json->key("independence_p")
+            .value(analysis->iid.independence.p_value);
+        json->key("identical_distribution_p")
+            .value(analysis->iid.identical_distribution.p_value);
+        json->key("passes").value(analysis->applicable());
+        json->end_object();
+        json->key("gumbel").begin_object();
+        json->key("location").value(analysis->model.info().gumbel.location);
+        json->key("scale").value(analysis->model.info().gumbel.scale);
+        json->end_object();
+        json->key("curve").begin_array();
+        for (const auto& [cycles, p] : analysis->model.curve(options.decades)) {
+          json->begin_object();
+          json->key("exceedance").value(p);
+          json->key("pwcet_cycles").value(cycles);
+          json->end_object();
+        }
+        json->end_array();
+        json->end_object();
+      } else {
+        json->key("analysis").null();
+        json->key("analysis_error").value(analysis_error);
+      }
+      json->end_object();
+      continue;
+    }
+
+    if (options.format == OutputFormat::kCsv) {
+      if (analysis) {
+        for (const auto& [cycles, p] : analysis->model.curve(options.decades)) {
+          out << execution.name << ',' << p << ',' << cycles << '\n';
+        }
+      }
+      continue;
+    }
+
+    const trace::TimingReport report =
+        trace::TimingReport::from_times(execution.result.times);
+    out << "== " << execution.name << " (" << n << " runs) ==\n";
+    out << report.to_string() << '\n';
+    print_adaptive_text(out, execution);
+    if (!analysis) {
+      out << "MBPTA analysis not possible: " << analysis_error << '\n';
+      continue;
+    }
+    char line[200];
+    std::snprintf(line, sizeof(line),
+                  "i.i.d.: Ljung-Box p=%.3f, KS p=%.3f -> %s\n",
+                  analysis->iid.independence.p_value,
+                  analysis->iid.identical_distribution.p_value,
+                  analysis->applicable() ? "EVT applicable"
+                                         : "NOT applicable");
+    out << line;
+    std::snprintf(line, sizeof(line),
+                  "Gumbel tail: location=%.1f scale=%.3f (block %u)\n",
+                  analysis->model.info().gumbel.location,
+                  analysis->model.info().gumbel.scale,
+                  analysis->model.info().block_size);
+    out << line;
+    std::snprintf(line, sizeof(line),
+                  "pWCET: %.0f @ 1e-12, %.0f @ 1e-15 (MOET %.0f, "
+                  "MOET+20%% %.0f)\n",
+                  analysis->pwcet(1e-12), analysis->pwcet(1e-15),
+                  report.moet(), report.mbdta_bound());
+    out << line;
+    out << trace::ascii_exceedance_plot(analysis->model,
+                                        execution.result.times);
+  }
+
+  if (json) {
+    json->end_array();
+    json->end_object();
+  }
+  return exit_code;
+}
+
+} // namespace proxima::cli

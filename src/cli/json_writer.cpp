@@ -1,0 +1,133 @@
+#include "json_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace proxima::cli {
+
+void JsonWriter::prefix() {
+  if (pending_key_) {
+    pending_key_ = false; // value attaches to its key, no separator
+    return;
+  }
+  if (stack_.empty()) {
+    return;
+  }
+  Level& level = stack_.back();
+  if (level.has_items) {
+    out_ << ',';
+  }
+  level.has_items = true;
+  out_ << '\n' << std::string(2 * stack_.size(), ' ');
+}
+
+void JsonWriter::write_escaped(std::string_view text) {
+  out_ << '"';
+  for (const char c : text) {
+    switch (c) {
+    case '"': out_ << "\\\""; break;
+    case '\\': out_ << "\\\\"; break;
+    case '\n': out_ << "\\n"; break;
+    case '\t': out_ << "\\t"; break;
+    case '\r': out_ << "\\r"; break;
+    default:
+      if (static_cast<unsigned char>(c) < 0x20) {
+        char buffer[8];
+        std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(c)));
+        out_ << buffer;
+      } else {
+        out_ << c;
+      }
+    }
+  }
+  out_ << '"';
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  prefix();
+  out_ << '{';
+  stack_.push_back(Level{});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  const bool had_items = !stack_.empty() && stack_.back().has_items;
+  stack_.pop_back();
+  if (had_items) {
+    out_ << '\n' << std::string(2 * stack_.size(), ' ');
+  }
+  out_ << '}';
+  if (stack_.empty()) {
+    out_ << '\n';
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  prefix();
+  out_ << '[';
+  stack_.push_back(Level{});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  const bool had_items = !stack_.empty() && stack_.back().has_items;
+  stack_.pop_back();
+  if (had_items) {
+    out_ << '\n' << std::string(2 * stack_.size(), ' ');
+  }
+  out_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  prefix();
+  write_escaped(name);
+  out_ << ": ";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  prefix();
+  write_escaped(text);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  if (!std::isfinite(number)) {
+    return null(); // JSON has no NaN/Inf
+  }
+  prefix();
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", number);
+  out_ << buffer;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  prefix();
+  out_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  prefix();
+  out_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  prefix();
+  out_ << (flag ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  prefix();
+  out_ << "null";
+  return *this;
+}
+
+} // namespace proxima::cli

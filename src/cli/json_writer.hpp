@@ -1,0 +1,51 @@
+// Minimal streaming JSON writer for the CLI's machine-readable output.
+//
+// No dependency, no DOM: values are written as they are produced, commas
+// and indentation are managed by a nesting stack.  Numbers are emitted
+// with enough digits to round-trip doubles; NaN/Inf (which JSON cannot
+// represent) are emitted as null — the convention the convergence trace
+// uses for "i.i.d. verdict failed at this batch".
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace proxima::cli {
+
+class JsonWriter {
+public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member key; must be followed by exactly one value/container.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(double number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(unsigned number) { return value(std::uint64_t{number}); }
+  JsonWriter& value(int number) { return value(std::int64_t{number}); }
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+private:
+  void prefix(); // comma/newline/indent before a value or key
+  void write_escaped(std::string_view text);
+
+  std::ostream& out_;
+  struct Level {
+    bool has_items = false;
+  };
+  std::vector<Level> stack_;
+  bool pending_key_ = false;
+};
+
+} // namespace proxima::cli

@@ -1,0 +1,162 @@
+#include "options.hpp"
+
+#include <charconv>
+#include <cstring>
+#include <string_view>
+
+namespace proxima::cli {
+
+namespace {
+
+template <typename T>
+T parse_number(std::string_view flag, std::string_view text) {
+  T value{};
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    throw UsageError(std::string(flag) + ": expected a number, got '" +
+                     std::string(text) + "'");
+  }
+  return value;
+}
+
+OutputFormat parse_format(std::string_view text) {
+  if (text == "text") {
+    return OutputFormat::kText;
+  }
+  if (text == "json") {
+    return OutputFormat::kJson;
+  }
+  if (text == "csv") {
+    return OutputFormat::kCsv;
+  }
+  throw UsageError("--format: expected text|json|csv, got '" +
+                   std::string(text) + "'");
+}
+
+vm::VmCore parse_vm_core(std::string_view text) {
+  if (text == "fast") {
+    return vm::VmCore::kFast;
+  }
+  if (text == "reference") {
+    return vm::VmCore::kReference;
+  }
+  throw UsageError("--vm-core: expected fast|reference, got '" +
+                   std::string(text) + "'");
+}
+
+} // namespace
+
+Command parse_command_line(std::span<const char* const> args) {
+  Command command;
+  if (args.empty()) {
+    throw UsageError("missing command: expected list|run|report|help");
+  }
+  const std::string_view verb = args[0];
+  if (verb == "help" || verb == "--help" || verb == "-h") {
+    command.kind = Command::Kind::kHelp;
+    return command;
+  }
+  if (verb == "list") {
+    command.kind = Command::Kind::kList;
+  } else if (verb == "run") {
+    command.kind = Command::Kind::kRun;
+  } else if (verb == "report") {
+    command.kind = Command::Kind::kReport;
+  } else {
+    throw UsageError("unknown command '" + std::string(verb) +
+                     "': expected list|run|report|help");
+  }
+
+  CampaignOptions& options = command.options;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string_view flag = args[i];
+    const auto value = [&]() -> std::string_view {
+      if (i + 1 >= args.size()) {
+        throw UsageError(std::string(flag) + ": missing value");
+      }
+      return args[++i];
+    };
+    if (flag == "--scenario") {
+      options.scenarios.emplace_back(value());
+    } else if (flag == "--all") {
+      options.all = true;
+    } else if (flag == "--runs") {
+      options.runs = parse_number<std::uint32_t>(flag, value());
+    } else if (flag == "--adaptive") {
+      options.adaptive = true;
+    } else if (flag == "--batch") {
+      options.batch_runs = parse_number<std::uint64_t>(flag, value());
+      if (options.batch_runs == 0) {
+        throw UsageError("--batch: must be >= 1");
+      }
+    } else if (flag == "--workers") {
+      options.workers = parse_number<unsigned>(flag, value());
+    } else if (flag == "--seed") {
+      options.seed = parse_number<std::uint64_t>(flag, value());
+    } else if (flag == "--vm-core") {
+      options.vm_core = parse_vm_core(value());
+    } else if (flag == "--format") {
+      options.format = parse_format(value());
+    } else if (flag == "--decades") {
+      options.decades = parse_number<int>(flag, value());
+      if (options.decades < 1 || options.decades > 18) {
+        throw UsageError("--decades: expected 1..18");
+      }
+    } else {
+      throw UsageError("unknown flag '" + std::string(flag) + "'");
+    }
+  }
+
+  if (command.kind != Command::Kind::kList) {
+    if (options.scenarios.empty() && !options.all) {
+      throw UsageError("expected --scenario NAME (repeatable) or --all");
+    }
+    if (!options.scenarios.empty() && options.all) {
+      throw UsageError("--scenario and --all are mutually exclusive");
+    }
+    if (options.runs == 0) {
+      throw UsageError("--runs: must be >= 1");
+    }
+  }
+  return command;
+}
+
+std::string usage() {
+  return
+      "proxima — campaign driver for the DSR case-study reproduction\n"
+      "\n"
+      "usage: proxima <command> [options]\n"
+      "\n"
+      "commands:\n"
+      "  list                 enumerate the scenario registry\n"
+      "  run                  execute campaigns, print timing summaries\n"
+      "  report               execute campaigns + full MBPTA report\n"
+      "                       (i.i.d. verdict, pWCET curve, Figure-3 plot)\n"
+      "  help                 this text\n"
+      "\n"
+      "options (run/report):\n"
+      "  --scenario NAME      registry scenario to run (repeatable)\n"
+      "  --all                run every registry scenario instead\n"
+      "  --runs N             measured runs, or the budget under --adaptive\n"
+      "                       (default 1000)\n"
+      "  --adaptive           grow the campaign until the MBPTA convergence\n"
+      "                       criterion holds (deterministic batch\n"
+      "                       boundaries: bit-identical at any --workers)\n"
+      "  --batch N            adaptive growth quantum (default max(50, runs/10))\n"
+      "  --workers W          engine worker threads (default: hardware)\n"
+      "  --seed S             campaign seed (input seed S, layout seed\n"
+      "                       splitmix64(S); default: the paper's 2017/611085)\n"
+      "  --vm-core C          fast|reference (default fast)\n"
+      "  --format F           text|json|csv (default text; list: text|json)\n"
+      "  --decades D          report: pWCET curve depth (default 16)\n"
+      "\n"
+      "examples:\n"
+      "  proxima list\n"
+      "  proxima run --scenario control/operation-dsr --runs 500 --workers 8\n"
+      "  proxima run --scenario control/analysis-dsr --adaptive --seed 42 \\\n"
+      "              --format json\n"
+      "  proxima report --all --runs 300 --format csv\n";
+}
+
+} // namespace proxima::cli

@@ -1,0 +1,61 @@
+// Command-line parsing for the `proxima` CLI.
+//
+// Kept free of I/O and of campaign execution so the parser is unit-testable
+// in isolation: `parse_command_line` maps argv to a `Command` or throws
+// `UsageError` with the offending flag in the message.
+#pragma once
+
+#include "vm/vm.hpp"
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace proxima::cli {
+
+/// A malformed invocation (unknown flag, missing value, bad number).  The
+/// driver prints the message plus the usage text and exits non-zero.
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+enum class OutputFormat : std::uint8_t { kText, kJson, kCsv };
+
+/// Options shared by `run` and `report` (and `--format` by `list`).
+struct CampaignOptions {
+  /// Scenarios named via repeated `--scenario`; `--all` selects the whole
+  /// registry catalogue instead.
+  std::vector<std::string> scenarios;
+  bool all = false;
+  /// Measured runs; under `--adaptive` this is the campaign budget the
+  /// convergence loop may stop short of.
+  std::uint32_t runs = 1000;
+  bool adaptive = false;
+  /// Adaptive growth quantum (`--batch`); 0 picks max(50, runs/10).
+  std::uint64_t batch_runs = 0;
+  unsigned workers = 0; // 0: hardware concurrency
+  /// `--seed S`: input seed S, layout seed splitmix64_mix(S) — one knob
+  /// reseeds the whole campaign deterministically.
+  std::optional<std::uint64_t> seed;
+  vm::VmCore vm_core = vm::VmCore::kFast;
+  OutputFormat format = OutputFormat::kText;
+  /// `report`: pWCET curve depth in decades.
+  int decades = 16;
+};
+
+struct Command {
+  enum class Kind : std::uint8_t { kHelp, kList, kRun, kReport };
+  Kind kind = Kind::kHelp;
+  CampaignOptions options;
+};
+
+/// Parse `args` (argv without the program name).  Throws UsageError.
+Command parse_command_line(std::span<const char* const> args);
+
+/// The full usage text (also the `help` command's output).
+std::string usage();
+
+} // namespace proxima::cli

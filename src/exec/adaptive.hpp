@@ -1,0 +1,55 @@
+// Convergence-driven adaptive campaign types.
+//
+// The paper's measurement protocol is incremental: runs are collected
+// until the MBPTA convergence criterion holds, not for a fixed count.
+// `CampaignEngine::run_adaptive` grows a campaign in fixed-size batches,
+// executes each batch across the worker pool, and feeds the completed
+// batch — reassembled in run-index order — to an
+// `mbpta::ConvergenceController`.  Convergence is evaluated ONLY at these
+// deterministic batch boundaries, so the stop decision (and therefore the
+// collected sample set) is bit-identical for a given seed regardless of
+// worker count or shard completion order.
+#pragma once
+
+#include "mbpta/mbpta.hpp"
+
+#include "casestudy/campaign.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace proxima::exec {
+
+struct ConvergenceOptions {
+  /// Growth quantum: the campaign extends by this many runs at a time and
+  /// the convergence criterion is evaluated after each extension.  Must be
+  /// >= 1.
+  std::uint64_t batch_runs = 100;
+  /// Hard campaign budget; the final batch is truncated to it.  0 uses the
+  /// config's own `runs` as the budget.
+  std::uint64_t max_runs = 0;
+  /// The MBPTA stop criterion (target exceedance, epsilon, stable rounds,
+  /// minimum samples, optional non-convergence cap, tail-fit config).
+  mbpta::ConvergenceController::Config controller;
+};
+
+/// Outcome of an adaptive campaign: the collected measurements — a prefix
+/// [0, N) of the run-index space, bit-identical to a fixed N-run campaign
+/// of the same config — plus the convergence trace.
+struct AdaptiveCampaignResult {
+  casestudy::CampaignResult campaign;
+  /// The MBPTA criterion was met at the final batch boundary.
+  bool converged = false;
+  /// Stopped by a budget (engine `max_runs` or controller cap) without
+  /// convergence.  Exactly one of `converged`/`capped` is true.
+  bool capped = false;
+  /// Batches executed (= convergence evaluations performed).
+  std::size_t batches = 0;
+  /// Per-evaluation pWCET estimates (NaN where the i.i.d. verdict failed),
+  /// as recorded by the controller.
+  std::vector<double> estimates;
+
+  std::uint64_t runs() const noexcept { return campaign.times.size(); }
+};
+
+} // namespace proxima::exec

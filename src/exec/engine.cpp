@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -19,37 +20,51 @@ unsigned hardware_workers() {
   return hw == 0 ? 1 : hw;
 }
 
-/// Shared campaign state the workers cooperate on.
+using RunnerSlots = std::vector<std::unique_ptr<casestudy::CampaignRunner>>;
+
+/// Shared campaign state the workers cooperate on.  One `CampaignJob` is
+/// one pass over a shard queue; `run_adaptive` creates a job per batch but
+/// the runner slots (and their platform instances) persist across jobs.
 struct CampaignJob {
   CampaignJob(const casestudy::CampaignConfig& config_in,
               const std::vector<ShardRange>& shards_in,
               casestudy::CampaignResult& result_in, ProgressMeter& meter_in,
-              const ShardSink& sink_in)
+              const ShardSink& sink_in, std::stop_token external_in,
+              RunnerSlots& runners_in)
       : config(config_in), shards(shards_in), result(result_in),
-        meter(meter_in), sink(sink_in) {}
+        meter(meter_in), sink(sink_in), external(std::move(external_in)),
+        runners(runners_in) {}
 
   const casestudy::CampaignConfig& config;
   const std::vector<ShardRange>& shards;
   casestudy::CampaignResult& result;   // times/samples pre-sized
   ProgressMeter& meter;
   const ShardSink& sink;
+  const std::stop_token external;      // user cancellation
+  RunnerSlots& runners;                // one slot per worker, caller-owned
 
   std::atomic<std::size_t> next_shard{0};
-  std::atomic<bool> abort{false};
+  std::atomic<std::uint64_t> runs_done{0};
+  std::atomic<bool> fault{false};      // a worker threw
 
-  std::mutex mutex; // guards sink calls, metadata, verified_runs, error
-  bool metadata_set = false;
-  std::uint64_t verified_runs = 0;
+  std::mutex mutex; // guards sink calls and the error slot
   std::exception_ptr error;
+
+  /// Checked before claiming a shard AND before every run: a fault or the
+  /// external token must stop the pool promptly, not after the queue
+  /// drains.
+  bool cancelled() const {
+    return fault.load(std::memory_order_relaxed) || external.stop_requested();
+  }
 };
 
-/// One worker: own platform instance, chunk-claiming loop.
-void worker_main(CampaignJob& job) {
+/// One worker: own platform instance (slot-persistent), chunk-claiming loop.
+void worker_main(CampaignJob& job, unsigned slot) {
   try {
     // The platform is built lazily: a worker that finds the queue already
     // drained never pays the program-build/link cost.
-    std::unique_ptr<casestudy::CampaignRunner> runner;
-    while (!job.abort.load(std::memory_order_relaxed)) {
+    std::unique_ptr<casestudy::CampaignRunner>& runner = job.runners[slot];
+    while (!job.cancelled()) {
       const std::size_t shard_index =
           job.next_shard.fetch_add(1, std::memory_order_relaxed);
       if (shard_index >= job.shards.size()) {
@@ -60,12 +75,16 @@ void worker_main(CampaignJob& job) {
       }
       const ShardRange shard = job.shards[shard_index];
       for (std::uint64_t index = shard.begin; index < shard.end; ++index) {
+        if (job.cancelled()) {
+          return; // cooperative stop mid-shard
+        }
         const casestudy::RunSample sample = runner->run(index);
         // Disjoint slots: no lock needed for the result vectors.
         job.result.times[index] = sample.uoa_cycles;
         job.result.samples[index] = sample;
+        job.runs_done.fetch_add(1, std::memory_order_relaxed);
+        job.meter.add(1);
       }
-      job.meter.add(shard.size());
       if (job.sink) {
         std::lock_guard<std::mutex> lock(job.mutex);
         job.sink(shard, std::span<const double>(
@@ -73,23 +92,70 @@ void worker_main(CampaignJob& job) {
                             static_cast<std::size_t>(shard.size())));
       }
     }
-    if (runner) {
-      std::lock_guard<std::mutex> lock(job.mutex);
-      job.verified_runs += runner->verified_runs();
-      if (!job.metadata_set) {
-        // Identical on every worker: the build/link pipeline is
-        // deterministic for a given config.
-        job.result.pass_report = runner->pass_report();
-        job.result.code_bytes = runner->code_bytes();
-        job.metadata_set = true;
-      }
-    }
   } catch (...) {
     std::lock_guard<std::mutex> lock(job.mutex);
     if (!job.error) {
       job.error = std::current_exception();
     }
-    job.abort.store(true, std::memory_order_relaxed);
+    job.fault.store(true, std::memory_order_relaxed);
+  }
+}
+
+/// Run one shard queue to completion (or cancellation) on `workers`
+/// threads.  Throws the first worker fault, or CampaignCancelled when the
+/// external token stopped the pool before every planned run completed.
+void execute_shards(const casestudy::CampaignConfig& config,
+                    const std::vector<ShardRange>& shards, unsigned workers,
+                    casestudy::CampaignResult& result, ProgressMeter& meter,
+                    const ShardSink& sink, const std::stop_token& external,
+                    RunnerSlots& runners) {
+  CampaignJob job{config, shards, result, meter, sink, external, runners};
+  if (workers == 1) {
+    worker_main(job, 0); // no thread spawn for the sequential case
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      pool.emplace_back(worker_main, std::ref(job), w);
+    }
+    for (std::thread& thread : pool) {
+      thread.join();
+    }
+  }
+  if (job.error) {
+    std::rethrow_exception(job.error);
+  }
+  std::uint64_t planned = 0;
+  for (const ShardRange& shard : shards) {
+    planned += shard.size();
+  }
+  if (job.runs_done.load(std::memory_order_relaxed) < planned) {
+    // No worker threw, so the only way to fall short is the external token.
+    throw CampaignCancelled{};
+  }
+}
+
+/// Sum of golden-model verifications across the pool's runners.
+std::uint64_t total_verified(const RunnerSlots& runners) {
+  std::uint64_t verified = 0;
+  for (const auto& runner : runners) {
+    if (runner) {
+      verified += runner->verified_runs();
+    }
+  }
+  return verified;
+}
+
+/// Pass report + code size from any built runner (identical on every
+/// worker: the build/link pipeline is deterministic for a given config).
+void fill_metadata(const RunnerSlots& runners,
+                   casestudy::CampaignResult& result) {
+  for (const auto& runner : runners) {
+    if (runner) {
+      result.pass_report = runner->pass_report();
+      result.code_bytes = runner->code_bytes();
+      return;
+    }
   }
 }
 
@@ -129,31 +195,87 @@ CampaignEngine::run(const casestudy::CampaignConfig& config) const {
   }
 
   const Plan execution_plan = plan(runs);
-  const std::vector<ShardRange>& shards = execution_plan.shards;
-  const unsigned workers = execution_plan.workers;
-
   result.times.resize(static_cast<std::size_t>(runs));
   result.samples.resize(static_cast<std::size_t>(runs));
   ProgressMeter meter(runs, options_.progress);
-  CampaignJob job{config, shards, result, meter, options_.shard_sink};
-
-  if (workers == 1) {
-    worker_main(job); // no thread spawn for the sequential case
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w) {
-      pool.emplace_back(worker_main, std::ref(job));
-    }
-    for (std::thread& thread : pool) {
-      thread.join();
-    }
-  }
-  if (job.error) {
-    std::rethrow_exception(job.error);
-  }
-  result.verified_runs = job.verified_runs;
+  RunnerSlots runners(execution_plan.workers);
+  execute_shards(config, execution_plan.shards, execution_plan.workers,
+                 result, meter, options_.shard_sink, options_.stop, runners);
+  result.verified_runs = total_verified(runners);
+  fill_metadata(runners, result);
   return result;
+}
+
+AdaptiveCampaignResult
+CampaignEngine::run_adaptive(const casestudy::CampaignConfig& config,
+                             const ConvergenceOptions& options) const {
+  if (options.batch_runs == 0) {
+    throw std::invalid_argument("run_adaptive: batch_runs must be >= 1");
+  }
+  const std::uint64_t budget =
+      options.max_runs == 0 ? config.runs : options.max_runs;
+  if (budget == 0) {
+    throw std::invalid_argument(
+        "run_adaptive: the campaign budget (max_runs or config.runs) must "
+        "be >= 1");
+  }
+  if (budget > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument(
+        "run_adaptive: the campaign budget exceeds CampaignConfig::runs' "
+        "32-bit range");
+  }
+
+  // Every batch executes against the same config so an adaptive stop at N
+  // runs is bit-identical to a fixed N-run campaign; `runs` is the budget
+  // so the runners' range check admits every batch index.
+  casestudy::CampaignConfig run_config = config;
+  run_config.runs = static_cast<std::uint32_t>(budget);
+
+  AdaptiveCampaignResult out;
+  casestudy::CampaignResult& campaign = out.campaign;
+  mbpta::ConvergenceController controller(options.controller);
+  ProgressMeter meter(budget, options_.progress);
+
+  RunnerSlots runners; // persist across batches, grown to the widest batch
+
+  for (std::uint64_t begin = 0; begin < budget; begin += options.batch_runs) {
+    const std::uint64_t end = std::min(budget, begin + options.batch_runs);
+    campaign.times.resize(static_cast<std::size_t>(end));
+    campaign.samples.resize(static_cast<std::size_t>(end));
+
+    // Shard this batch only (same worker-resolution policy as `run`); the
+    // plan is deterministic and the offsets put it at [begin, end) of the
+    // global run-index space.
+    Plan batch_plan = plan(end - begin);
+    for (ShardRange& shard : batch_plan.shards) {
+      shard.begin += begin;
+      shard.end += begin;
+    }
+    if (runners.size() < batch_plan.workers) {
+      runners.resize(batch_plan.workers);
+    }
+    execute_shards(run_config, batch_plan.shards, batch_plan.workers,
+                   campaign, meter, options_.shard_sink, options_.stop,
+                   runners);
+
+    // Deterministic batch boundary: the controller sees this batch in
+    // run-index order, exactly once, regardless of which worker completed
+    // which shard when — the stop decision cannot depend on scheduling.
+    ++out.batches;
+    const bool done = controller.add_batch(std::span<const double>(
+        campaign.times.data() + begin,
+        static_cast<std::size_t>(end - begin)));
+    if (done) {
+      break;
+    }
+  }
+
+  out.converged = controller.converged();
+  out.capped = !out.converged; // controller cap or budget exhaustion
+  out.estimates = controller.estimates();
+  campaign.verified_runs = total_verified(runners);
+  fill_metadata(runners, campaign);
+  return out;
 }
 
 } // namespace proxima::exec

@@ -13,25 +13,41 @@
 // running (e.g. to feed `mbpta::ConvergenceController` with measurement
 // batches), and a progress callback reports the running completed/total
 // counts.
+//
+// Cancellation is cooperative: workers re-check a stop condition before
+// claiming a shard AND before every run inside a shard, so both a worker
+// fault (internal) and `EngineOptions::stop` (external) halt the pool
+// promptly instead of letting healthy workers drain the remaining queue.
 #pragma once
 
 #include "casestudy/campaign.hpp"
+#include "exec/adaptive.hpp"
 #include "exec/progress.hpp"
 #include "exec/shard.hpp"
 
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <stdexcept>
+#include <stop_token>
 
 namespace proxima::exec {
 
 /// Streaming per-shard aggregation: invoked once per completed shard with
 /// the shard's UoA times in run-index order.  Shards arrive in completion
 /// order (not index order) but carry their range; calls are serialised by
-/// the engine.  Typical use: `controller.add_batch(times)` for the MBPTA
-/// convergence loop.
+/// the engine.
 using ShardSink = std::function<void(const ShardRange& range,
                                      std::span<const double> times)>;
+
+/// Thrown by `run`/`run_adaptive` when `EngineOptions::stop` fires before
+/// the campaign completes: a cancelled campaign must never be mistaken for
+/// a complete one.
+struct CampaignCancelled : std::runtime_error {
+  CampaignCancelled()
+      : std::runtime_error("campaign cancelled: stop token fired before "
+                           "every planned run completed") {}
+};
 
 struct EngineOptions {
   /// Worker threads; 0 picks the hardware concurrency.  The effective
@@ -40,6 +56,11 @@ struct EngineOptions {
   ShardOptions sharding;
   ProgressFn progress;   // optional completed/total callback
   ShardSink shard_sink;  // optional streaming aggregation
+  /// Optional external cancellation: when the token fires, workers stop at
+  /// the next per-run check and the engine throws `CampaignCancelled`
+  /// (unless the campaign had already completed).  A default-constructed
+  /// token never fires.
+  std::stop_token stop;
 };
 
 class CampaignEngine {
@@ -48,8 +69,23 @@ public:
 
   /// Execute the campaign across the configured workers.  Rethrows the
   /// first worker fault (functional mismatch, platform fault) after all
-  /// workers have stopped.
+  /// workers have stopped — promptly: the fault cancels the pool, it does
+  /// not wait for the queue to drain.
   casestudy::CampaignResult run(const casestudy::CampaignConfig& config) const;
+
+  /// Execute the campaign adaptively: grow in `options.batch_runs`-sized
+  /// batches, feed each completed batch (in run-index order) to an
+  /// `mbpta::ConvergenceController`, and stop at the first batch boundary
+  /// where the controller reports completion — convergence or its
+  /// non-convergence cap — or at the `max_runs` budget.  `config.runs` is
+  /// ignored except as the default budget (see ConvergenceOptions).
+  /// Deterministic: for a given config + options the result is
+  /// bit-identical at any worker count, and equal to a fixed campaign of
+  /// the same length.  Per-worker platforms persist across batches, so
+  /// growing costs no extra program builds.
+  AdaptiveCampaignResult
+  run_adaptive(const casestudy::CampaignConfig& config,
+               const ConvergenceOptions& options) const;
 
   /// The worker count `run` would use for a campaign of `runs` runs.
   unsigned resolved_workers(std::uint64_t runs) const;

@@ -200,6 +200,19 @@ PwcetModel PwcetModel::fit_pot(std::span<const double> samples,
   return model;
 }
 
+double PwcetModel::max_exceedance() const noexcept {
+  switch (info_.method) {
+  case TailMethod::kBlockMaximaGumbel:
+  case TailMethod::kBlockMaximaGev:
+    return info_.block_size == 0
+               ? 1.0
+               : 1.0 / static_cast<double>(info_.block_size);
+  case TailMethod::kPotGpd:
+    return 1.0;
+  }
+  return 1.0;
+}
+
 double PwcetModel::pwcet(double exceedance_per_run) const {
   if (exceedance_per_run <= 0.0 || exceedance_per_run >= 1.0) {
     throw std::invalid_argument("exceedance probability must be in (0,1)");
@@ -208,8 +221,16 @@ double PwcetModel::pwcet(double exceedance_per_run) const {
   case TailMethod::kBlockMaximaGumbel:
   case TailMethod::kBlockMaximaGev: {
     // P(block max > x) ~= block_size * p_run for small p.
-    const double p_block = std::min(
-        0.999999, exceedance_per_run * static_cast<double>(info_.block_size));
+    const double p_block =
+        exceedance_per_run * static_cast<double>(info_.block_size);
+    if (p_block >= 1.0) {
+      // A per-block exceedance >= 1 is a *body* probability: the tail fit
+      // has nothing to say about it, and clamping would return a body
+      // quantile masquerading as a tail bound.
+      throw std::invalid_argument(
+          "exceedance probability outside the block-maxima model's valid "
+          "range: need p < 1/block_size (see PwcetModel::max_exceedance)");
+    }
     const double cumulative = 1.0 - p_block;
     return info_.method == TailMethod::kBlockMaximaGumbel
                ? info_.gumbel.quantile(cumulative)
@@ -229,8 +250,12 @@ double PwcetModel::pwcet(double exceedance_per_run) const {
 
 std::vector<std::pair<double, double>> PwcetModel::curve(int decades) const {
   std::vector<std::pair<double, double>> points;
+  const double limit = max_exceedance();
   for (int d = 1; d <= decades; ++d) {
     const double p = std::pow(10.0, -d);
+    if (p >= limit) {
+      continue; // body probability: outside the tail model's range
+    }
     points.emplace_back(pwcet(p), p);
   }
   return points;

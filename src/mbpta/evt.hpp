@@ -94,9 +94,22 @@ public:
                             double threshold_quantile = 0.9);
 
   /// Execution-time bound exceeded with probability at most `p` per run.
+  /// Throws std::invalid_argument when `p` lies outside the model's valid
+  /// range — (0, 1) generally, and for the block-maxima methods
+  /// additionally p < 1/block_size: a larger per-run probability maps to a
+  /// per-block probability >= 1, i.e. a *body* quantile the tail fit
+  /// cannot answer (it used to be silently clamped, masquerading as a
+  /// tail bound).
   double pwcet(double exceedance_per_run) const;
 
-  /// (time, exceedance probability) pairs for probabilities 10^-1..10^-k.
+  /// Exclusive upper bound of the per-run exceedance probabilities the
+  /// fitted tail can answer: 1/block_size for the block-maxima methods,
+  /// 1 for POT.
+  double max_exceedance() const noexcept;
+
+  /// (time, exceedance probability) pairs for probabilities 10^-1..10^-k,
+  /// skipping any leading decade outside the model's valid range (for a
+  /// block size of 50 the curve starts at 1e-2).
   std::vector<std::pair<double, double>> curve(int decades = 16) const;
 
   const FitInfo& info() const noexcept { return info_; }

@@ -8,6 +8,28 @@ namespace proxima::mbpta {
 ConvergenceController::ConvergenceController()
     : ConvergenceController(Config{}) {}
 
+ConvergenceController::ConvergenceController(const Config& config)
+    : config_(config) {
+  if (config_.target_exceedance <= 0.0 || config_.target_exceedance >= 1.0) {
+    throw std::invalid_argument(
+        "ConvergenceController: target_exceedance must be in (0,1)");
+  }
+  const bool block_maxima =
+      config_.mbpta.method == TailMethod::kBlockMaximaGumbel ||
+      config_.mbpta.method == TailMethod::kBlockMaximaGev;
+  if (block_maxima &&
+      config_.target_exceedance *
+              static_cast<double>(config_.mbpta.block_size) >=
+          1.0) {
+    // PwcetModel::pwcet would throw at the first estimate: the target is a
+    // *body* probability for this block size, so no campaign length can
+    // ever answer it.
+    throw std::invalid_argument(
+        "ConvergenceController: target_exceedance is outside the "
+        "block-maxima model's valid range (need target < 1/block_size)");
+  }
+}
+
 MbptaAnalysis analyse(std::span<const double> samples,
                       const MbptaConfig& config) {
   MbptaAnalysis analysis;

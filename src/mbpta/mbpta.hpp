@@ -46,6 +46,15 @@ MbptaAnalysis analyse(std::span<const double> samples,
 /// Incremental campaign controller: feed measurement batches until the
 /// pWCET estimate at `target_exceedance` stabilises (relative change below
 /// `epsilon` for `stable_rounds` consecutive batches) with i.i.d. holding.
+///
+/// Order contract: the stop decision is a function of the *sequence* of
+/// batches — both the sample order (the i.i.d. tests and the block-maxima
+/// partition see it) and the batch boundaries (each `add_batch` appends one
+/// estimate to the stability streak).  Feeding shards in parallel
+/// completion order is therefore NOT reproducible across worker counts;
+/// a campaign that wants a deterministic stop must assemble each growth
+/// batch in run-index order and feed it exactly once — which is what
+/// `exec::CampaignEngine::run_adaptive` does at its batch boundaries.
 class ConvergenceController {
 public:
   struct Config {
@@ -63,7 +72,12 @@ public:
   };
 
   ConvergenceController();
-  explicit ConvergenceController(const Config& config) : config_(config) {}
+  /// Throws std::invalid_argument when `target_exceedance` lies outside
+  /// the configured tail model's valid range (for block maxima:
+  /// target < 1/block_size, see PwcetModel::pwcet) — catching the
+  /// misconfiguration up front instead of mid-campaign, after
+  /// `min_samples` runs have been burned.
+  explicit ConvergenceController(const Config& config);
 
   /// Add a batch; returns true once the controller is done — converged,
   /// or stopped by the non-convergence cap (check `capped()`).

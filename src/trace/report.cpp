@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <iomanip>
 #include <sstream>
 #include <vector>
 
@@ -27,7 +30,13 @@ std::string ascii_exceedance_plot(const mbpta::PwcetModel& model,
   if (width < 20 || height < 8) {
     return "(plot area too small)\n";
   }
+  // Decades whose per-run probability falls outside the model's valid
+  // range are absent from the curve (e.g. 1e-1 for a block size of 50),
+  // so every point carries its probability and the row is derived from it.
   const auto curve = model.curve(height - 2);
+  if (curve.empty()) {
+    return "(no pWCET curve point within the plotted decades)\n";
+  }
   // X range: from the measured minimum to the deepest pWCET point.
   double x_min = curve.front().first;
   double x_max = curve.back().first;
@@ -66,9 +75,9 @@ std::string ascii_exceedance_plot(const mbpta::PwcetModel& model,
         column(sorted[i]))] = '+';
   }
 
-  // Fitted pWCET curve.
-  for (int d = 1; d <= static_cast<int>(curve.size()); ++d) {
-    const auto& [x, p] = curve[static_cast<std::size_t>(d - 1)];
+  // Fitted pWCET curve: each point at the row of its own decade.
+  for (const auto& [x, p] : curve) {
+    const int d = static_cast<int>(std::lround(-std::log10(p)));
     grid[static_cast<std::size_t>(row_of_decade(d))]
         [static_cast<std::size_t>(column(x))] = '*';
   }
@@ -94,6 +103,26 @@ std::string pwcet_curve_csv(const mbpta::PwcetModel& model, int decades) {
   for (const auto& [x, p] : model.curve(decades)) {
     oss << p << ',' << x << '\n';
   }
+  return oss.str();
+}
+
+std::uint64_t times_digest(std::span<const double> times) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL; // FNV-1a offset basis
+  for (const double time : times) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &time, sizeof(bits));
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (bits >> (8 * byte)) & 0xffULL;
+      hash *= 0x100000001b3ULL; // FNV prime
+    }
+  }
+  return hash;
+}
+
+std::string times_digest_hex(std::span<const double> times) {
+  std::ostringstream oss;
+  oss << "0x" << std::hex << std::setw(16) << std::setfill('0')
+      << times_digest(times);
   return oss.str();
 }
 

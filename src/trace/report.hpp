@@ -46,4 +46,11 @@ std::string pwcet_curve_csv(const mbpta::PwcetModel& model, int decades = 16);
 /// CSV rows "index,cycles" of a measurement campaign.
 std::string times_csv(std::span<const double> times);
 
+/// FNV-1a digest over the bit patterns of a campaign's times, rendered as
+/// "0x%016x".  Two campaigns print the same digest iff their times are
+/// bit-identical — the cheap cross-run check behind the engine's
+/// determinism contract (e.g. `proxima run --workers 8` vs `--workers 1`).
+std::uint64_t times_digest(std::span<const double> times);
+std::string times_digest_hex(std::span<const double> times);
+
 } // namespace proxima::trace

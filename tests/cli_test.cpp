@@ -1,0 +1,366 @@
+// CLI smoke tests: drive `proxima list|run|report` in-process through
+// cli::run_cli and validate the machine-readable output — the JSON is
+// checked for well-formedness with a minimal recursive-descent parser and
+// for the documented schema keys, the CSV for its header and row shape.
+#include "cli/cli.hpp"
+
+#include "exec/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace proxima;
+
+// ---------------------------------------------------------------------------
+// A minimal JSON validity checker (no values kept, structure only).
+// ---------------------------------------------------------------------------
+
+class JsonChecker {
+public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!parse_value()) {
+      return false;
+    }
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+private:
+  bool parse_value() {
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    switch (text_[pos_]) {
+    case '{': return parse_object();
+    case '[': return parse_array();
+    case '"': return parse_string();
+    case 't': return parse_literal("true");
+    case 'f': return parse_literal("false");
+    case 'n': return parse_literal("null");
+    default: return parse_number();
+    }
+  }
+
+  bool parse_object() {
+    ++pos_; // '{'
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!parse_string()) {
+        return false;
+      }
+      skip_ws();
+      if (peek() != ':') {
+        return false;
+      }
+      ++pos_;
+      skip_ws();
+      if (!parse_value()) {
+        return false;
+      }
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool parse_array() {
+    ++pos_; // '['
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!parse_value()) {
+        return false;
+      }
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool parse_string() {
+    if (peek() != '"') {
+      return false;
+    }
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_; // escaped char (coarse: skips the escape introducer)
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    ++pos_; // closing quote
+    return true;
+  }
+
+  bool parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool parse_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return false;
+    }
+    pos_ += literal.size();
+    return true;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+/// Run the CLI in-process; returns {exit code, stdout, stderr}.
+struct CliResult {
+  int code = -1;
+  std::string out;
+  std::string err;
+};
+
+CliResult invoke(std::vector<const char*> args) {
+  args.insert(args.begin(), "proxima");
+  std::ostringstream out;
+  std::ostringstream err;
+  CliResult result;
+  result.code = cli::run_cli(static_cast<int>(args.size()), args.data(), out,
+                             err);
+  result.out = out.str();
+  result.err = err.str();
+  return result;
+}
+
+/// The first "value" after a JSON key, as raw text (string values keep
+/// their quotes).  Good enough for flat schema spot-checks.
+std::string field_after(const std::string& json, const std::string& key) {
+  const std::size_t at = json.find('"' + key + "\": ");
+  if (at == std::string::npos) {
+    return {};
+  }
+  std::size_t start = at + key.size() + 4;
+  std::size_t end = start;
+  while (end < json.size() && json[end] != ',' && json[end] != '\n' &&
+         json[end] != '}') {
+    ++end;
+  }
+  return json.substr(start, end - start);
+}
+
+// ---------------------------------------------------------------------------
+// list
+// ---------------------------------------------------------------------------
+
+TEST(CliList, EnumeratesTheRegistryCatalogue) {
+  const CliResult result = invoke({"list"});
+  EXPECT_EQ(result.code, 0);
+  for (const std::string& name : exec::ScenarioRegistry::global().names()) {
+    EXPECT_NE(result.out.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(CliList, JsonIsWellFormed) {
+  const CliResult result = invoke({"list", "--format", "json"});
+  EXPECT_EQ(result.code, 0);
+  EXPECT_TRUE(JsonChecker(result.out).valid()) << result.out;
+  EXPECT_EQ(field_after(result.out, "command"), "\"list\"");
+  EXPECT_NE(result.out.find("control/operation-dsr"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// run
+// ---------------------------------------------------------------------------
+
+TEST(CliRun, JsonSchemaOnASmallScenario) {
+  const CliResult result =
+      invoke({"run", "--scenario", "control/operation-cots", "--runs", "12",
+              "--workers", "2", "--format", "json"});
+  ASSERT_EQ(result.code, 0) << result.err;
+  ASSERT_TRUE(JsonChecker(result.out).valid()) << result.out;
+  EXPECT_EQ(field_after(result.out, "command"), "\"run\"");
+  EXPECT_EQ(field_after(result.out, "name"), "\"control/operation-cots\"");
+  EXPECT_EQ(field_after(result.out, "runs"), "12");
+  EXPECT_EQ(field_after(result.out, "workers"), "2")
+      << "the resolved worker count, not the raw flag";
+  EXPECT_EQ(field_after(result.out, "n"), "12");
+  EXPECT_EQ(field_after(result.out, "verified_runs"), "12");
+  EXPECT_EQ(field_after(result.out, "adaptive"), "null");
+  EXPECT_NE(result.out.find("\"digest\": \"0x"), std::string::npos);
+  for (const char* key : {"min", "mean", "max", "stddev", "wall_seconds",
+                          "guest_instructions", "minstr_per_second"}) {
+    EXPECT_FALSE(field_after(result.out, key).empty()) << key;
+  }
+}
+
+TEST(CliRun, SeedAndVmCoreFlagsReachTheConfig) {
+  const CliResult result =
+      invoke({"run", "--scenario", "control/operation-cots", "--runs", "8",
+              "--seed", "7", "--vm-core", "reference", "--format", "json"});
+  ASSERT_EQ(result.code, 0) << result.err;
+  EXPECT_EQ(field_after(result.out, "vm_core"), "\"reference\"");
+  EXPECT_EQ(field_after(result.out, "input"), "7");
+  EXPECT_NE(field_after(result.out, "layout"), "7")
+      << "layout stream must get a mixed companion seed";
+}
+
+TEST(CliRun, AdaptiveIsBitIdenticalAcrossWorkerCounts) {
+  // The CLI-level acceptance check: same seed, workers 1 vs 8 -> same stop
+  // count and bit-identical times (visible as the digest).
+  const std::vector<const char*> base = {
+      "run",     "--scenario", "control/operation-dsr",
+      "--adaptive", "--runs", "120",
+      "--batch", "40",         "--seed",
+      "42",      "--format",   "json"};
+  std::vector<const char*> one = base;
+  one.insert(one.end(), {"--workers", "1"});
+  std::vector<const char*> eight = base;
+  eight.insert(eight.end(), {"--workers", "8"});
+
+  const CliResult sequential = invoke(one);
+  const CliResult parallel = invoke(eight);
+  ASSERT_EQ(sequential.code, 0) << sequential.err;
+  ASSERT_EQ(parallel.code, 0) << parallel.err;
+  ASSERT_TRUE(JsonChecker(sequential.out).valid());
+  const std::string digest = field_after(sequential.out, "digest");
+  EXPECT_FALSE(digest.empty());
+  EXPECT_EQ(digest, field_after(parallel.out, "digest"));
+  EXPECT_EQ(field_after(sequential.out, "runs"),
+            field_after(parallel.out, "runs"));
+  EXPECT_EQ(field_after(sequential.out, "batches"),
+            field_after(parallel.out, "batches"));
+}
+
+TEST(CliRun, CsvHasHeaderAndOneRowPerScenario) {
+  const CliResult result =
+      invoke({"run", "--scenario", "control/operation-cots", "--scenario",
+              "control/layout-neutral", "--runs", "8", "--format", "csv"});
+  ASSERT_EQ(result.code, 0) << result.err;
+  std::istringstream lines(result.out);
+  std::string line;
+  std::getline(lines, line);
+  EXPECT_EQ(line, "scenario,runs,min,mean,max,stddev,digest,converged,"
+                  "wall_seconds,minstr_per_second");
+  int rows = 0;
+  while (std::getline(lines, line)) {
+    ++rows;
+    EXPECT_NE(line.find("control/"), std::string::npos);
+  }
+  EXPECT_EQ(rows, 2);
+}
+
+// ---------------------------------------------------------------------------
+// report
+// ---------------------------------------------------------------------------
+
+TEST(CliReport, JsonCarriesAnalysisAndCurve) {
+  const CliResult result =
+      invoke({"report", "--scenario", "control/analysis-dsr", "--runs", "150",
+              "--workers", "2", "--format", "json", "--decades", "15"});
+  ASSERT_EQ(result.code, 0) << result.err;
+  ASSERT_TRUE(JsonChecker(result.out).valid()) << result.out;
+  EXPECT_EQ(field_after(result.out, "command"), "\"report\"");
+  for (const char* key :
+       {"independence_p", "identical_distribution_p", "passes", "location",
+        "scale", "exceedance", "pwcet_cycles"}) {
+    EXPECT_FALSE(field_after(result.out, key).empty()) << key;
+  }
+}
+
+TEST(CliReport, CsvEmitsTheCurve) {
+  const CliResult result =
+      invoke({"report", "--scenario", "control/analysis-dsr", "--runs", "150",
+              "--format", "csv", "--decades", "6"});
+  ASSERT_EQ(result.code, 0) << result.err;
+  std::istringstream lines(result.out);
+  std::string line;
+  std::getline(lines, line);
+  EXPECT_EQ(line, "scenario,exceedance_probability,pwcet_cycles");
+  int rows = 0;
+  while (std::getline(lines, line)) {
+    ++rows;
+  }
+  // Decade 1e-1 is outside the block-maxima valid range (clamp bugfix):
+  // 6 decades render at most 5 rows.
+  EXPECT_GT(rows, 0);
+  EXPECT_LE(rows, 5);
+}
+
+TEST(CliReport, TooShortCampaignReportsAnalysisError) {
+  const CliResult result = invoke({"report", "--scenario",
+                                   "control/operation-cots", "--runs", "20"});
+  EXPECT_EQ(result.code, 1) << "analysis failure must be visible in the code";
+  EXPECT_NE(result.out.find("MBPTA analysis not possible"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// errors
+// ---------------------------------------------------------------------------
+
+TEST(CliErrors, UnknownScenarioListsTheCatalogue) {
+  const CliResult result = invoke({"run", "--scenario", "nope", "--runs", "5"});
+  EXPECT_EQ(result.code, 2);
+  EXPECT_NE(result.err.find("unknown scenario 'nope'"), std::string::npos);
+  EXPECT_NE(result.err.find("control/operation-dsr"), std::string::npos);
+}
+
+TEST(CliErrors, UsageErrorsExitTwo) {
+  EXPECT_EQ(invoke({}).code, 2);
+  EXPECT_EQ(invoke({"frobnicate"}).code, 2);
+  EXPECT_EQ(invoke({"run"}).code, 2) << "run needs --scenario or --all";
+  EXPECT_EQ(invoke({"run", "--scenario", "x", "--runs", "abc"}).code, 2);
+  EXPECT_EQ(invoke({"run", "--scenario", "x", "--all"}).code, 2);
+  EXPECT_EQ(invoke({"run", "--scenario", "x", "--batch", "0"}).code, 2)
+      << "--batch 0 must be rejected, not silently replaced by the default";
+  EXPECT_EQ(invoke({"list", "--bogus"}).code, 2);
+  const CliResult help = invoke({"help"});
+  EXPECT_EQ(help.code, 0);
+  EXPECT_NE(help.out.find("usage: proxima"), std::string::npos);
+}
+
+} // namespace

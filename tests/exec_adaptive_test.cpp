@@ -1,0 +1,164 @@
+// Tests for the convergence-driven adaptive campaign pipeline: the stop
+// decision is taken only at deterministic batch boundaries, so for a given
+// config + options the collected sample set is bit-identical at any worker
+// count, and equal to a fixed campaign of the same length — the property
+// that makes an adaptive pWCET reproducible.
+#include "casestudy/campaign.hpp"
+#include "exec/engine.hpp"
+#include "exec/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace proxima;
+using casestudy::CampaignConfig;
+using casestudy::CampaignResult;
+using exec::AdaptiveCampaignResult;
+using exec::ConvergenceOptions;
+
+CampaignConfig dsr_config(std::uint32_t runs) {
+  exec::ScenarioRegistry registry;
+  exec::register_default_scenarios(registry);
+  return registry.at("control/operation-dsr").make_config(runs);
+}
+
+exec::EngineOptions worker_options(unsigned workers) {
+  exec::EngineOptions options;
+  options.workers = workers;
+  return options;
+}
+
+/// Quick-converging criterion for small test campaigns.
+ConvergenceOptions loose_convergence(std::uint64_t batch,
+                                     std::uint64_t budget) {
+  ConvergenceOptions options;
+  options.batch_runs = batch;
+  options.max_runs = budget;
+  options.controller.target_exceedance = 1e-12;
+  options.controller.epsilon = 0.5; // generous: stabilises in a few batches
+  options.controller.stable_rounds = 1;
+  options.controller.min_samples = 40;
+  options.controller.mbpta.block_size = 10;
+  return options;
+}
+
+void expect_identical(const AdaptiveCampaignResult& a,
+                      const AdaptiveCampaignResult& b) {
+  EXPECT_EQ(a.converged, b.converged);
+  EXPECT_EQ(a.capped, b.capped);
+  EXPECT_EQ(a.batches, b.batches);
+  ASSERT_EQ(a.runs(), b.runs());
+  for (std::size_t i = 0; i < a.campaign.times.size(); ++i) {
+    EXPECT_EQ(a.campaign.times[i], b.campaign.times[i]) << "run " << i;
+  }
+  ASSERT_EQ(a.estimates.size(), b.estimates.size());
+  for (std::size_t i = 0; i < a.estimates.size(); ++i) {
+    if (std::isnan(a.estimates[i])) {
+      EXPECT_TRUE(std::isnan(b.estimates[i])) << "estimate " << i;
+    } else {
+      EXPECT_EQ(a.estimates[i], b.estimates[i]) << "estimate " << i;
+    }
+  }
+  EXPECT_EQ(a.campaign.verified_runs, b.campaign.verified_runs);
+  EXPECT_EQ(a.campaign.code_bytes, b.campaign.code_bytes);
+}
+
+TEST(AdaptiveCampaign, StopsAtABatchBoundaryOnceConverged) {
+  const ConvergenceOptions options = loose_convergence(40, 400);
+  const AdaptiveCampaignResult adaptive =
+      exec::CampaignEngine(worker_options(2))
+          .run_adaptive(dsr_config(400), options);
+  EXPECT_TRUE(adaptive.converged);
+  EXPECT_FALSE(adaptive.capped);
+  EXPECT_LT(adaptive.runs(), 400u) << "adaptive must stop short of the budget";
+  EXPECT_EQ(adaptive.runs() % 40, 0u) << "stop only at batch boundaries";
+  EXPECT_EQ(adaptive.batches, adaptive.runs() / 40);
+  EXPECT_EQ(adaptive.campaign.samples.size(), adaptive.runs());
+  EXPECT_EQ(adaptive.campaign.verified_runs, adaptive.runs());
+}
+
+TEST(AdaptiveCampaign, StopDecisionIsIndependentOfWorkerCount) {
+  // The acceptance property: --workers 8 stops at the same run count and
+  // produces bit-identical times as --workers 1 (same seed, same config).
+  const ConvergenceOptions options = loose_convergence(40, 400);
+  const CampaignConfig config = dsr_config(400);
+  const AdaptiveCampaignResult sequential =
+      exec::CampaignEngine(worker_options(1)).run_adaptive(config, options);
+  const AdaptiveCampaignResult parallel =
+      exec::CampaignEngine(worker_options(8)).run_adaptive(config, options);
+  expect_identical(sequential, parallel);
+}
+
+TEST(AdaptiveCampaign, MatchesAFixedCampaignOfTheStopLength) {
+  // An adaptive stop at N runs is the SAME campaign as a fixed N-run one:
+  // times bit-identical, so the downstream pWCET fit is too.
+  const ConvergenceOptions options = loose_convergence(40, 400);
+  const AdaptiveCampaignResult adaptive =
+      exec::CampaignEngine(worker_options(4))
+          .run_adaptive(dsr_config(400), options);
+  ASSERT_GT(adaptive.runs(), 0u);
+
+  CampaignConfig fixed_config =
+      dsr_config(static_cast<std::uint32_t>(adaptive.runs()));
+  const CampaignResult fixed =
+      exec::CampaignEngine(worker_options(1)).run(fixed_config);
+  ASSERT_EQ(fixed.times.size(), adaptive.campaign.times.size());
+  for (std::size_t i = 0; i < fixed.times.size(); ++i) {
+    EXPECT_EQ(fixed.times[i], adaptive.campaign.times[i]) << "run " << i;
+  }
+  EXPECT_EQ(fixed.verified_runs, adaptive.campaign.verified_runs);
+}
+
+TEST(AdaptiveCampaign, BudgetCapsANonConvergingCampaign) {
+  ConvergenceOptions options = loose_convergence(25, 60);
+  options.controller.epsilon = 0.0;      // never "stable"
+  options.controller.stable_rounds = 99; // unreachable
+  const AdaptiveCampaignResult adaptive =
+      exec::CampaignEngine(worker_options(2))
+          .run_adaptive(dsr_config(60), options);
+  EXPECT_FALSE(adaptive.converged);
+  EXPECT_TRUE(adaptive.capped);
+  EXPECT_EQ(adaptive.runs(), 60u) << "budget exhausted: 25 + 25 + 10";
+  EXPECT_EQ(adaptive.batches, 3u) << "final batch truncated to the budget";
+}
+
+TEST(AdaptiveCampaign, ControllerCapStopsBeforeTheEngineBudget) {
+  ConvergenceOptions options = loose_convergence(25, 500);
+  options.controller.epsilon = 0.0;
+  options.controller.stable_rounds = 99;
+  options.controller.max_samples = 50; // the controller's own budget
+  const AdaptiveCampaignResult adaptive =
+      exec::CampaignEngine(worker_options(2))
+          .run_adaptive(dsr_config(500), options);
+  EXPECT_FALSE(adaptive.converged);
+  EXPECT_TRUE(adaptive.capped);
+  EXPECT_EQ(adaptive.runs(), 50u);
+}
+
+TEST(AdaptiveCampaign, DefaultBudgetIsTheConfigsRunCount) {
+  ConvergenceOptions options = loose_convergence(25, 0); // max_runs unset
+  options.controller.epsilon = 0.0;
+  options.controller.stable_rounds = 99;
+  const AdaptiveCampaignResult adaptive =
+      exec::CampaignEngine(worker_options(1))
+          .run_adaptive(dsr_config(50), options);
+  EXPECT_EQ(adaptive.runs(), 50u) << "config.runs is the default budget";
+}
+
+TEST(AdaptiveCampaign, RejectsDegenerateOptions) {
+  ConvergenceOptions zero_batch;
+  zero_batch.batch_runs = 0;
+  EXPECT_THROW(exec::CampaignEngine(worker_options(1))
+                   .run_adaptive(dsr_config(10), zero_batch),
+               std::invalid_argument);
+  ConvergenceOptions zero_budget;
+  zero_budget.max_runs = 0;
+  EXPECT_THROW(exec::CampaignEngine(worker_options(1))
+                   .run_adaptive(dsr_config(0), zero_budget),
+               std::invalid_argument);
+}
+
+} // namespace

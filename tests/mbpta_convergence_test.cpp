@@ -43,6 +43,25 @@ private:
   std::uint64_t state_;
 };
 
+TEST(ConvergenceController, RejectsBodyProbabilityTargetsUpFront) {
+  // A target exceedance with target * block_size >= 1 is a body
+  // probability the block-maxima fit can never answer: PwcetModel::pwcet
+  // throws for it (clamp bugfix), so the controller must reject the
+  // configuration at construction instead of failing mid-campaign after
+  // min_samples runs have been burned.
+  ConvergenceController::Config config = small_config(); // block_size 10
+  config.target_exceedance = 0.2;                        // p_block = 2
+  EXPECT_THROW(ConvergenceController{config}, std::invalid_argument);
+  config.target_exceedance = 0.0;
+  EXPECT_THROW(ConvergenceController{config}, std::invalid_argument);
+  config.target_exceedance = 0.05; // p_block = 0.5: valid
+  EXPECT_NO_THROW(ConvergenceController{config});
+  // POT has no block-size restriction.
+  config.target_exceedance = 0.2;
+  config.mbpta.method = proxima::mbpta::TailMethod::kPotGpd;
+  EXPECT_NO_THROW(ConvergenceController{config});
+}
+
 TEST(ConvergenceController, EmptyBatchesAreHarmless) {
   ConvergenceController controller(small_config());
   EXPECT_FALSE(controller.add_batch({}));

@@ -129,7 +129,10 @@ TEST(PwcetModel, CurveIsMonotone) {
   const auto xs = gumbel_samples(8, 5000, 1000.0, 20.0);
   const PwcetModel model = PwcetModel::fit_block_maxima(xs, 50);
   const auto curve = model.curve(16);
-  ASSERT_EQ(curve.size(), 16u);
+  // Decade 1e-1 is a body probability for a block size of 50 (p_block = 5)
+  // and is skipped; the curve starts at 1e-2.
+  ASSERT_EQ(curve.size(), 15u);
+  EXPECT_EQ(curve.front().second, 1e-2);
   for (std::size_t i = 1; i < curve.size(); ++i) {
     EXPECT_GT(curve[i].first, curve[i - 1].first)
         << "pWCET must grow as exceedance probability shrinks";
@@ -185,6 +188,26 @@ TEST(PwcetModel, RejectsBadInputs) {
   const PwcetModel model = PwcetModel::fit_block_maxima(xs, 10);
   EXPECT_THROW(model.pwcet(0.0), std::invalid_argument);
   EXPECT_THROW(model.pwcet(1.0), std::invalid_argument);
+}
+
+TEST(PwcetModel, BlockMaximaRejectsBodyProbabilities) {
+  // Regression: the block-maxima path used to clamp the per-block
+  // exceedance at 0.999999 when exceedance_per_run * block_size >= 1,
+  // returning a *body* quantile that masqueraded as a tail bound.  Such
+  // probabilities are outside the model's valid range and must throw.
+  const auto xs = gumbel_samples(21, 5000, 1000.0, 20.0);
+  const PwcetModel model = PwcetModel::fit_block_maxima(xs, 50);
+  EXPECT_EQ(model.max_exceedance(), 1.0 / 50.0);
+  EXPECT_THROW(model.pwcet(0.05), std::invalid_argument); // p_block = 2.5
+  EXPECT_THROW(model.pwcet(0.02), std::invalid_argument); // p_block = 1.0
+  EXPECT_NO_THROW(model.pwcet(0.019));                    // p_block = 0.95
+  // The GEV flavour shares the block-maxima range check.
+  const PwcetModel gev = PwcetModel::fit_block_maxima(xs, 50, true);
+  EXPECT_THROW(gev.pwcet(0.05), std::invalid_argument);
+  // POT answers the full (0,1) range: its tail starts at the threshold.
+  const PwcetModel pot = PwcetModel::fit_pot(xs, 0.9);
+  EXPECT_EQ(pot.max_exceedance(), 1.0);
+  EXPECT_NO_THROW(pot.pwcet(0.5));
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,9 @@
+// The `proxima` executable: a shim around cli::run_cli (src/cli/), which
+// the smoke tests drive in-process through the same entry point.
+#include "cli/cli.hpp"
+
+#include <iostream>
+
+int main(int argc, char** argv) {
+  return proxima::cli::run_cli(argc, argv, std::cout, std::cerr);
+}
