@@ -1,0 +1,119 @@
+// Hypervisor campaigns: the control task's pWCET solo vs under partition
+// interference (the paper's Section IV setting).
+//
+// Runs the analysis-like protocol on the cyclic schedule four ways —
+// control alone, with the image-processing guest, with the image guest
+// under DSR, and with the synthetic L2-evicting stressor — and reports the
+// per-partition timing rows plus the solo-vs-interference MOET/pWCET gap.
+// Finishes with the determinism gate: the interference campaign re-run at
+// workers=1 must produce a bit-identical times digest (the engine's
+// sharding contract extended to multi-partition platforms).
+//
+//   PROXIMA_RUNS     measured runs per scenario (default 300)
+//   PROXIMA_WORKERS  engine worker count (default: hardware)
+#include "bench_util.hpp"
+
+#include "trace/partition_report.hpp"
+#include "trace/report.hpp"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace proxima;
+using namespace proxima::bench;
+
+namespace {
+
+struct HvLeg {
+  const char* scenario;
+  TimedCampaign campaign;
+  mbpta::Summary summary;
+  double pwcet_1e12 = 0.0; // 0 when the fit is not applicable
+};
+
+HvLeg run_leg(const char* scenario, std::uint32_t runs) {
+  HvLeg leg;
+  leg.scenario = scenario;
+  leg.campaign = run_scenario_timed(scenario, runs);
+  leg.summary = mbpta::summarise(leg.campaign.result.times);
+  try {
+    const mbpta::MbptaAnalysis analysis =
+        mbpta::analyse(leg.campaign.result.times, analysis_mbpta(runs));
+    leg.pwcet_1e12 = analysis.pwcet(1e-12);
+  } catch (const std::invalid_argument&) {
+    // Degenerate series (e.g. constant COTS times): no tail fit.
+  }
+  return leg;
+}
+
+} // namespace
+
+int main() {
+  const std::uint32_t runs = campaign_runs(300);
+  print_header("Hypervisor campaigns: control task solo vs interference (" +
+               std::to_string(runs) + " runs each)");
+
+  std::vector<HvLeg> legs;
+  for (const char* scenario :
+       {"hv/control-solo", "hv/control+image", "hv/control+image-dsr",
+        "hv/control+stress"}) {
+    legs.push_back(run_leg(scenario, runs));
+  }
+
+  print_summary_table_header();
+  for (const HvLeg& leg : legs) {
+    print_summary_row(leg.scenario, leg.summary);
+  }
+  std::printf("\n%-22s %12s %12s\n", "configuration", "MOET", "pWCET@1e-12");
+  for (const HvLeg& leg : legs) {
+    if (leg.pwcet_1e12 > 0.0) {
+      std::printf("%-22s %12.0f %12.0f\n", leg.scenario, leg.summary.max,
+                  leg.pwcet_1e12);
+    } else {
+      std::printf("%-22s %12.0f %12s\n", leg.scenario, leg.summary.max,
+                  "(no fit)");
+    }
+  }
+
+  const HvLeg& solo = legs[0];
+  const HvLeg& image = legs[1];
+  std::printf("\ninterference inflation (image guest vs solo): MOET %+.1f%%\n",
+              100.0 * (image.summary.max / solo.summary.max - 1.0));
+
+  // Per-partition rows of the interference campaign.
+  std::printf("\nper-partition report, %s:\n", image.scenario);
+  std::printf("%s", trace::PartitionReport::build(
+                        casestudy::partition_series(
+                            image.campaign.result.samples))
+                        .to_string()
+                        .c_str());
+
+  for (const HvLeg& leg : legs) {
+    print_throughput(leg.scenario, leg.campaign);
+  }
+
+  // Determinism gate: one worker must reproduce the parallel digest.
+  exec::EngineOptions one_worker;
+  one_worker.workers = 1;
+  const casestudy::CampaignResult sequential =
+      exec::CampaignEngine(one_worker)
+          .run(exec::ScenarioRegistry::global()
+                   .at("hv/control+image")
+                   .make_config(runs));
+  const bool deterministic =
+      trace::times_digest(sequential.times) ==
+      trace::times_digest(image.campaign.result.times);
+  std::printf("\ndigest %s (workers=1 %s)\n",
+              trace::times_digest_hex(image.campaign.result.times).c_str(),
+              deterministic ? "bit-identical" : "DIVERGED");
+
+  const bool interference_visible =
+      image.summary.min > solo.summary.max &&
+      legs[3].summary.min > solo.summary.max;
+  std::printf("shape check: interference measurable: %s; deterministic "
+              "across worker counts: %s\n",
+              interference_visible ? "yes" : "NO",
+              deterministic ? "yes" : "NO");
+  return interference_visible && deterministic ? 0 : 1;
+}

@@ -160,7 +160,7 @@ inline casestudy::CampaignConfig analysis_config(
 /// EVT configuration scaled to the campaign size: ~40 block maxima.
 inline mbpta::MbptaConfig analysis_mbpta(std::uint32_t runs) {
   mbpta::MbptaConfig config;
-  config.block_size = std::max(10u, runs / 40u);
+  config.block_size = mbpta::auto_block_size(runs);
   return config;
 }
 

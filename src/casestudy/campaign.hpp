@@ -13,14 +13,19 @@
 #pragma once
 
 #include "casestudy/control_task.hpp"
+#include "casestudy/image_task.hpp"
+#include "casestudy/stressor_task.hpp"
 #include "core/dsr_pass.hpp"
 #include "core/dsr_runtime.hpp"
 #include "mem/counters.hpp"
+#include "trace/partition_report.hpp"
 #include "vm/vm.hpp"
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace proxima::casestudy {
@@ -33,6 +38,44 @@ enum class Randomisation : std::uint8_t {
 };
 
 enum class PrngKind : std::uint8_t { kMwc, kLfsr };
+
+/// Hypervisor campaign (the paper's PikeOS setting): the control task is
+/// measured *while* guest partitions share the platform, instead of on the
+/// bare platform.  One measured run replays `frames` minor frames of the
+/// cyclic schedule from a fresh timeline:
+///   * the control partition activates exactly once, in the LAST minor
+///     frame (period = frames * minor_frame_ms, offset at the end), so the
+///     guests' cache/TLB interference precedes the measured activation;
+///   * guest partitions activate every minor frame with fresh inputs drawn
+///     from per-partition streams (`exec::derive_partition_seed`), so the
+///     interference pattern varies run to run but stays a pure function of
+///     the run index — the engine shards hypervisor scenarios exactly like
+///     bare-platform ones;
+///   * the bare protocol's unmeasured same-layout warm-up still precedes
+///     the schedule, so `hv/control-solo` reproduces the bare analysis
+///     protocol and the guest scenarios differ from it by interference
+///     only.
+/// Static re-link randomisation is not supported under the hypervisor (a
+/// re-flash clears the whole guest memory, guests included).
+struct HvCampaignConfig {
+  /// Minor frames per measured run (= the control task's period in
+  /// frames).  10 reproduces the paper's 1 s control period over 100 ms
+  /// frames.
+  std::uint32_t frames = 10;
+  std::uint32_t minor_frame_ms = 100;
+  /// LEON3-class clock (cycles per millisecond).
+  std::uint64_t cycles_per_ms = 50000;
+  /// Budgets in ms; 0 grants the rest of the minor frame.
+  std::uint32_t control_budget_ms = 0;
+  /// The image-processing task as a low-criticality guest.
+  bool image_guest = false;
+  ImageParams image;
+  std::uint32_t image_budget_ms = 0;
+  /// The synthetic L2-evicting stressor as a low-criticality guest.
+  bool stressor_guest = false;
+  StressorParams stressor;
+  std::uint32_t stressor_budget_ms = 0;
+};
 
 struct CampaignConfig {
   ControlParams control;
@@ -71,12 +114,29 @@ struct CampaignConfig {
   /// tested with a deterministically poisoned campaign; disabled when
   /// unset.
   std::optional<std::uint64_t> fault_at_run;
+  /// When set, runs execute on the partitioned hypervisor platform instead
+  /// of the bare platform (see HvCampaignConfig).
+  std::optional<HvCampaignConfig> hypervisor;
+};
+
+/// Per-partition activity of one hypervisor run (empty on the bare
+/// platform): every activation's granted cycles in schedule order, plus
+/// the budget violations the health monitor recorded.
+struct PartitionActivity {
+  std::string partition;
+  std::vector<double> cycles; // ActivationRecord::cycles_used per activation
+  std::uint32_t overruns = 0;
+
+  friend bool operator==(const PartitionActivity&, const PartitionActivity&) =
+      default;
 };
 
 struct RunSample {
   double uoa_cycles = 0.0;
   bool corrupt_input = false;
-  mem::PerfCounters counters; // per-run snapshot
+  mem::PerfCounters counters; // per-run snapshot (hv: the whole schedule)
+  /// Hypervisor runs: per-partition activity, registration order.
+  std::vector<PartitionActivity> partitions;
 
   friend bool operator==(const RunSample&, const RunSample&) = default;
 };
@@ -98,5 +158,11 @@ struct CampaignResult {
 /// index; `exec::CampaignEngine` exploits this to shard the same campaign
 /// across workers with bit-identical `times`/`samples`.
 CampaignResult run_control_campaign(const CampaignConfig& config);
+
+/// Flatten a hypervisor campaign's per-run partition activity into
+/// per-partition series (registration order preserved) ready for
+/// `trace::PartitionReport::build`.  Empty for bare-platform campaigns.
+std::vector<trace::PartitionSeries>
+partition_series(std::span<const RunSample> samples);
 
 } // namespace proxima::casestudy

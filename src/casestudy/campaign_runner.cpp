@@ -11,7 +11,7 @@ namespace proxima::casestudy {
 
 namespace {
 
-constexpr std::uint32_t kStackTop = 0x4080'0000; // 1 KiB aligned
+constexpr std::uint32_t kStackTop = kControlStackTop;
 
 std::unique_ptr<rng::RandomSource> make_prng(PrngKind kind,
                                              std::uint64_t seed) {
@@ -70,6 +70,9 @@ CampaignRunner::CampaignRunner(const CampaignConfig& config)
     runtime_->attach(cpu_);
   }
   inputs_ = initial_control_inputs(config_.control);
+  if (config_.hypervisor) {
+    hv_build(); // hv_runner.cpp: guest images + PartitionedPlatform
+  }
 }
 
 void CampaignRunner::fault(const std::string& what) const {
@@ -80,9 +83,7 @@ void CampaignRunner::fault(const std::string& what) const {
   throw std::runtime_error(oss.str());
 }
 
-void CampaignRunner::apply_randomisation(std::uint64_t activation) {
-  const std::uint64_t layout_seed = exec::derive_run_seed(
-      config_.layout_seed, exec::SeedStream::kLayout, activation);
+void CampaignRunner::apply_randomisation(std::uint64_t layout_seed) {
   switch (config_.randomisation) {
   case Randomisation::kNone:
     break;
@@ -193,7 +194,12 @@ void CampaignRunner::setup(std::uint64_t run_index) {
   // scratch every run, so an unmeasured extra activation has no observable
   // effect beyond its input-stream consumption.
   const std::uint64_t activation = config_.warmup_runs + run_index;
-  apply_randomisation(activation);
+  if (hv_) {
+    hv_setup(activation);
+    return;
+  }
+  apply_randomisation(exec::derive_run_seed(
+      config_.layout_seed, exec::SeedStream::kLayout, activation));
   advance_inputs(activation);
   stage_inputs(activation);
 }
@@ -201,6 +207,11 @@ void CampaignRunner::setup(std::uint64_t run_index) {
 void CampaignRunner::execute() {
   if (!current_run_ || executed_) {
     throw std::logic_error("CampaignRunner::execute: no run staged");
+  }
+  if (hv_) {
+    hv_execute();
+    executed_ = true;
+    return;
   }
   const bool use_dsr = config_.randomisation == Randomisation::kDsr;
   const std::uint32_t entry =
@@ -231,6 +242,9 @@ void CampaignRunner::execute() {
 RunSample CampaignRunner::collect() {
   if (!current_run_ || !executed_) {
     throw std::logic_error("CampaignRunner::collect: no executed run");
+  }
+  if (hv_) {
+    return hv_collect();
   }
   // Extract the UoA time + counters (one invocation: the warm-up's trace
   // was cleared).

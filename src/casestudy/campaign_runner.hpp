@@ -39,11 +39,22 @@
 
 namespace proxima::casestudy {
 
+/// Stack top of the control program on the measurement platform (1 KiB
+/// aligned).  Shared by the bare protocol and the hypervisor campaign's
+/// warm-up/control partition: the test-locked hv/control-solo ==
+/// control/analysis-cots bit-equivalence depends on both using it.
+inline constexpr std::uint32_t kControlStackTop = 0x4080'0000;
+
 class CampaignRunner {
 public:
   /// Build the platform: program generation, instrumentation, DSR pass,
   /// base link, image load, DSR runtime attach.  Deterministic for a given
-  /// config, so every worker's platform is identical.
+  /// config, so every worker's platform is identical.  With
+  /// `config.hypervisor` set, additionally link/load the guest partition
+  /// images and register every partition on a `rtos::PartitionedPlatform`
+  /// over the same core — measured runs then replay the cyclic schedule
+  /// (hv_runner.cpp) instead of the bare protocol, with the identical
+  /// stage API and determinism contract.
   explicit CampaignRunner(const CampaignConfig& config);
 
   /// Stage 1 — prepare measured run `run_index` (0-based, < config.runs):
@@ -72,10 +83,21 @@ public:
   std::uint64_t verified_runs() const noexcept { return verified_runs_; }
 
 private:
-  void apply_randomisation(std::uint64_t activation);
+  /// Partition reboot / re-link / cache reseed from an already-derived
+  /// layout seed (the bare protocol derives it per run, the hv mode per
+  /// partition — one switch serves both).
+  void apply_randomisation(std::uint64_t layout_seed);
   void advance_inputs(std::uint64_t activation);
   void stage_inputs(std::uint64_t activation);
   [[noreturn]] void fault(const std::string& what) const;
+
+  // Hypervisor-campaign engine room (hv_runner.cpp): guest partition
+  // state, the PartitionedPlatform, and the schedule-replay protocol.
+  struct HvState;
+  void hv_build();
+  void hv_setup(std::uint64_t activation);
+  void hv_execute();
+  RunSample hv_collect();
 
   CampaignConfig config_;
   dsr::PassReport pass_report_;
@@ -101,6 +123,9 @@ private:
   std::optional<std::uint64_t> current_run_; // set by setup, used by stages
   bool executed_ = false;
   std::uint64_t verified_runs_ = 0;
+  // shared_ptr for its type-erased deleter: HvState stays incomplete
+  // outside hv_runner.cpp.  Never actually shared.
+  std::shared_ptr<HvState> hv_; // null on the bare platform
 };
 
 } // namespace proxima::casestudy

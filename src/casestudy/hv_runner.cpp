@@ -1,0 +1,357 @@
+// Hypervisor-campaign mode of the CampaignRunner (Section IV's PikeOS
+// setting): the control task measured while guest partitions share the
+// platform.
+//
+// Protocol per measured run (see HvCampaignConfig in campaign.hpp):
+//   1. setup    — per-partition seed derivation: the control layout
+//                 (DSR reboot / hardware cache reseed) and each guest's
+//                 input stream draw from exec::derive_partition_seed of
+//                 the run's global activation index, so the whole platform
+//                 state is a pure function of the run index and the engine
+//                 shards hv scenarios exactly like bare ones;
+//   2. execute  — full platform wipe + the bare protocol's unmeasured
+//                 same-layout control warm-up, then the cyclic schedule
+//                 replayed from a fresh timeline: guests activate every
+//                 minor frame, the control partition once in the LAST
+//                 frame (after the interference), with the hypervisor's
+//                 partition-start L1 flushes;
+//   3. collect  — the control activation's UoA time from the trace is the
+//                 run's sample; every partition's ActivationRecords become
+//                 the run's PartitionActivity; control and guest outputs
+//                 are verified against their golden models.
+#include "casestudy/campaign_runner.hpp"
+
+#include "exec/seed.hpp"
+#include "rng/mwc.hpp"
+#include "rtos/platform.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace proxima::casestudy {
+
+namespace {
+
+// Guest image bases: above the DSR code pool (0x4100'0000 + 32 MiB).
+constexpr std::uint32_t kImageCodeBase = 0x4300'0000;
+constexpr std::uint32_t kImageDataBase = 0x4310'0000;
+constexpr std::uint32_t kImageStackTop = 0x4480'0000;
+constexpr std::uint32_t kStressorCodeBase = 0x4500'0000;
+constexpr std::uint32_t kStressorDataBase = 0x4510'0000;
+constexpr std::uint32_t kStressorStackTop = 0x4580'0000;
+
+/// Stable per-partition indices for exec::derive_partition_seed: fixed per
+/// partition kind (not registration order), so enabling one guest never
+/// shifts another's random stream.
+constexpr std::uint32_t kControlSeedIndex = 0;
+constexpr std::uint32_t kImageSeedIndex = 1;
+constexpr std::uint32_t kStressorSeedIndex = 2;
+
+constexpr const char* kControlPartition = "control";
+constexpr const char* kImagePartition = "processing";
+constexpr const char* kStressorPartition = "stressor";
+
+isa::LinkOptions guest_link_options(std::uint32_t code_base,
+                                    std::uint32_t data_base) {
+  isa::LinkOptions options;
+  options.code_base = code_base;
+  options.data_base = data_base;
+  return options;
+}
+
+} // namespace
+
+struct CampaignRunner::HvState {
+  /// The measured partition: a thin app over the runner's control image.
+  /// Inputs are staged by setup() (the same advance/stage path as the bare
+  /// protocol), so activation start needs nothing beyond the entry point —
+  /// which follows the DSR layout of the current run.
+  class ControlApp final : public rtos::PartitionApp {
+  public:
+    explicit ControlApp(CampaignRunner& runner) : runner_(runner) {}
+    std::uint32_t entry_address() override {
+      return runner_.config_.randomisation == Randomisation::kDsr
+                 ? runner_.runtime_->entry_address()
+                 : runner_.image_.entry_addr();
+    }
+    std::uint32_t stack_top() override { return kControlStackTop; }
+
+  private:
+    CampaignRunner& runner_;
+  };
+
+  /// The image-processing task as a low-criticality guest: a fresh sensor
+  /// frame every activation, drawn from this run's partition stream.
+  class ImageGuestApp final : public rtos::PartitionApp {
+  public:
+    ImageGuestApp(CampaignRunner& runner, const ImageParams& params)
+        : runner_(runner), params_(params), rng_(1),
+          image_(isa::link(build_image_program(params_),
+                           guest_link_options(kImageCodeBase,
+                                              kImageDataBase))) {
+      image_.load_into(runner_.memory_);
+      runner_.cpu_.predecode(image_.code_begin(),
+                             image_.code_end() - image_.code_begin());
+    }
+
+    std::uint32_t entry_address() override { return image_.entry_addr(); }
+    std::uint32_t stack_top() override { return kImageStackTop; }
+
+    void begin_run(std::uint64_t activation) {
+      rng_.seed(exec::derive_partition_seed(runner_.config_.input_seed,
+                                            exec::SeedStream::kInput,
+                                            activation, kImageSeedIndex));
+      staged_ = false;
+    }
+
+    void before_activation(std::uint64_t) override {
+      inputs_ = make_image_inputs(rng_, params_);
+      stage_image_inputs(runner_.memory_, image_, inputs_);
+      stage_done(image_.symbol("im_frame").addr, params_.frame_bytes());
+      stage_done(image_.symbol("im_status").addr, 16);
+      staged_ = true;
+    }
+
+    /// Golden-model check of the most recent activation (its outputs are
+    /// still resident when the run's schedule completes).
+    void verify_last() const {
+      if (!staged_) {
+        return;
+      }
+      const ImageOutputs expected = reference_image(params_, inputs_);
+      const ImageOutputs actual =
+          read_image_outputs(runner_.memory_, image_, params_);
+      if (!(expected == actual)) {
+        runner_.fault("image guest outputs diverge from the golden model");
+      }
+    }
+
+  private:
+    void stage_done(std::uint32_t addr, std::uint32_t length) {
+      runner_.hierarchy_.note_memory_written(addr, length);
+      runner_.hierarchy_.invalidate_range(addr, length);
+    }
+
+    CampaignRunner& runner_;
+    ImageParams params_;
+    rng::Mwc rng_;
+    isa::LinkedImage image_;
+    ImageInputs inputs_;
+    bool staged_ = false;
+  };
+
+  /// The synthetic L2-evicting sweep as a low-criticality guest.
+  class StressorGuestApp final : public rtos::PartitionApp {
+  public:
+    StressorGuestApp(CampaignRunner& runner, const StressorParams& params)
+        : runner_(runner), params_(params), rng_(1),
+          image_(isa::link(build_stressor_program(params_),
+                           guest_link_options(kStressorCodeBase,
+                                              kStressorDataBase))) {
+      image_.load_into(runner_.memory_);
+      runner_.cpu_.predecode(image_.code_begin(),
+                             image_.code_end() - image_.code_begin());
+    }
+
+    std::uint32_t entry_address() override { return image_.entry_addr(); }
+    std::uint32_t stack_top() override { return kStressorStackTop; }
+
+    void begin_run(std::uint64_t activation) {
+      rng_.seed(exec::derive_partition_seed(runner_.config_.input_seed,
+                                            exec::SeedStream::kInput,
+                                            activation, kStressorSeedIndex));
+      staged_ = false;
+    }
+
+    void before_activation(std::uint64_t) override {
+      salt_ = rng_.next_u32();
+      for (const auto& [addr, length] :
+           stage_stressor_inputs(runner_.memory_, image_, salt_)) {
+        runner_.hierarchy_.note_memory_written(addr, length);
+        runner_.hierarchy_.invalidate_range(addr, length);
+      }
+      staged_ = true;
+    }
+
+    void verify_last() const {
+      if (!staged_) {
+        return;
+      }
+      const StressorOutputs expected = reference_stressor(params_, salt_);
+      const StressorOutputs actual =
+          read_stressor_outputs(runner_.memory_, image_);
+      if (!(expected == actual)) {
+        runner_.fault("stressor guest output diverges from the golden model");
+      }
+    }
+
+  private:
+    CampaignRunner& runner_;
+    StressorParams params_;
+    rng::Mwc rng_;
+    isa::LinkedImage image_;
+    std::uint32_t salt_ = 0;
+    bool staged_ = false;
+  };
+
+  HvState(CampaignRunner& runner, const HvCampaignConfig& hv)
+      : control(runner),
+        platform(runner.cpu_, runner.hierarchy_,
+                 rtos::HypervisorConfig{hv.minor_frame_ms, hv.cycles_per_ms}) {
+    if (hv.image_guest) {
+      image.emplace(runner, hv.image);
+    }
+    if (hv.stressor_guest) {
+      stressor.emplace(runner, hv.stressor);
+    }
+    // The control partition activates once per run, in the LAST minor
+    // frame, so every guest activation of the run precedes the measured
+    // one; high criticality still puts it first within that frame.
+    const std::uint64_t period = std::uint64_t{hv.frames} * hv.minor_frame_ms;
+    if (period > std::numeric_limits<std::uint32_t>::max()) {
+      throw std::invalid_argument(
+          "hypervisor campaign: frames * minor_frame_ms exceeds the 32-bit "
+          "period range");
+    }
+    const auto period_ms = static_cast<std::uint32_t>(period);
+    platform.add_partition(
+        rtos::PartitionConfig{.name = kControlPartition,
+                              .period_ms = period_ms,
+                              .offset_ms = period_ms - hv.minor_frame_ms,
+                              .budget_ms = hv.control_budget_ms,
+                              .criticality = rtos::Criticality::kHigh},
+        control);
+    if (image) {
+      platform.add_partition(
+          rtos::PartitionConfig{.name = kImagePartition,
+                                .period_ms = hv.minor_frame_ms,
+                                .budget_ms = hv.image_budget_ms},
+          *image);
+    }
+    if (stressor) {
+      platform.add_partition(
+          rtos::PartitionConfig{.name = kStressorPartition,
+                                .period_ms = hv.minor_frame_ms,
+                                .budget_ms = hv.stressor_budget_ms},
+          *stressor);
+    }
+  }
+
+  ControlApp control;
+  std::optional<ImageGuestApp> image;
+  std::optional<StressorGuestApp> stressor;
+  rtos::PartitionedPlatform platform;
+  std::vector<rtos::ActivationRecord> records; // last executed schedule
+};
+
+void CampaignRunner::hv_build() {
+  const HvCampaignConfig& hv = *config_.hypervisor;
+  if (config_.randomisation == Randomisation::kStatic) {
+    throw std::invalid_argument(
+        "hypervisor campaigns do not support static re-link randomisation: "
+        "a re-flash clears the guest partitions' images");
+  }
+  if (hv.frames == 0) {
+    throw std::invalid_argument(
+        "hypervisor campaigns need at least one minor frame per run");
+  }
+  hv_ = std::make_shared<HvState>(*this, hv);
+}
+
+void CampaignRunner::hv_setup(std::uint64_t activation) {
+  // Per-partition layout stream: the measured partition's reboot draws its
+  // layout from partition index 0 of this run's derived seeds (kStatic,
+  // the only arm a bare campaign adds, is rejected in hv_build).
+  apply_randomisation(
+      exec::derive_partition_seed(config_.layout_seed, exec::SeedStream::kLayout,
+                                  activation, kControlSeedIndex));
+  advance_inputs(activation);
+  stage_inputs(activation);
+  if (hv_->image) {
+    hv_->image->begin_run(activation);
+  }
+  if (hv_->stressor) {
+    hv_->stressor->begin_run(activation);
+  }
+}
+
+void CampaignRunner::hv_execute() {
+  const bool use_dsr = config_.randomisation == Randomisation::kDsr;
+  const std::uint32_t entry =
+      use_dsr ? runtime_->entry_address() : image_.entry_addr();
+
+  // The bare protocol's platform rebuild: wipe every level, then run the
+  // unmeasured same-layout warm-up activation of the control task so the
+  // control partition's L2 state entering the schedule is a pure function
+  // of this run alone.  The guests then perturb exactly that state —
+  // hv/control-solo reproduces the bare analysis protocol, and the guest
+  // scenarios differ from it by interference only.
+  hierarchy_.flush_all();
+  cpu_.reset(entry, kControlStackTop);
+  if (cpu_.run().stop != vm::RunResult::Stop::kHalt) {
+    fault("hv warm-up activation did not halt");
+  }
+  hierarchy_.counters().reset();
+  trace_buffer_.clear();
+
+  // Replay the cyclic schedule from a fresh timeline.  Partition-start L1
+  // flushes are the hypervisor's own (PikeOS semantics).
+  hv_->platform.reset_schedule();
+  hv_->records = hv_->platform.run_frames(config_.hypervisor->frames);
+}
+
+RunSample CampaignRunner::hv_collect() {
+  // The schedule carries exactly one instrumented activation: the control
+  // partition's, in the last minor frame (guests are not instrumented).
+  const std::vector<double> times =
+      trace::extract_execution_times(trace_buffer_);
+  if (times.size() != 1) {
+    fault("expected exactly one measured control activation per schedule");
+  }
+  RunSample sample;
+  sample.uoa_cycles = times.front();
+  sample.corrupt_input = inputs_.corrupt;
+  sample.counters = hierarchy_.counters(); // the whole schedule's traffic
+
+  for (const std::string& name : hv_->platform.partition_names()) {
+    sample.partitions.push_back(PartitionActivity{name, {}, 0});
+  }
+  bool control_completed = false;
+  for (const rtos::ActivationRecord& record : hv_->records) {
+    const auto it =
+        std::find_if(sample.partitions.begin(), sample.partitions.end(),
+                     [&](const PartitionActivity& activity) {
+                       return activity.partition == record.partition;
+                     });
+    it->cycles.push_back(static_cast<double>(record.cycles_used));
+    if (record.overran) {
+      ++it->overruns;
+    }
+    if (record.partition == kControlPartition) {
+      control_completed = record.halted && !record.overran;
+    }
+  }
+  if (!control_completed) {
+    fault("measured control activation hit the budget fence");
+  }
+
+  if (config_.verify_outputs) {
+    const ControlOutputs expected = reference_control(config_.control, inputs_);
+    const ControlOutputs actual =
+        read_control_outputs(memory_, image_, config_.control);
+    if (!(expected == actual)) {
+      fault("guest outputs diverge from the golden model");
+    }
+    if (hv_->image) {
+      hv_->image->verify_last();
+    }
+    if (hv_->stressor) {
+      hv_->stressor->verify_last();
+    }
+    ++verified_runs_;
+  }
+  return sample;
+}
+
+} // namespace proxima::casestudy

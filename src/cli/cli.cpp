@@ -28,6 +28,11 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
     case Command::Kind::kReport:
       return cmd_report(command.options, out);
     }
+  } catch (const UsageError& error) {
+    // Some flags are only checkable against the selected scenario (e.g.
+    // --frames on a bare-platform scenario): still a usage error.
+    err << "proxima: " << error.what() << "\n\n" << usage();
+    return 2;
   } catch (const std::out_of_range& error) {
     err << "proxima: " << error.what() << '\n';
     return 2;

@@ -49,6 +49,13 @@ casestudy::CampaignConfig scenario_config(const std::string& name,
     config.input_seed = *options.seed;
     config.layout_seed = exec::splitmix64_mix(*options.seed);
   }
+  if (options.frames) {
+    if (!config.hypervisor) {
+      throw UsageError("--frames: scenario '" + name +
+                       "' does not run on the hypervisor");
+    }
+    config.hypervisor->frames = *options.frames;
+  }
   return config;
 }
 
@@ -68,8 +75,7 @@ exec::ConvergenceOptions convergence_options(const CampaignOptions& options) {
   convergence.controller.stable_rounds = 3;
   convergence.controller.min_samples =
       std::min<std::size_t>(200, options.runs);
-  convergence.controller.mbpta.block_size =
-      std::max(10u, options.runs / 40u);
+  convergence.controller.mbpta.block_size = mbpta::auto_block_size(options.runs);
   return convergence;
 }
 
@@ -155,6 +161,98 @@ void write_adaptive_json(JsonWriter& json, const Execution& execution) {
   json.end_object();
 }
 
+/// A `--partition` name matching no partition of any selected scenario is
+/// a usage error, raised BEFORE any output so machine consumers never see
+/// a well-formed document that silently dropped the filter.
+void validate_partition_filter(const std::vector<const Execution*>& executions,
+                               const CampaignOptions& options) {
+  if (!options.partition) {
+    return;
+  }
+  std::vector<std::string> available;
+  for (const Execution* execution : executions) {
+    for (const trace::PartitionSeries& series :
+         casestudy::partition_series(execution->result.samples)) {
+      if (series.partition == *options.partition) {
+        return;
+      }
+      available.push_back(series.partition);
+    }
+  }
+  std::string message =
+      "--partition: no partition named '" + *options.partition + "'";
+  if (available.empty()) {
+    message += " (no hv/ scenario selected)";
+  } else {
+    message += "; partitions:";
+    for (const std::string& name : available) {
+      message += ' ' + name;
+    }
+  }
+  throw UsageError(message);
+}
+
+/// Restrict flattened series to the `--partition` filter (validated
+/// upstream), BEFORE the report is built: no analysis on discarded rows.
+std::vector<trace::PartitionSeries>
+filtered_series(const Execution& execution, const CampaignOptions& options) {
+  std::vector<trace::PartitionSeries> series =
+      casestudy::partition_series(execution.result.samples);
+  if (options.partition) {
+    std::erase_if(series, [&](const trace::PartitionSeries& s) {
+      return s.partition != *options.partition;
+    });
+  }
+  return series;
+}
+
+/// Per-partition sections of an hv/ scenario (null on the bare platform):
+/// activation statistics over the cycles the schedule granted, budget
+/// violations, and the per-partition Gumbel pWCET where the series carries
+/// a fit.  `--partition` restricts the sections to one name.
+void write_partitions_json(JsonWriter& json, const Execution& execution,
+                           const CampaignOptions& options) {
+  json.key("partitions");
+  if (execution.result.samples.empty() ||
+      execution.result.samples.front().partitions.empty()) {
+    json.null();
+    return;
+  }
+  const trace::PartitionReport report =
+      trace::PartitionReport::build(filtered_series(execution, options));
+  json.begin_array();
+  for (const trace::PartitionReport::Entry& entry : report.entries) {
+    json.begin_object();
+    json.key("name").value(entry.partition);
+    json.key("activations").value(std::uint64_t{entry.summary.count});
+    json.key("min").value(entry.summary.min);
+    json.key("mean").value(entry.summary.mean);
+    json.key("moet").value(entry.summary.max);
+    json.key("stddev").value(entry.summary.stddev);
+    json.key("overruns").value(entry.overruns);
+    json.key("iid_passes").value(entry.iid_passes);
+    json.key("pwcet");
+    if (entry.pwcet) {
+      json.value(*entry.pwcet);
+    } else {
+      json.null();
+    }
+    json.key("pwcet_exceedance").value(report.target_exceedance);
+    json.end_object();
+  }
+  json.end_array();
+}
+
+void print_partitions_text(std::ostream& out, const Execution& execution,
+                           const CampaignOptions& options) {
+  const std::vector<trace::PartitionSeries> series =
+      filtered_series(execution, options);
+  if (series.empty()) {
+    return; // bare platform, or the filter names another scenario's guest
+  }
+  out << trace::PartitionReport::build(series).to_string();
+}
+
 void write_times_json(JsonWriter& json, const Execution& execution) {
   const mbpta::Summary summary = mbpta::summarise(execution.result.times);
   json.key("times").begin_object();
@@ -186,6 +284,12 @@ void write_execution_header_json(JsonWriter& json, const Execution& execution,
   json.key("runs").value(
       std::uint64_t{execution.result.times.size()});
   json.key("workers").value(execution.workers);
+  json.key("frames");
+  if (execution.config.hypervisor) {
+    json.value(execution.config.hypervisor->frames);
+  } else {
+    json.null();
+  }
 }
 
 void print_adaptive_text(std::ostream& out, const Execution& execution) {
@@ -251,6 +355,11 @@ int cmd_run(const CampaignOptions& options, std::ostream& out) {
   for (const std::string& name : names) {
     executions.push_back(execute_scenario(name, options));
   }
+  std::vector<const Execution*> executed;
+  for (const Execution& execution : executions) {
+    executed.push_back(&execution);
+  }
+  validate_partition_filter(executed, options);
 
   if (options.format == OutputFormat::kJson) {
     JsonWriter json(out);
@@ -262,6 +371,7 @@ int cmd_run(const CampaignOptions& options, std::ostream& out) {
       write_execution_header_json(json, execution, options);
       write_adaptive_json(json, execution);
       write_times_json(json, execution);
+      write_partitions_json(json, execution, options);
       write_throughput_json(json, execution);
       json.key("verified_runs").value(execution.result.verified_runs);
       json.end_object();
@@ -295,6 +405,7 @@ int cmd_run(const CampaignOptions& options, std::ostream& out) {
         << execution.result.times.size() << " runs)\n";
     out << "  " << report.to_string() << '\n';
     print_adaptive_text(out, execution);
+    print_partitions_text(out, execution, options);
     char line[160];
     std::snprintf(line, sizeof(line),
                   "  %.3f s wall, %.1f Minstr/s, digest %s\n",
@@ -326,10 +437,8 @@ int cmd_report(const CampaignOptions& options, std::ostream& out) {
       // config rather than re-deriving a block size from the stop count.
       analysis_config = convergence_options(options).controller.mbpta;
     } else {
-      analysis_config.block_size = std::max(
-          10u,
-          static_cast<std::uint32_t>(reported.execution.result.times.size() /
-                                     40));
+      analysis_config.block_size =
+          mbpta::auto_block_size(reported.execution.result.times.size());
     }
     try {
       reported.analysis =
@@ -340,6 +449,11 @@ int cmd_report(const CampaignOptions& options, std::ostream& out) {
     }
     reports.push_back(std::move(reported));
   }
+  std::vector<const Execution*> executed;
+  for (const Reported& reported : reports) {
+    executed.push_back(&reported.execution);
+  }
+  validate_partition_filter(executed, options);
 
   std::optional<JsonWriter> json;
   if (options.format == OutputFormat::kJson) {
@@ -362,6 +476,7 @@ int cmd_report(const CampaignOptions& options, std::ostream& out) {
       write_execution_header_json(*json, execution, options);
       write_adaptive_json(*json, execution);
       write_times_json(*json, execution);
+      write_partitions_json(*json, execution, options);
       if (analysis) {
         json->key("analysis").begin_object();
         json->key("iid").begin_object();
@@ -406,6 +521,7 @@ int cmd_report(const CampaignOptions& options, std::ostream& out) {
     out << "== " << execution.name << " (" << n << " runs) ==\n";
     out << report.to_string() << '\n';
     print_adaptive_text(out, execution);
+    print_partitions_text(out, execution, options);
     if (!analysis) {
       out << "MBPTA analysis not possible: " << analysis_error << '\n';
       continue;

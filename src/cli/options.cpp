@@ -103,6 +103,16 @@ Command parse_command_line(std::span<const char* const> args) {
       if (options.decades < 1 || options.decades > 18) {
         throw UsageError("--decades: expected 1..18");
       }
+    } else if (flag == "--frames") {
+      options.frames = parse_number<std::uint32_t>(flag, value());
+      // Upper bound keeps the control period (frames * minor frame, ms)
+      // inside 32 bits for any scenario clock — and a million frames per
+      // run is already far past any sensible schedule.
+      if (*options.frames == 0 || *options.frames > 1'000'000) {
+        throw UsageError("--frames: expected 1..1000000");
+      }
+    } else if (flag == "--partition") {
+      options.partition = std::string(value());
     } else {
       throw UsageError("unknown flag '" + std::string(flag) + "'");
     }
@@ -150,12 +160,16 @@ std::string usage() {
       "  --vm-core C          fast|reference (default fast)\n"
       "  --format F           text|json|csv (default text; list: text|json)\n"
       "  --decades D          report: pWCET curve depth (default 16)\n"
+      "  --frames N           hv/ scenarios: minor frames per measured run\n"
+      "                       (default: the scenario's schedule, 10)\n"
+      "  --partition NAME     restrict per-partition sections to NAME\n"
       "\n"
       "examples:\n"
       "  proxima list\n"
       "  proxima run --scenario control/operation-dsr --runs 500 --workers 8\n"
       "  proxima run --scenario control/analysis-dsr --adaptive --seed 42 \\\n"
       "              --format json\n"
+      "  proxima run --scenario hv/control+image --runs 200 --format json\n"
       "  proxima report --all --runs 300 --format csv\n";
 }
 

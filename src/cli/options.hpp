@@ -44,6 +44,13 @@ struct CampaignOptions {
   OutputFormat format = OutputFormat::kText;
   /// `report`: pWCET curve depth in decades.
   int decades = 16;
+  /// `--frames N`: minor frames per measured run of an hv/ scenario
+  /// (rejected for bare-platform scenarios); unset keeps the scenario's
+  /// default schedule.
+  std::optional<std::uint32_t> frames;
+  /// `--partition NAME`: restrict the per-partition report sections to one
+  /// partition (hv/ scenarios emit all partitions by default).
+  std::optional<std::string> partition;
 };
 
 struct Command {

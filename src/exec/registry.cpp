@@ -107,6 +107,26 @@ CampaignConfig analysis_base(Randomisation randomisation,
   return config;
 }
 
+/// Hypervisor campaigns: the analysis protocol (pinned control input) on
+/// the partitioned platform, so the measured spread is attributable to the
+/// layout (DSR) and to the guests' interference alone.  The image guest is
+/// scaled down to a 6x6 lens grid: its ~42 KiB frame sweep still evicts
+/// the whole 32 KiB direct-mapped L2 every minor frame while keeping
+/// registry-default campaigns CI-sized.
+CampaignConfig hv_base(Randomisation randomisation, std::uint32_t runs) {
+  CampaignConfig config = analysis_base(randomisation, runs);
+  casestudy::HvCampaignConfig hv;
+  hv.frames = 10; // the paper's 1 s control period over 100 ms frames
+  config.hypervisor = hv;
+  return config;
+}
+
+casestudy::ImageParams hv_image_params() {
+  casestudy::ImageParams params;
+  params.grid = 6;
+  return params;
+}
+
 struct NamedRandomisation {
   const char* key;
   const char* label;
@@ -196,6 +216,42 @@ void register_default_scenarios(ScenarioRegistry& registry) {
       [](std::uint32_t runs) {
         CampaignConfig config = operation_base(Randomisation::kNone, runs);
         config.control.corrupt_rate = 1.0;
+        return config;
+      }});
+
+  // Hypervisor campaigns (Section IV's PikeOS setting): the control task
+  // measured on the cyclic schedule, solo and under guest interference.
+  // hv/control-solo reproduces the bare analysis protocol (no guests run
+  // before the measured activation), so the solo-vs-guest delta isolates
+  // the interference itself.
+  registry.add(Scenario{
+      "hv/control-solo",
+      "control task alone on the cyclic schedule (interference baseline)",
+      [](std::uint32_t runs) { return hv_base(Randomisation::kNone, runs); }});
+  registry.add(Scenario{
+      "hv/control+image",
+      "control task with the image task as guest partition, COTS layout",
+      [](std::uint32_t runs) {
+        CampaignConfig config = hv_base(Randomisation::kNone, runs);
+        config.hypervisor->image_guest = true;
+        config.hypervisor->image = hv_image_params();
+        return config;
+      }});
+  registry.add(Scenario{
+      "hv/control+image-dsr",
+      "control task with the image guest, DSR-randomised per reboot",
+      [](std::uint32_t runs) {
+        CampaignConfig config = hv_base(Randomisation::kDsr, runs);
+        config.hypervisor->image_guest = true;
+        config.hypervisor->image = hv_image_params();
+        return config;
+      }});
+  registry.add(Scenario{
+      "hv/control+stress",
+      "control task with the synthetic L2-evicting stressor guest",
+      [](std::uint32_t runs) {
+        CampaignConfig config = hv_base(Randomisation::kNone, runs);
+        config.hypervisor->stressor_guest = true;
         return config;
       }});
 }

@@ -45,4 +45,18 @@ constexpr std::uint64_t derive_run_seed(std::uint64_t base, SeedStream stream,
       run);
 }
 
+/// Per-partition seed for hypervisor campaigns: one more SplitMix64 round
+/// over the run seed, keyed by the partition's registration index.  Every
+/// partition of a multi-partition layout draws from its own well-mixed
+/// stream while the whole platform state stays a pure function of the run
+/// index — the property that lets the engine shard hypervisor scenarios
+/// exactly like bare-platform ones.
+constexpr std::uint64_t derive_partition_seed(std::uint64_t base,
+                                              SeedStream stream,
+                                              std::uint64_t run,
+                                              std::uint32_t partition) noexcept {
+  return splitmix64_mix(derive_run_seed(base, stream, run) ^
+                        (static_cast<std::uint64_t>(partition) + 1));
+}
+
 } // namespace proxima::exec

@@ -9,11 +9,20 @@
 #include "evt.hpp"
 #include "iid_tests.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <vector>
 
 namespace proxima::mbpta {
+
+/// Auto block size for an n-run campaign: ~40 block maxima with a floor
+/// of 10 — the one rule the CLI, the per-partition report and the benches
+/// all share, so a retune cannot silently diverge between them.
+inline std::uint32_t auto_block_size(std::size_t runs) {
+  return std::max<std::uint32_t>(10, static_cast<std::uint32_t>(runs / 40));
+}
 
 struct MbptaConfig {
   double alpha = 0.05;          // significance for both i.i.d. tests

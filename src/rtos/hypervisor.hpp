@@ -54,7 +54,12 @@ enum class FlushScope : std::uint8_t { kNone, kL1sAndTlbs, kAll };
 struct PartitionConfig {
   std::string name;
   std::uint32_t period_ms = 100; // activation period (multiple of the frame)
-  std::uint32_t budget_ms = 0;   // 0: the whole minor frame
+  /// Phase of the first activation within the period (multiple of the
+  /// minor frame, < period).  Hypervisor campaigns place the measured
+  /// partition at the *end* of its period so the guests' interference
+  /// precedes the measured activation.
+  std::uint32_t offset_ms = 0;
+  std::uint32_t budget_ms = 0; // 0: the whole minor frame
   Criticality criticality = Criticality::kLow;
   FlushScope flush_on_start = FlushScope::kL1sAndTlbs;
   /// Measurement protocol: reboot the partition after every activation so
@@ -67,8 +72,13 @@ struct ActivationRecord {
   std::uint64_t frame_index = 0;
   std::uint64_t activation_index = 0; // per-partition counter
   std::uint64_t start_cycle = 0;      // global timeline
+  /// Cycles the schedule actually granted: clamped to the budget fence, so
+  /// per-partition MOET/pWCET never credits time the schedule denied.
   std::uint64_t cycles_used = 0;
-  bool overran = false; // hit the budget fence (temporal violation)
+  /// Hit the budget fence (temporal violation).  A slot whose frame was
+  /// already fully consumed by earlier partitions is recorded as an
+  /// overrun with cycles_used == 0 — the activation never started.
+  bool overran = false;
   bool halted = true;
 };
 
@@ -85,13 +95,22 @@ public:
              HypervisorConfig config = {});
 
   /// Register a partition.  Periods must be non-zero multiples of the
-  /// minor frame.  High-criticality partitions are activated first within
-  /// a frame.
+  /// minor frame, offsets multiples of the frame below the period.
+  /// High-criticality partitions are activated first within a frame.
+  /// Throws std::invalid_argument when the explicit budgets of partitions
+  /// that share any minor frame of the hyperperiod exceed the frame — an
+  /// overcommitted schedule would silently eat the next partition's time.
   void add_partition(const PartitionConfig& config, PartitionApp& app);
 
   /// Run `frames` minor frames of the cyclic schedule and return every
   /// activation record in execution order.
   std::vector<ActivationRecord> run_frames(std::uint64_t frames);
+
+  /// Rewind the cyclic schedule to frame 0 / cycle 0 and zero the
+  /// per-partition activation counters and the violation count.  A
+  /// measurement campaign replays the same schedule from a fresh timeline
+  /// for every measured run.
+  void reset_schedule() noexcept;
 
   /// Temporal-isolation violations observed so far (budget overruns).
   std::uint64_t violations() const noexcept { return violations_; }

@@ -1,0 +1,16 @@
+#include "platform.hpp"
+
+namespace proxima::rtos {
+
+PartitionedPlatform::PartitionedPlatform(vm::Vm& cpu,
+                                         mem::MemoryHierarchy& hierarchy,
+                                         HypervisorConfig config)
+    : hypervisor_(cpu, hierarchy, config) {}
+
+void PartitionedPlatform::add_partition(const PartitionConfig& config,
+                                        PartitionApp& app) {
+  hypervisor_.add_partition(config, app); // validates; throws on bad config
+  names_.push_back(config.name);
+}
+
+} // namespace proxima::rtos

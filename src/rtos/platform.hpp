@@ -1,0 +1,59 @@
+// The partitioned platform of the case study: the shared core and memory
+// hierarchy under the cyclic-schedule hypervisor, with named partitions
+// registered once and a resettable schedule.
+//
+// One platform instance serves many independent measured runs: a
+// measurement campaign reboots/reseeds the partition apps, calls
+// `reset_schedule()`, and replays the same cyclic schedule from a fresh
+// timeline — which is what lets `casestudy::CampaignRunner` own a
+// PartitionedPlatform per worker and keep every run a pure function of its
+// run index (the engine's sharding contract).
+#pragma once
+
+#include "rtos/hypervisor.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace proxima::rtos {
+
+class PartitionedPlatform {
+public:
+  /// The core and hierarchy are shared with the owner (the campaign runner
+  /// builds and loads the partition images into the same guest memory the
+  /// core executes from); the hypervisor is owned here.
+  PartitionedPlatform(vm::Vm& cpu, mem::MemoryHierarchy& hierarchy,
+                      HypervisorConfig config = {});
+
+  /// Register a partition (see Hypervisor::add_partition; same schedule
+  /// validation, including the overcommit check).  The app must outlive
+  /// the platform.  Registration order is preserved in `partition_names`.
+  void add_partition(const PartitionConfig& config, PartitionApp& app);
+
+  /// Rewind the cyclic schedule to frame 0 / cycle 0 for the next
+  /// independent measured run.
+  void reset_schedule() noexcept { hypervisor_.reset_schedule(); }
+
+  std::vector<ActivationRecord> run_frames(std::uint64_t frames) {
+    return hypervisor_.run_frames(frames);
+  }
+
+  std::uint64_t violations() const noexcept {
+    return hypervisor_.violations();
+  }
+
+  /// Registered partition names, in registration order (the stable order
+  /// per-partition reports are rendered in).
+  const std::vector<std::string>& partition_names() const noexcept {
+    return names_;
+  }
+
+  const Hypervisor& hypervisor() const noexcept { return hypervisor_; }
+
+private:
+  Hypervisor hypervisor_;
+  std::vector<std::string> names_;
+};
+
+} // namespace proxima::rtos

@@ -1,0 +1,66 @@
+#include "partition_report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace proxima::trace {
+
+PartitionReport PartitionReport::build(std::span<const PartitionSeries> series,
+                                       double target_exceedance,
+                                       std::uint32_t block_size) {
+  PartitionReport report;
+  report.target_exceedance = target_exceedance;
+  report.entries.reserve(series.size());
+  for (const PartitionSeries& partition : series) {
+    Entry entry;
+    entry.partition = partition.partition;
+    entry.summary = mbpta::summarise(partition.cycles);
+    entry.overruns = partition.overruns;
+    mbpta::MbptaConfig config;
+    config.block_size = block_size != 0
+                            ? block_size
+                            : mbpta::auto_block_size(partition.cycles.size());
+    try {
+      const mbpta::MbptaAnalysis analysis =
+          mbpta::analyse(partition.cycles, config);
+      entry.iid_passes = analysis.applicable();
+      entry.pwcet = analysis.pwcet(target_exceedance);
+    } catch (const std::invalid_argument&) {
+      // Series too short for the fit (or the target outside the model's
+      // range): the descriptive row still stands, the bound does not.
+    }
+    report.entries.push_back(std::move(entry));
+  }
+  return report;
+}
+
+std::string PartitionReport::to_string() const {
+  std::ostringstream oss;
+  char line[200];
+  std::snprintf(line, sizeof(line), "  %-14s %8s %12s %12s %12s %9s  %s\n",
+                "partition", "n", "min", "avg", "MOET", "overruns",
+                "pWCET");
+  oss << line;
+  for (const Entry& entry : entries) {
+    std::string pwcet = "-";
+    if (entry.pwcet) {
+      char bound[64];
+      std::snprintf(bound, sizeof(bound), "%.0f @ %.0e%s", *entry.pwcet,
+                    target_exceedance,
+                    entry.iid_passes ? "" : " (i.i.d. FAILED)");
+      pwcet = bound;
+    }
+    std::snprintf(line, sizeof(line),
+                  "  %-14s %8zu %12.0f %12.1f %12.0f %9llu  %s\n",
+                  entry.partition.c_str(), entry.summary.count,
+                  entry.summary.min, entry.summary.mean, entry.summary.max,
+                  static_cast<unsigned long long>(entry.overruns),
+                  pwcet.c_str());
+    oss << line;
+  }
+  return oss.str();
+}
+
+} // namespace proxima::trace

@@ -1,0 +1,57 @@
+// Per-partition reporting for hypervisor campaigns.
+//
+// A hypervisor campaign measures the control task while guest partitions
+// share the platform; the analyst then wants the timing picture *per
+// partition*: activation counts, min/avg/MOET over the cycles the schedule
+// actually granted, budget-fence violations, and — where the series is
+// long enough and i.i.d. holds — a Gumbel pWCET bound.  This renders the
+// per-partition rows of the paper's Section IV protocol the way
+// trace::TimingReport renders the single-task summaries.
+#pragma once
+
+#include "mbpta/mbpta.hpp"
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace proxima::trace {
+
+/// One partition's flattened campaign series: every activation's granted
+/// cycles in schedule order across all runs, plus the violations the
+/// health monitor recorded.  Assembled by `casestudy::partition_series`.
+struct PartitionSeries {
+  std::string partition;
+  std::vector<double> cycles;
+  std::uint64_t overruns = 0;
+};
+
+struct PartitionReport {
+  struct Entry {
+    std::string partition;
+    mbpta::Summary summary; // n / min / mean / MOET over granted cycles
+    std::uint64_t overruns = 0;
+    /// Gumbel fit verdict and pWCET at `target_exceedance`; absent when
+    /// the series is too short for the configured fit.
+    bool iid_passes = false;
+    std::optional<double> pwcet;
+  };
+
+  double target_exceedance = 1e-12;
+  std::vector<Entry> entries; // registration order preserved
+
+  /// Build the report.  `block_size` 0 derives max(10, n/40) per
+  /// partition, the CLI's auto rule.  Partitions whose series cannot carry
+  /// the fit (too short, i.i.d. machinery throws) get no pwcet rather than
+  /// failing the report.
+  static PartitionReport build(std::span<const PartitionSeries> series,
+                               double target_exceedance = 1e-12,
+                               std::uint32_t block_size = 0);
+
+  /// Aligned table: one row per partition.
+  std::string to_string() const;
+};
+
+} // namespace proxima::trace

@@ -226,9 +226,12 @@ next_instruction:
     VM_NEXT();
   }
   VM_CASE(kMul) {
+    // SPARC smul keeps the low 32 bits of the 64-bit product: widen so an
+    // overflowing guest multiply wraps instead of being host-side UB.
     wr(op->rd,
-       static_cast<std::uint32_t>(static_cast<std::int32_t>(rv(op->rs1)) *
-                                  static_cast<std::int32_t>(rv(op->rs2))));
+       static_cast<std::uint32_t>(
+           static_cast<std::int64_t>(static_cast<std::int32_t>(rv(op->rs1))) *
+           static_cast<std::int32_t>(rv(op->rs2))));
     cycles_ += cfg.mul_cycles - 1;
     pc_ += 4;
     VM_NEXT();
@@ -316,8 +319,9 @@ next_instruction:
   }
   VM_CASE(kMuli) {
     wr(op->rd,
-       static_cast<std::uint32_t>(static_cast<std::int32_t>(rv(op->rs1)) *
-                                  op->imm));
+       static_cast<std::uint32_t>(
+           static_cast<std::int64_t>(static_cast<std::int32_t>(rv(op->rs1))) *
+           op->imm));
     cycles_ += cfg.mul_cycles - 1;
     pc_ += 4;
     VM_NEXT();

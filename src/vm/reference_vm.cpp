@@ -117,9 +117,12 @@ void Vm::execute(const Instruction& instr) {
                           static_cast<std::int32_t>(rs1()) >> (rs2() & 31)));
     break;
   case Opcode::kMul:
+    // SPARC smul keeps the low 32 bits of the 64-bit product: widen so an
+    // overflowing guest multiply wraps instead of being host-side UB.
     set_reg(instr.rd,
-            static_cast<std::uint32_t>(static_cast<std::int32_t>(rs1()) *
-                                       static_cast<std::int32_t>(rs2())));
+            static_cast<std::uint32_t>(
+                static_cast<std::int64_t>(static_cast<std::int32_t>(rs1())) *
+                static_cast<std::int32_t>(rs2())));
     cycles_ += config_.mul_cycles - 1;
     break;
   case Opcode::kDiv: {
@@ -184,8 +187,9 @@ void Vm::execute(const Instruction& instr) {
     break;
   case Opcode::kMuli:
     set_reg(instr.rd,
-            static_cast<std::uint32_t>(static_cast<std::int32_t>(rs1()) *
-                                       instr.imm));
+            static_cast<std::uint32_t>(
+                static_cast<std::int64_t>(static_cast<std::int32_t>(rs1())) *
+                instr.imm));
     cycles_ += config_.mul_cycles - 1;
     break;
   case Opcode::kDivi: {

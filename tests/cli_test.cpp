@@ -276,6 +276,72 @@ TEST(CliRun, AdaptiveIsBitIdenticalAcrossWorkerCounts) {
             field_after(parallel.out, "batches"));
 }
 
+TEST(CliRun, HvScenarioEmitsPerPartitionJsonSections) {
+  const CliResult result =
+      invoke({"run", "--scenario", "hv/control+image", "--runs", "5",
+              "--workers", "2", "--frames", "5", "--format", "json"});
+  ASSERT_EQ(result.code, 0) << result.err;
+  ASSERT_TRUE(JsonChecker(result.out).valid()) << result.out;
+  EXPECT_EQ(field_after(result.out, "frames"), "5");
+  EXPECT_NE(result.out.find("\"partitions\": ["), std::string::npos);
+  EXPECT_NE(result.out.find("\"name\": \"control\""), std::string::npos);
+  EXPECT_NE(result.out.find("\"name\": \"processing\""), std::string::npos);
+  for (const char* key :
+       {"activations", "moet", "overruns", "iid_passes", "pwcet"}) {
+    EXPECT_FALSE(field_after(result.out, key).empty()) << key;
+  }
+  EXPECT_EQ(field_after(result.out, "verified_runs"), "5");
+}
+
+TEST(CliRun, PartitionFlagRestrictsTheSections) {
+  const CliResult result =
+      invoke({"run", "--scenario", "hv/control+image", "--runs", "3",
+              "--partition", "control", "--format", "json"});
+  ASSERT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("\"name\": \"control\""), std::string::npos);
+  EXPECT_EQ(result.out.find("\"name\": \"processing\""), std::string::npos)
+      << "--partition must filter the sections";
+
+  // A name matching no partition is a usage error (exit 2), not a
+  // well-formed document with a silently empty section.
+  const CliResult typo =
+      invoke({"run", "--scenario", "hv/control+image", "--runs", "2",
+              "--partition", "contrl", "--format", "json"});
+  EXPECT_EQ(typo.code, 2);
+  EXPECT_NE(typo.err.find("no partition named 'contrl'"), std::string::npos);
+  EXPECT_TRUE(typo.out.empty()) << "nothing may be emitted before the error";
+}
+
+TEST(CliRun, BareScenariosEmitNullPartitions) {
+  const CliResult result =
+      invoke({"run", "--scenario", "control/operation-cots", "--runs", "4",
+              "--format", "json"});
+  ASSERT_EQ(result.code, 0) << result.err;
+  EXPECT_EQ(field_after(result.out, "partitions"), "null");
+  EXPECT_EQ(field_after(result.out, "frames"), "null");
+}
+
+TEST(CliRun, HvIsBitIdenticalAcrossWorkerCounts) {
+  // The acceptance check of the hypervisor family: same seed, workers 1
+  // vs 8 -> bit-identical times (visible as the digest).
+  const std::vector<const char*> base = {"run",    "--scenario",
+                                         "hv/control+image", "--runs",
+                                         "8",      "--seed",
+                                         "7",      "--format",
+                                         "json"};
+  std::vector<const char*> one = base;
+  one.insert(one.end(), {"--workers", "1"});
+  std::vector<const char*> eight = base;
+  eight.insert(eight.end(), {"--workers", "8"});
+  const CliResult sequential = invoke(one);
+  const CliResult parallel = invoke(eight);
+  ASSERT_EQ(sequential.code, 0) << sequential.err;
+  ASSERT_EQ(parallel.code, 0) << parallel.err;
+  const std::string digest = field_after(sequential.out, "digest");
+  EXPECT_FALSE(digest.empty());
+  EXPECT_EQ(digest, field_after(parallel.out, "digest"));
+}
+
 TEST(CliRun, CsvHasHeaderAndOneRowPerScenario) {
   const CliResult result =
       invoke({"run", "--scenario", "control/operation-cots", "--scenario",
@@ -357,6 +423,12 @@ TEST(CliErrors, UsageErrorsExitTwo) {
   EXPECT_EQ(invoke({"run", "--scenario", "x", "--all"}).code, 2);
   EXPECT_EQ(invoke({"run", "--scenario", "x", "--batch", "0"}).code, 2)
       << "--batch 0 must be rejected, not silently replaced by the default";
+  EXPECT_EQ(invoke({"run", "--scenario", "x", "--frames", "0"}).code, 2);
+  EXPECT_EQ(invoke({"run", "--scenario", "control/operation-cots", "--runs",
+                    "2", "--frames", "4"})
+                .code,
+            2)
+      << "--frames only applies to hv/ scenarios";
   EXPECT_EQ(invoke({"list", "--bogus"}).code, 2);
   const CliResult help = invoke({"help"});
   EXPECT_EQ(help.code, 0);

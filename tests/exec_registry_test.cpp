@@ -31,16 +31,17 @@ TEST(ScenarioRegistry, DefaultCatalogue) {
   FreshRegistry fixture;
   const exec::ScenarioRegistry& registry = fixture.get();
   // Operation + analysis for every randomisation technology, plus the
-  // layout / PRNG / offset / relocation-scheme sweeps and the stress
-  // scenario.
-  EXPECT_EQ(registry.size(), 13u);
+  // layout / PRNG / offset / relocation-scheme sweeps, the stress
+  // scenario, and the hypervisor (partition-interference) family.
+  EXPECT_EQ(registry.size(), 17u);
   for (const char* name :
        {"control/operation-cots", "control/operation-dsr",
         "control/operation-static", "control/operation-hwrand",
         "control/analysis-cots", "control/analysis-dsr",
         "control/analysis-static", "control/analysis-hwrand",
         "control/layout-neutral", "control/prng-lfsr", "control/offset-l1",
-        "control/dsr-lazy", "control/stress-corrupt"}) {
+        "control/dsr-lazy", "control/stress-corrupt", "hv/control-solo",
+        "hv/control+image", "hv/control+image-dsr", "hv/control+stress"}) {
     EXPECT_TRUE(registry.contains(name)) << name;
   }
 }
@@ -95,7 +96,7 @@ TEST(ScenarioRegistry, RejectsInvalidRegistrations) {
                    "control/operation-dsr", "duplicate",
                    [](std::uint32_t) { return CampaignConfig{}; }}),
                std::invalid_argument);
-  EXPECT_EQ(registry.size(), 13u) << "failed adds must not register";
+  EXPECT_EQ(registry.size(), 17u) << "failed adds must not register";
 }
 
 TEST(ScenarioRegistry, FactoriesHonourRunsAndScenarioKnobs) {

@@ -233,6 +233,138 @@ TEST(Hypervisor, ActivationRecordsCarryTimeline) {
   EXPECT_EQ(records[2].activation_index, 2u);
 }
 
+TEST(Hypervisor, RejectsOvercommittedSchedule) {
+  // Regression: budgets were only checked against the frame individually,
+  // so two partitions whose budgets jointly exceed the frame were accepted
+  // and the second silently ate the next frame's time.
+  test::TestMachine machine(trivial_program(1));
+  CountingApp a(machine, machine.image.entry_addr());
+  CountingApp b(machine, machine.image.entry_addr());
+  Hypervisor hv(machine.cpu, machine.hierarchy, HypervisorConfig{});
+  hv.add_partition(PartitionConfig{.name = "a",
+                                   .period_ms = 200,
+                                   .budget_ms = 60},
+                   a);
+  EXPECT_THROW(
+      hv.add_partition(
+          PartitionConfig{.name = "b", .period_ms = 100, .budget_ms = 60}, b),
+      std::invalid_argument)
+      << "co-occurs with 'a' in even frames: 120 ms in a 100 ms frame";
+  // Same budgets in *disjoint* frames of the hyperperiod are fine: the
+  // overcommit check is phase-aware, not a blanket sum.
+  EXPECT_NO_THROW(hv.add_partition(PartitionConfig{.name = "c",
+                                                   .period_ms = 200,
+                                                   .offset_ms = 100,
+                                                   .budget_ms = 60},
+                                   b));
+  // ...and a partition meeting 'c' in odd frames overcommits again.
+  EXPECT_THROW(
+      hv.add_partition(
+          PartitionConfig{.name = "d", .period_ms = 100, .budget_ms = 50}, b),
+      std::invalid_argument);
+}
+
+TEST(Hypervisor, ConsumedFrameZeroBudgetIsARecordedViolation) {
+  // Regression: a budget_ms == 0 slot received frame_cycles -
+  // used_in_frame, which is 0 once the frame is consumed — and
+  // cpu_.run(0) means "no fence" to the core, an unbounded activation.
+  // The denied slot must instead be recorded as a temporal violation
+  // without ever starting.
+  test::TestMachine machine(runaway_program());
+  CountingApp hog(machine, machine.image.entry_addr());
+  CountingApp starved(machine, machine.image.entry_addr());
+  Hypervisor hv(machine.cpu, machine.hierarchy, HypervisorConfig{});
+  hv.add_partition(PartitionConfig{.name = "hog",
+                                   .period_ms = 100,
+                                   .budget_ms = 100, // the whole frame
+                                   .criticality = Criticality::kHigh},
+                   hog);
+  hv.add_partition(PartitionConfig{.name = "starved", .period_ms = 100},
+                   starved);
+  const auto records = hv.run_frames(1);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_TRUE(records[0].overran) << "the hog hits its own fence";
+  EXPECT_EQ(records[1].partition, "starved");
+  EXPECT_EQ(records[1].cycles_used, 0u);
+  EXPECT_TRUE(records[1].overran);
+  EXPECT_FALSE(records[1].halted);
+  EXPECT_EQ(hv.violations(), 2u);
+  // The denied activation never started: no before_activation callback.
+  EXPECT_EQ(starved.activations, 0u);
+  // The denial is still counted in the schedule's activation index.
+  EXPECT_EQ(records[1].activation_index, 0u);
+}
+
+TEST(Hypervisor, OverrunClampsCyclesUsedToTheBudget) {
+  // Regression: an overrunning activation stored raw result.cycles, which
+  // can exceed the fence — per-partition MOET/pWCET then credits time the
+  // schedule never granted.
+  test::TestMachine machine(runaway_program());
+  CountingApp app(machine, machine.image.entry_addr());
+  Hypervisor hv(machine.cpu, machine.hierarchy, HypervisorConfig{});
+  hv.add_partition(
+      PartitionConfig{.name = "runaway", .period_ms = 100, .budget_ms = 10},
+      app);
+  const auto records = hv.run_frames(1);
+  ASSERT_EQ(records.size(), 1u);
+  const std::uint64_t budget_cycles = 10ull * hv.config().cycles_per_ms;
+  EXPECT_TRUE(records[0].overran);
+  EXPECT_LE(records[0].cycles_used, budget_cycles)
+      << "the fence must bound the recorded cycles, not just the damage";
+  EXPECT_GT(records[0].cycles_used, budget_cycles - 200)
+      << "the runaway consumed essentially the whole budget";
+}
+
+TEST(Hypervisor, OffsetsPhaseActivationsWithinThePeriod) {
+  test::TestMachine machine(trivial_program(10));
+  CountingApp app(machine, machine.image.entry_addr());
+  Hypervisor hv(machine.cpu, machine.hierarchy, HypervisorConfig{});
+  hv.add_partition(
+      PartitionConfig{.name = "late", .period_ms = 200, .offset_ms = 100},
+      app);
+  const auto records = hv.run_frames(4);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].frame_index, 1u);
+  EXPECT_EQ(records[1].frame_index, 3u);
+
+  CountingApp bad(machine, machine.image.entry_addr());
+  EXPECT_THROW(hv.add_partition(PartitionConfig{.name = "x",
+                                                .period_ms = 200,
+                                                .offset_ms = 200},
+                                bad),
+               std::invalid_argument)
+      << "offset must lie below the period";
+  EXPECT_THROW(hv.add_partition(PartitionConfig{.name = "y",
+                                                .period_ms = 200,
+                                                .offset_ms = 150},
+                                bad),
+               std::invalid_argument)
+      << "offset must be a multiple of the minor frame";
+}
+
+TEST(Hypervisor, ResetScheduleReplaysTheTimeline) {
+  test::TestMachine machine(trivial_program(10));
+  CountingApp app(machine, machine.image.entry_addr());
+  Hypervisor hv(machine.cpu, machine.hierarchy,
+                HypervisorConfig{});
+  hv.add_partition(PartitionConfig{.name = "p",
+                                   .period_ms = 100,
+                                   .flush_on_start = rtos::FlushScope::kAll},
+                   app);
+  const auto first = hv.run_frames(3);
+  hv.reset_schedule();
+  EXPECT_EQ(hv.violations(), 0u);
+  const auto second = hv.run_frames(3);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].frame_index, second[i].frame_index);
+    EXPECT_EQ(first[i].start_cycle, second[i].start_cycle);
+    EXPECT_EQ(first[i].activation_index, second[i].activation_index);
+    EXPECT_EQ(first[i].cycles_used, second[i].cycles_used)
+        << "full flush + fresh timeline must replay identically";
+  }
+}
+
 TEST(Hypervisor, RejectsBadConfigs) {
   test::TestMachine machine(trivial_program(1));
   CountingApp app(machine, machine.image.entry_addr());
