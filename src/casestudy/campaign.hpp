@@ -6,7 +6,9 @@
 //      depending on the configuration under test;
 //   2. stage a fresh random input vector (sensor + spacecraft bus data);
 //   3. flush all cache levels and TLBs (PikeOS partition start);
-//   4. execute one activation of the control task on the LEON3-class core;
+//   4. execute one activation of the measured target (the control task by
+//      default, or the image task — see MeasuredTargetKind) on the
+//      LEON3-class core;
 //   5. extract the UoA execution time from the RVS-style trace and snapshot
 //      the performance counters (Table I);
 //   6. verify the functional outputs against the host golden model.
@@ -39,35 +41,77 @@ enum class Randomisation : std::uint8_t {
 
 enum class PrngKind : std::uint8_t { kMwc, kLfsr };
 
-/// Hypervisor campaign (the paper's PikeOS setting): the control task is
-/// measured *while* guest partitions share the platform, instead of on the
-/// bare platform.  One measured run replays `frames` minor frames of the
-/// cyclic schedule from a fresh timeline:
-///   * the control partition activates exactly once, in the LAST minor
+/// Which program is the campaign's unit of analysis — the thing the trace
+/// instruments, the randomisation rebuilds per run, and the golden model
+/// verifies.  The paper's protocol always measures exactly one program per
+/// run; this selector picks WHICH one (ROADMAP "measured-partition
+/// selection" / "image task as a measured workload"):
+///   kControl — the high-criticality control task (UoA `control_step`),
+///              constant-work per activation;
+///   kImage   — the image-processing task (UoA `image_step`), whose
+///              duration is *input-dependent* (only the lit ~70% of lenses
+///              are processed) — the workload class MBPTA struggles with
+///              and where DSR's re-randomisation matters most.
+/// On the bare platform the selected target is simply the program under
+/// test; under the hypervisor it selects the measured partition, while the
+/// other tasks ride as interference guests.
+enum class MeasuredTargetKind : std::uint8_t { kControl, kImage };
+
+/// Report label of a measured-target kind: "control" / "image".
+const char* measured_target_name(MeasuredTargetKind kind) noexcept;
+
+/// Hypervisor partition name of the partition a target kind occupies
+/// ("control" / "processing") — fixed per kind, independent of whether the
+/// partition is the measured one or a guest.
+const char* measured_partition_name(MeasuredTargetKind kind) noexcept;
+
+/// Hypervisor campaign (the paper's PikeOS setting): the measured target
+/// (`CampaignConfig::measured` — the control task by default) is measured
+/// *while* guest partitions share the platform, instead of on the bare
+/// platform.  One measured run replays `frames` minor frames of the cyclic
+/// schedule from a fresh timeline:
+///   * the measured partition activates exactly once, in the LAST minor
 ///     frame (period = frames * minor_frame_ms, offset at the end), so the
 ///     guests' cache/TLB interference precedes the measured activation;
 ///   * guest partitions activate every minor frame with fresh inputs drawn
-///     from per-partition streams (`exec::derive_partition_seed`), so the
-///     interference pattern varies run to run but stays a pure function of
-///     the run index — the engine shards hypervisor scenarios exactly like
-///     bare-platform ones;
-///   * the bare protocol's unmeasured same-layout warm-up still precedes
-///     the schedule, so `hv/control-solo` reproduces the bare analysis
-///     protocol and the guest scenarios differ from it by interference
-///     only.
+///     from per-partition streams (`exec::derive_partition_seed`, whose
+///     partition indices are fixed per task kind — see hv_runner.cpp), so
+///     the interference pattern varies run to run but stays a pure
+///     function of the run index — the engine shards hypervisor scenarios
+///     exactly like bare-platform ones;
+///   * the bare protocol's unmeasured same-layout warm-up of the measured
+///     program still precedes the schedule, so `hv/control-solo`
+///     reproduces the bare analysis protocol and the guest scenarios
+///     differ from it by interference only.
+/// A task kind can appear in a schedule once: enabling the guest matching
+/// the measured target (e.g. `control_guest` while measuring the control
+/// task) is rejected at runner construction.
 /// Static re-link randomisation is not supported under the hypervisor (a
 /// re-flash clears the whole guest memory, guests included).
 struct HvCampaignConfig {
-  /// Minor frames per measured run (= the control task's period in
+  /// Minor frames per measured run (= the measured task's period in
   /// frames).  10 reproduces the paper's 1 s control period over 100 ms
   /// frames.
   std::uint32_t frames = 10;
   std::uint32_t minor_frame_ms = 100;
   /// LEON3-class clock (cycles per millisecond).
   std::uint64_t cycles_per_ms = 50000;
-  /// Budgets in ms; 0 grants the rest of the minor frame.
-  std::uint32_t control_budget_ms = 0;
-  /// The image-processing task as a low-criticality guest.
+  /// Budgets in ms; 0 grants the rest of the minor frame.  The measured
+  /// budget applies to whichever partition `CampaignConfig::measured`
+  /// selects.
+  std::uint32_t measured_budget_ms = 0;
+  /// The control task as an interference guest (only valid when the
+  /// measured target is NOT the control task): a fresh input refresh every
+  /// minor frame, state replayed from the image's load-time contents each
+  /// run so the interference stays a pure function of the run index.
+  /// (The guest budget is deliberately NOT named `control_budget_ms` —
+  /// that was the measured control partition's budget through PR 4, which
+  /// is now `measured_budget_ms`; reusing the old name would silently
+  /// strand stale callers.)
+  bool control_guest = false;
+  std::uint32_t control_guest_budget_ms = 0;
+  /// The image-processing task as a low-criticality guest (only valid when
+  /// the measured target is NOT the image task).
   bool image_guest = false;
   ImageParams image;
   std::uint32_t image_budget_ms = 0;
@@ -78,7 +122,15 @@ struct HvCampaignConfig {
 };
 
 struct CampaignConfig {
+  /// The unit of analysis this campaign measures (see MeasuredTargetKind).
+  /// Selects the program the bare protocol runs, or the measured partition
+  /// of a hypervisor campaign.
+  MeasuredTargetKind measured = MeasuredTargetKind::kControl;
   ControlParams control;
+  /// Parameters of the image task WHEN IT IS THE MEASURED TARGET
+  /// (`measured == kImage`); an hv campaign's image *guest* keeps its own
+  /// params in HvCampaignConfig::image.
+  ImageParams image;
   Layout layout = Layout::kCotsBad;
   Randomisation randomisation = Randomisation::kNone;
   /// Execution core for the guest activations.  The predecoded fast core
@@ -149,9 +201,11 @@ struct CampaignResult {
   std::uint64_t verified_runs = 0; // golden-model matches
 };
 
-/// Execute the campaign sequentially.  Throws on any functional mismatch
-/// or platform fault — a measurement campaign must never silently produce
-/// bad data.
+/// Execute the campaign sequentially (any measured target — the function
+/// name keeps its historical spelling from when the control task was the
+/// only measurable program).  Throws on any functional mismatch or
+/// platform fault — a measurement campaign must never silently produce bad
+/// data.
 ///
 /// Every run's randomness is derived from (seed, stream, activation index)
 /// via `exec::derive_run_seed`, making each run a pure function of its

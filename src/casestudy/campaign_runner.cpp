@@ -3,15 +3,15 @@
 #include "core/static_rand.hpp"
 #include "exec/seed.hpp"
 #include "rng/lfsr.hpp"
+#include "rng/mwc.hpp"
 
 #include <sstream>
 #include <stdexcept>
+#include <string>
 
 namespace proxima::casestudy {
 
 namespace {
-
-constexpr std::uint32_t kStackTop = kControlStackTop;
 
 std::unique_ptr<rng::RandomSource> make_prng(PrngKind kind,
                                              std::uint64_t seed) {
@@ -21,20 +21,21 @@ std::unique_ptr<rng::RandomSource> make_prng(PrngKind kind,
   return std::make_unique<rng::Mwc>(seed);
 }
 
-/// Build, instrument and (for DSR) transform the control program.
-isa::Program make_program(const CampaignConfig& config,
+/// Build the measured program (target-specific generation + UoA
+/// instrumentation) and, for DSR, apply the transformation pass.
+isa::Program make_program(const MeasuredTarget& target,
+                          const CampaignConfig& config,
                           dsr::PassReport& pass_report) {
-  isa::Program program = build_control_program(config.control);
-  trace::instrument_function(program, "control_step");
+  isa::Program program = target.build_program();
   if (config.randomisation == Randomisation::kDsr) {
     pass_report = dsr::apply_pass(program, config.pass_options);
   }
   return program;
 }
 
-isa::LinkOptions base_layout_options(const CampaignConfig& config) {
-  isa::LinkOptions options =
-      control_layout(config.control, config.layout, kStackTop);
+isa::LinkOptions base_layout_options(const MeasuredTarget& target,
+                                     const CampaignConfig& config) {
+  isa::LinkOptions options = target.layout_options();
   options.function_order = config.function_order;
   return options;
 }
@@ -48,10 +49,10 @@ vm::VmConfig vm_config_for(const CampaignConfig& config) {
 } // namespace
 
 CampaignRunner::CampaignRunner(const CampaignConfig& config)
-    : config_(config), program_(make_program(config_, pass_report_)),
+    : config_(config), target_(make_measured_target(config_)),
+      program_(make_program(*target_, config_, pass_report_)),
       layout_rng_(make_prng(config_.prng, config_.layout_seed)),
-      input_rng_(config_.input_seed),
-      image_(isa::link(program_, base_layout_options(config_))),
+      image_(isa::link(program_, base_layout_options(*target_, config_))),
       code_bytes_(image_.code_bytes()),
       hierarchy_(config_.randomisation == Randomisation::kHardware
                      ? mem::leon3_hw_randomised_config()
@@ -69,7 +70,6 @@ CampaignRunner::CampaignRunner(const CampaignConfig& config)
         memory_, hierarchy_, image_, *layout_rng_, config_.dsr_options);
     runtime_->attach(cpu_);
   }
-  inputs_ = initial_control_inputs(config_.control);
   if (config_.hypervisor) {
     hv_build(); // hv_runner.cpp: guest images + PartitionedPlatform
   }
@@ -111,64 +111,37 @@ void CampaignRunner::apply_randomisation(std::uint64_t layout_seed) {
   }
 }
 
-void CampaignRunner::advance_inputs(std::uint64_t activation) {
-  if (config_.randomisation == Randomisation::kStatic) {
-    // A re-flashed board: the persistent instrument state restarts from the
-    // image's load-time contents every run.
-    if (config_.fixed_inputs) {
-      if (!pinned_inputs_) {
-        inputs_ = initial_control_inputs(config_.control);
-        input_rng_.seed(exec::derive_run_seed(config_.input_seed,
-                                              exec::SeedStream::kInput, 0));
-        refresh_control_inputs(input_rng_, config_.control, inputs_);
-        pinned_inputs_ = inputs_;
-      } else {
-        inputs_ = *pinned_inputs_;
-      }
-    } else {
-      inputs_ = initial_control_inputs(config_.control);
-      input_rng_.seed(exec::derive_run_seed(
-          config_.input_seed, exec::SeedStream::kInput, activation));
-      refresh_control_inputs(input_rng_, config_.control, inputs_);
-    }
-    return;
-  }
-  // Streamed persistent state: replay the per-activation refreshes across
-  // any skipped indices so the host mirror (telemetry rotation, protocol
-  // block) is exactly what the sequential protocol would hold.
-  while (input_pos_ <= activation) {
-    if (!config_.fixed_inputs || input_pos_ == 0) {
-      input_rng_.seed(exec::derive_run_seed(
-          config_.input_seed, exec::SeedStream::kInput, input_pos_));
-      refresh_control_inputs(input_rng_, config_.control, inputs_);
-    }
-    ++input_pos_;
-  }
-}
-
 void CampaignRunner::stage_inputs(std::uint64_t activation) {
   // Staged DMA-style: the staged ranges must be invalidated explicitly
   // (LEON3 DMA is not cache-coherent).  After a skip in the activation
   // sequence (shard boundary) the incremental dirty ranges no longer cover
   // the guest/mirror difference, so the full persistent state is re-staged.
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> staged;
+  // A kStatic re-flash restarts guest state from the image contents, so it
+  // always stages the current mirror incrementally-from-initial (the
+  // target rebuilt the mirror from scratch in advance_inputs).
   const bool consecutive =
       staged_activation_ && activation == *staged_activation_ + 1;
-  if (config_.randomisation != Randomisation::kStatic && !consecutive) {
-    ControlInputs full = inputs_;
-    full.telemetry_dirty_offset = 0;
-    full.telemetry_dirty_bytes =
-        static_cast<std::uint32_t>(full.telemetry.size());
-    full.packets_dirty = true;
-    staged = stage_control_inputs(memory_, image_, full);
-  } else {
-    staged = stage_control_inputs(memory_, image_, inputs_);
-  }
-  for (const auto& [addr, length] : staged) {
-    hierarchy_.note_memory_written(addr, length);
-    hierarchy_.invalidate_range(addr, length);
+  const bool full_resync =
+      config_.randomisation != Randomisation::kStatic && !consecutive;
+  for (const auto& [addr, length] :
+       target_->stage_inputs(memory_, image_, full_resync)) {
+    note_staged_range(addr, length);
   }
   staged_activation_ = activation;
+}
+
+void CampaignRunner::note_staged_range(std::uint32_t addr,
+                                       std::uint32_t length) {
+  hierarchy_.note_memory_written(addr, length);
+  hierarchy_.invalidate_range(addr, length);
+}
+
+void CampaignRunner::verify_measured() {
+  if (!target_->verify(memory_, image_)) {
+    fault(std::string(target_->name()) +
+          " outputs diverge from the golden model");
+  }
+  ++verified_runs_;
 }
 
 void CampaignRunner::setup(std::uint64_t run_index) {
@@ -200,7 +173,7 @@ void CampaignRunner::setup(std::uint64_t run_index) {
   }
   apply_randomisation(exec::derive_run_seed(
       config_.layout_seed, exec::SeedStream::kLayout, activation));
-  advance_inputs(activation);
+  target_->advance_inputs(activation);
   stage_inputs(activation);
 }
 
@@ -216,6 +189,7 @@ void CampaignRunner::execute() {
   const bool use_dsr = config_.randomisation == Randomisation::kDsr;
   const std::uint32_t entry =
       use_dsr ? runtime_->entry_address() : image_.entry_addr();
+  const std::uint32_t stack_top = target_->stack_top();
 
   // Well-defined initial state, independent across runs *by construction*
   // (the paper's own requirement): wipe every level, run one unmeasured
@@ -223,7 +197,7 @@ void CampaignRunner::execute() {
   // PikeOS partition-start L1 flush.  The measured activation thus starts
   // from a warm L2 whose contents are a function of the current run only.
   hierarchy_.flush_all();
-  cpu_.reset(entry, kStackTop);
+  cpu_.reset(entry, stack_top);
   if (cpu_.run().stop != vm::RunResult::Stop::kHalt) {
     fault("warm-up activation did not halt");
   }
@@ -232,7 +206,7 @@ void CampaignRunner::execute() {
   trace_buffer_.clear();
 
   // The measured activation.
-  cpu_.reset(entry, kStackTop);
+  cpu_.reset(entry, stack_top);
   if (cpu_.run().stop != vm::RunResult::Stop::kHalt) {
     fault("activation did not halt");
   }
@@ -255,18 +229,12 @@ RunSample CampaignRunner::collect() {
   }
   RunSample sample;
   sample.uoa_cycles = times.front();
-  sample.corrupt_input = inputs_.corrupt;
+  sample.corrupt_input = target_->corrupt_input();
   sample.counters = hierarchy_.counters();
 
-  // Functional verification against the golden model.
+  // Functional verification against the host golden model.
   if (config_.verify_outputs) {
-    const ControlOutputs expected = reference_control(config_.control, inputs_);
-    const ControlOutputs actual =
-        read_control_outputs(memory_, image_, config_.control);
-    if (!(expected == actual)) {
-      fault("guest outputs diverge from the golden model");
-    }
-    ++verified_runs_;
+    verify_measured();
   }
   return sample;
 }

@@ -3,6 +3,14 @@
 // per-run measurement protocol of Section IV, split into the
 // setup / execute / collect stages the parallel engine drives.
 //
+// The runner is target-agnostic: everything specific to the program under
+// measurement (generation + UoA instrumentation, base layout, input
+// mirror, staging, golden model) lives behind `casestudy::MeasuredTarget`
+// (measured_target.hpp), selected by `CampaignConfig::measured`.  The
+// runner owns the protocol itself — seed derivation, the randomisation
+// arms, flush/warm-up/measure, trace extraction — identically for every
+// target.
+//
 // Determinism contract
 // --------------------
 // Every measured run is a *pure function of its global activation index*:
@@ -15,20 +23,20 @@
 // which is what lets `exec::CampaignEngine` shard a campaign across
 // workers and still match the sequential `run_control_campaign` exactly.
 //
-// A runner executes run indices in strictly ascending order.  The
-// persistent input state (telemetry store rotation, protocol block) is
-// replayed host-side across skipped indices, so a worker may own any
-// ascending subset of [0, runs); after a skip the full instrument state is
-// re-staged into guest memory so the guest's persistent stores match the
-// host mirror exactly.
+// A runner executes run indices in strictly ascending order.  Persistent
+// target input state (the control task's telemetry rotation and protocol
+// block) is replayed host-side across skipped indices, so a worker may own
+// any ascending subset of [0, runs); after a skip the full instrument
+// state is re-staged into guest memory so the guest's persistent stores
+// match the host mirror exactly.
 #pragma once
 
 #include "casestudy/campaign.hpp"
+#include "casestudy/measured_target.hpp"
 #include "core/dsr_runtime.hpp"
 #include "isa/linker.hpp"
 #include "mem/guest_memory.hpp"
 #include "mem/hierarchy.hpp"
-#include "rng/mwc.hpp"
 #include "trace/trace.hpp"
 #include "vm/vm.hpp"
 
@@ -38,12 +46,6 @@
 #include <string>
 
 namespace proxima::casestudy {
-
-/// Stack top of the control program on the measurement platform (1 KiB
-/// aligned).  Shared by the bare protocol and the hypervisor campaign's
-/// warm-up/control partition: the test-locked hv/control-solo ==
-/// control/analysis-cots bit-equivalence depends on both using it.
-inline constexpr std::uint32_t kControlStackTop = 0x4080'0000;
 
 class CampaignRunner {
 public:
@@ -78,6 +80,8 @@ public:
   RunSample run(std::uint64_t run_index);
 
   const CampaignConfig& config() const noexcept { return config_; }
+  /// The program under measurement (selected by `config().measured`).
+  const MeasuredTarget& target() const noexcept { return *target_; }
   const dsr::PassReport& pass_report() const noexcept { return pass_report_; }
   std::uint32_t code_bytes() const noexcept { return code_bytes_; }
   std::uint64_t verified_runs() const noexcept { return verified_runs_; }
@@ -87,8 +91,13 @@ private:
   /// layout seed (the bare protocol derives it per run, the hv mode per
   /// partition — one switch serves both).
   void apply_randomisation(std::uint64_t layout_seed);
-  void advance_inputs(std::uint64_t activation);
   void stage_inputs(std::uint64_t activation);
+  /// DMA-coherence protocol for a freshly staged guest-memory range:
+  /// LEON3 DMA is not cache-coherent, so every stage site (measured
+  /// target and every hv guest app) must notify the hierarchy and
+  /// invalidate the range through this one helper.
+  void note_staged_range(std::uint32_t addr, std::uint32_t length);
+  void verify_measured();
   [[noreturn]] void fault(const std::string& what) const;
 
   // Hypervisor-campaign engine room (hv_runner.cpp): guest partition
@@ -100,10 +109,10 @@ private:
   RunSample hv_collect();
 
   CampaignConfig config_;
+  std::unique_ptr<MeasuredTarget> target_; // input mirror lives here
   dsr::PassReport pass_report_;
   isa::Program program_;
   std::unique_ptr<rng::RandomSource> layout_rng_;
-  rng::Mwc input_rng_;
   isa::LinkedImage image_;
   std::uint32_t code_bytes_ = 0;
 
@@ -113,9 +122,6 @@ private:
   trace::TraceBuffer trace_buffer_;
   std::unique_ptr<dsr::DsrRuntime> runtime_;
 
-  ControlInputs inputs_;
-  std::optional<ControlInputs> pinned_inputs_; // fixed_inputs analysis vector
-  std::uint64_t input_pos_ = 0; // activations consumed from the input stream
   /// Last activation whose input state was staged into guest memory; a
   /// non-consecutive successor forces a full state re-sync.
   std::optional<std::uint64_t> staged_activation_;

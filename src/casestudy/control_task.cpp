@@ -539,6 +539,13 @@ ControlInputs initial_control_inputs(const ControlParams& params) {
   return inputs;
 }
 
+void mark_control_inputs_fully_dirty(ControlInputs& inputs) {
+  inputs.telemetry_dirty_offset = 0;
+  inputs.telemetry_dirty_bytes =
+      static_cast<std::uint32_t>(inputs.telemetry.size());
+  inputs.packets_dirty = true;
+}
+
 void refresh_control_inputs(rng::RandomSource& random,
                             const ControlParams& params, ControlInputs& io) {
   for (double& w : io.wavefront) {

@@ -139,6 +139,12 @@ struct ControlInputs {
 /// State matching the image's load-time contents (DataObject init).
 ControlInputs initial_control_inputs(const ControlParams& params);
 
+/// Mark the WHOLE persistent state dirty, so the next
+/// `stage_control_inputs` re-syncs guest memory with the host mirror
+/// (shard skip, run boundary of a guest partition): every field that
+/// staging consults must be covered here and nowhere else.
+void mark_control_inputs_fully_dirty(ControlInputs& inputs);
+
 /// Advance the state for the next activation: fresh wavefront, one fresh
 /// telemetry chunk, a re-staged (possibly corrupt) protocol block.
 void refresh_control_inputs(rng::RandomSource& random,

@@ -1,24 +1,33 @@
 // Hypervisor-campaign mode of the CampaignRunner (Section IV's PikeOS
-// setting): the control task measured while guest partitions share the
-// platform.
+// setting): the measured target (CampaignConfig::measured) measured while
+// guest partitions share the platform.
 //
 // Protocol per measured run (see HvCampaignConfig in campaign.hpp):
-//   1. setup    — per-partition seed derivation: the control layout
-//                 (DSR reboot / hardware cache reseed) and each guest's
-//                 input stream draw from exec::derive_partition_seed of
-//                 the run's global activation index, so the whole platform
-//                 state is a pure function of the run index and the engine
-//                 shards hv scenarios exactly like bare ones;
+//   1. setup    — per-partition seed derivation: the measured partition's
+//                 layout (DSR reboot / hardware cache reseed) and each
+//                 guest's input stream draw from
+//                 exec::derive_partition_seed of the run's global
+//                 activation index, so the whole platform state is a pure
+//                 function of the run index and the engine shards hv
+//                 scenarios exactly like bare ones;
 //   2. execute  — full platform wipe + the bare protocol's unmeasured
-//                 same-layout control warm-up, then the cyclic schedule
-//                 replayed from a fresh timeline: guests activate every
-//                 minor frame, the control partition once in the LAST
-//                 frame (after the interference), with the hypervisor's
-//                 partition-start L1 flushes;
-//   3. collect  — the control activation's UoA time from the trace is the
+//                 same-layout warm-up of the measured program, then the
+//                 cyclic schedule replayed from a fresh timeline: guests
+//                 activate every minor frame, the measured partition once
+//                 in the LAST frame (after the interference), with the
+//                 hypervisor's partition-start L1 flushes;
+//   3. collect  — the measured activation's UoA time from the trace is the
 //                 run's sample; every partition's ActivationRecords become
-//                 the run's PartitionActivity; control and guest outputs
+//                 the run's PartitionActivity; measured and guest outputs
 //                 are verified against their golden models.
+//
+// Seed-index freeze: exec::derive_partition_seed indices are fixed PER
+// TASK KIND — control = 0, image = 1, stressor = 2 — never per
+// registration order or measured role.  This is test-locked: it keeps
+// every pre-existing scenario's random streams (and therefore its times
+// digests) bit-identical across refactors, and it means promoting a guest
+// to the measured slot (or vice versa) never shifts another partition's
+// stream.
 #include "casestudy/campaign_runner.hpp"
 
 #include "exec/seed.hpp"
@@ -28,6 +37,7 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 namespace proxima::casestudy {
 
@@ -40,17 +50,24 @@ constexpr std::uint32_t kImageStackTop = 0x4480'0000;
 constexpr std::uint32_t kStressorCodeBase = 0x4500'0000;
 constexpr std::uint32_t kStressorDataBase = 0x4510'0000;
 constexpr std::uint32_t kStressorStackTop = 0x4580'0000;
+constexpr std::uint32_t kControlGuestCodeBase = 0x4600'0000;
+constexpr std::uint32_t kControlGuestDataBase = 0x4610'0000;
+constexpr std::uint32_t kControlGuestStackTop = 0x4680'0000;
 
 /// Stable per-partition indices for exec::derive_partition_seed: fixed per
-/// partition kind (not registration order), so enabling one guest never
-/// shifts another's random stream.
+/// partition kind (not registration order, not measured role), so enabling
+/// one guest — or changing which partition is measured — never shifts
+/// another's random stream.
 constexpr std::uint32_t kControlSeedIndex = 0;
 constexpr std::uint32_t kImageSeedIndex = 1;
 constexpr std::uint32_t kStressorSeedIndex = 2;
 
-constexpr const char* kControlPartition = "control";
-constexpr const char* kImagePartition = "processing";
 constexpr const char* kStressorPartition = "stressor";
+
+std::uint32_t measured_seed_index(MeasuredTargetKind kind) {
+  return kind == MeasuredTargetKind::kImage ? kImageSeedIndex
+                                            : kControlSeedIndex;
+}
 
 isa::LinkOptions guest_link_options(std::uint32_t code_base,
                                     std::uint32_t data_base) {
@@ -63,22 +80,93 @@ isa::LinkOptions guest_link_options(std::uint32_t code_base,
 } // namespace
 
 struct CampaignRunner::HvState {
-  /// The measured partition: a thin app over the runner's control image.
+  /// The measured partition: a thin app over the runner's measured image.
   /// Inputs are staged by setup() (the same advance/stage path as the bare
   /// protocol), so activation start needs nothing beyond the entry point —
   /// which follows the DSR layout of the current run.
-  class ControlApp final : public rtos::PartitionApp {
+  class MeasuredApp final : public rtos::PartitionApp {
   public:
-    explicit ControlApp(CampaignRunner& runner) : runner_(runner) {}
+    explicit MeasuredApp(CampaignRunner& runner) : runner_(runner) {}
     std::uint32_t entry_address() override {
       return runner_.config_.randomisation == Randomisation::kDsr
                  ? runner_.runtime_->entry_address()
                  : runner_.image_.entry_addr();
     }
-    std::uint32_t stack_top() override { return kControlStackTop; }
+    std::uint32_t stack_top() override { return runner_.target_->stack_top(); }
 
   private:
     CampaignRunner& runner_;
+  };
+
+  /// The control task as an interference guest (the measured target is
+  /// another partition): a fresh input refresh every minor frame.  The
+  /// persistent instrument state restarts from the image's load-time
+  /// contents each run — the per-run reseed plus a full first-activation
+  /// re-stage keeps the whole guest a pure function of the run index, so
+  /// the engine's sharding contract holds without cross-run host-side
+  /// replay (unlike the measured control path, whose stream survives
+  /// across runs).
+  class ControlGuestApp final : public rtos::PartitionApp {
+  public:
+    ControlGuestApp(CampaignRunner& runner, const ControlParams& params)
+        : runner_(runner), params_(params), rng_(1),
+          image_(isa::link(build_control_program(params_),
+                           guest_link_options(kControlGuestCodeBase,
+                                              kControlGuestDataBase))),
+          inputs_(initial_control_inputs(params_)) {
+      image_.load_into(runner_.memory_);
+      runner_.cpu_.predecode(image_.code_begin(),
+                             image_.code_end() - image_.code_begin());
+    }
+
+    std::uint32_t entry_address() override { return image_.entry_addr(); }
+    std::uint32_t stack_top() override { return kControlGuestStackTop; }
+
+    void begin_run(std::uint64_t activation) {
+      rng_.seed(exec::derive_partition_seed(runner_.config_.input_seed,
+                                            exec::SeedStream::kInput,
+                                            activation, kControlSeedIndex));
+      inputs_ = initial_control_inputs(params_);
+      full_stage_ = true; // guest memory still holds the previous run's state
+      staged_ = false;
+    }
+
+    void before_activation(std::uint64_t) override {
+      refresh_control_inputs(rng_, params_, inputs_);
+      ControlInputs to_stage = inputs_;
+      if (full_stage_) {
+        mark_control_inputs_fully_dirty(to_stage);
+        full_stage_ = false;
+      }
+      for (const auto& [addr, length] :
+           stage_control_inputs(runner_.memory_, image_, to_stage)) {
+        runner_.note_staged_range(addr, length);
+      }
+      staged_ = true;
+    }
+
+    /// Golden-model check of the most recent activation (its outputs are
+    /// still resident when the run's schedule completes).
+    void verify_last() const {
+      if (!staged_) {
+        return;
+      }
+      const ControlOutputs expected = reference_control(params_, inputs_);
+      const ControlOutputs actual =
+          read_control_outputs(runner_.memory_, image_, params_);
+      if (!(expected == actual)) {
+        runner_.fault("control guest outputs diverge from the golden model");
+      }
+    }
+
+  private:
+    CampaignRunner& runner_;
+    ControlParams params_;
+    rng::Mwc rng_;
+    isa::LinkedImage image_;
+    ControlInputs inputs_;
+    bool full_stage_ = true;
+    bool staged_ = false;
   };
 
   /// The image-processing task as a low-criticality guest: a fresh sensor
@@ -108,8 +196,9 @@ struct CampaignRunner::HvState {
     void before_activation(std::uint64_t) override {
       inputs_ = make_image_inputs(rng_, params_);
       stage_image_inputs(runner_.memory_, image_, inputs_);
-      stage_done(image_.symbol("im_frame").addr, params_.frame_bytes());
-      stage_done(image_.symbol("im_status").addr, 16);
+      runner_.note_staged_range(image_.symbol("im_frame").addr,
+                                params_.frame_bytes());
+      runner_.note_staged_range(image_.symbol("im_status").addr, 16);
       staged_ = true;
     }
 
@@ -128,11 +217,6 @@ struct CampaignRunner::HvState {
     }
 
   private:
-    void stage_done(std::uint32_t addr, std::uint32_t length) {
-      runner_.hierarchy_.note_memory_written(addr, length);
-      runner_.hierarchy_.invalidate_range(addr, length);
-    }
-
     CampaignRunner& runner_;
     ImageParams params_;
     rng::Mwc rng_;
@@ -168,8 +252,7 @@ struct CampaignRunner::HvState {
       salt_ = rng_.next_u32();
       for (const auto& [addr, length] :
            stage_stressor_inputs(runner_.memory_, image_, salt_)) {
-        runner_.hierarchy_.note_memory_written(addr, length);
-        runner_.hierarchy_.invalidate_range(addr, length);
+        runner_.note_staged_range(addr, length);
       }
       staged_ = true;
     }
@@ -196,16 +279,21 @@ struct CampaignRunner::HvState {
   };
 
   HvState(CampaignRunner& runner, const HvCampaignConfig& hv)
-      : control(runner),
+      : measured(runner),
+        measured_partition(
+            measured_partition_name(runner.config_.measured)),
         platform(runner.cpu_, runner.hierarchy_,
                  rtos::HypervisorConfig{hv.minor_frame_ms, hv.cycles_per_ms}) {
+    if (hv.control_guest) {
+      control.emplace(runner, runner.config_.control);
+    }
     if (hv.image_guest) {
       image.emplace(runner, hv.image);
     }
     if (hv.stressor_guest) {
       stressor.emplace(runner, hv.stressor);
     }
-    // The control partition activates once per run, in the LAST minor
+    // The measured partition activates once per run, in the LAST minor
     // frame, so every guest activation of the run precedes the measured
     // one; high criticality still puts it first within that frame.
     const std::uint64_t period = std::uint64_t{hv.frames} * hv.minor_frame_ms;
@@ -216,17 +304,26 @@ struct CampaignRunner::HvState {
     }
     const auto period_ms = static_cast<std::uint32_t>(period);
     platform.add_partition(
-        rtos::PartitionConfig{.name = kControlPartition,
+        rtos::PartitionConfig{.name = measured_partition,
                               .period_ms = period_ms,
                               .offset_ms = period_ms - hv.minor_frame_ms,
-                              .budget_ms = hv.control_budget_ms,
+                              .budget_ms = hv.measured_budget_ms,
                               .criticality = rtos::Criticality::kHigh},
-        control);
+        measured);
+    if (control) {
+      platform.add_partition(
+          rtos::PartitionConfig{
+              .name = measured_partition_name(MeasuredTargetKind::kControl),
+              .period_ms = hv.minor_frame_ms,
+              .budget_ms = hv.control_guest_budget_ms},
+          *control);
+    }
     if (image) {
       platform.add_partition(
-          rtos::PartitionConfig{.name = kImagePartition,
-                                .period_ms = hv.minor_frame_ms,
-                                .budget_ms = hv.image_budget_ms},
+          rtos::PartitionConfig{
+              .name = measured_partition_name(MeasuredTargetKind::kImage),
+              .period_ms = hv.minor_frame_ms,
+              .budget_ms = hv.image_budget_ms},
           *image);
     }
     if (stressor) {
@@ -238,7 +335,9 @@ struct CampaignRunner::HvState {
     }
   }
 
-  ControlApp control;
+  MeasuredApp measured;
+  std::string measured_partition;
+  std::optional<ControlGuestApp> control;
   std::optional<ImageGuestApp> image;
   std::optional<StressorGuestApp> stressor;
   rtos::PartitionedPlatform platform;
@@ -256,18 +355,36 @@ void CampaignRunner::hv_build() {
     throw std::invalid_argument(
         "hypervisor campaigns need at least one minor frame per run");
   }
+  // A task kind occupies one partition: the guest matching the measured
+  // target would collide with it (same program, same partition name).
+  if (config_.measured == MeasuredTargetKind::kControl && hv.control_guest) {
+    throw std::invalid_argument(
+        "hypervisor campaign: the control task is the measured partition; "
+        "it cannot also run as an interference guest");
+  }
+  if (config_.measured == MeasuredTargetKind::kImage && hv.image_guest) {
+    throw std::invalid_argument(
+        "hypervisor campaign: the image task is the measured partition; "
+        "it cannot also run as an interference guest");
+  }
   hv_ = std::make_shared<HvState>(*this, hv);
 }
 
 void CampaignRunner::hv_setup(std::uint64_t activation) {
   // Per-partition layout stream: the measured partition's reboot draws its
-  // layout from partition index 0 of this run's derived seeds (kStatic,
-  // the only arm a bare campaign adds, is rejected in hv_build).
-  apply_randomisation(
-      exec::derive_partition_seed(config_.layout_seed, exec::SeedStream::kLayout,
-                                  activation, kControlSeedIndex));
-  advance_inputs(activation);
+  // layout from its kind's fixed partition index of this run's derived
+  // seeds (kStatic, the only arm a bare campaign adds, is rejected in
+  // hv_build).  The measured partition's INPUTS keep the bare protocol's
+  // run-seed stream — that equivalence is what makes hv/control-solo
+  // bit-identical to control/analysis-cots.
+  apply_randomisation(exec::derive_partition_seed(
+      config_.layout_seed, exec::SeedStream::kLayout, activation,
+      measured_seed_index(config_.measured)));
+  target_->advance_inputs(activation);
   stage_inputs(activation);
+  if (hv_->control) {
+    hv_->control->begin_run(activation);
+  }
   if (hv_->image) {
     hv_->image->begin_run(activation);
   }
@@ -282,13 +399,13 @@ void CampaignRunner::hv_execute() {
       use_dsr ? runtime_->entry_address() : image_.entry_addr();
 
   // The bare protocol's platform rebuild: wipe every level, then run the
-  // unmeasured same-layout warm-up activation of the control task so the
-  // control partition's L2 state entering the schedule is a pure function
-  // of this run alone.  The guests then perturb exactly that state —
-  // hv/control-solo reproduces the bare analysis protocol, and the guest
-  // scenarios differ from it by interference only.
+  // unmeasured same-layout warm-up activation of the measured program so
+  // the measured partition's L2 state entering the schedule is a pure
+  // function of this run alone.  The guests then perturb exactly that
+  // state — hv/control-solo reproduces the bare analysis protocol, and the
+  // guest scenarios differ from it by interference only.
   hierarchy_.flush_all();
-  cpu_.reset(entry, kControlStackTop);
+  cpu_.reset(entry, target_->stack_top());
   if (cpu_.run().stop != vm::RunResult::Stop::kHalt) {
     fault("hv warm-up activation did not halt");
   }
@@ -302,22 +419,22 @@ void CampaignRunner::hv_execute() {
 }
 
 RunSample CampaignRunner::hv_collect() {
-  // The schedule carries exactly one instrumented activation: the control
+  // The schedule carries exactly one instrumented activation: the measured
   // partition's, in the last minor frame (guests are not instrumented).
   const std::vector<double> times =
       trace::extract_execution_times(trace_buffer_);
   if (times.size() != 1) {
-    fault("expected exactly one measured control activation per schedule");
+    fault("expected exactly one measured activation per schedule");
   }
   RunSample sample;
   sample.uoa_cycles = times.front();
-  sample.corrupt_input = inputs_.corrupt;
+  sample.corrupt_input = target_->corrupt_input();
   sample.counters = hierarchy_.counters(); // the whole schedule's traffic
 
   for (const std::string& name : hv_->platform.partition_names()) {
     sample.partitions.push_back(PartitionActivity{name, {}, 0});
   }
-  bool control_completed = false;
+  bool measured_completed = false;
   for (const rtos::ActivationRecord& record : hv_->records) {
     const auto it =
         std::find_if(sample.partitions.begin(), sample.partitions.end(),
@@ -328,20 +445,17 @@ RunSample CampaignRunner::hv_collect() {
     if (record.overran) {
       ++it->overruns;
     }
-    if (record.partition == kControlPartition) {
-      control_completed = record.halted && !record.overran;
+    if (record.partition == hv_->measured_partition) {
+      measured_completed = record.halted && !record.overran;
     }
   }
-  if (!control_completed) {
-    fault("measured control activation hit the budget fence");
+  if (!measured_completed) {
+    fault("measured activation hit the budget fence");
   }
 
   if (config_.verify_outputs) {
-    const ControlOutputs expected = reference_control(config_.control, inputs_);
-    const ControlOutputs actual =
-        read_control_outputs(memory_, image_, config_.control);
-    if (!(expected == actual)) {
-      fault("guest outputs diverge from the golden model");
+    if (hv_->control) {
+      hv_->control->verify_last();
     }
     if (hv_->image) {
       hv_->image->verify_last();
@@ -349,7 +463,7 @@ RunSample CampaignRunner::hv_collect() {
     if (hv_->stressor) {
       hv_->stressor->verify_last();
     }
-    ++verified_runs_;
+    verify_measured();
   }
   return sample;
 }

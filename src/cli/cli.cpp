@@ -27,6 +27,8 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
       return cmd_run(command.options, out);
     case Command::Kind::kReport:
       return cmd_report(command.options, out);
+    case Command::Kind::kDiff:
+      return cmd_diff(command.diff, out);
     }
   } catch (const UsageError& error) {
     // Some flags are only checkable against the selected scenario (e.g.

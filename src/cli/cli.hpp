@@ -1,13 +1,15 @@
-// The `proxima` command-line driver: list | run | report over the scenario
-// registry, on top of the parallel campaign engine (fixed or adaptive
-// convergence-driven campaigns) and the trace/mbpta reporting stack.
+// The `proxima` command-line driver: list | run | report | diff over the
+// scenario registry, on top of the parallel campaign engine (fixed or
+// adaptive convergence-driven campaigns) and the trace/mbpta reporting
+// stack.
 //
 // The commands write to caller-supplied streams and return process exit
 // codes, so the CLI smoke tests drive them in-process; tools/proxima_main
 // is a two-line shim around `run_cli`.
 //
 // Exit codes: 0 success, 1 a scenario's MBPTA analysis could not run
-// (report), 2 usage / unknown scenario, 3 campaign fault.
+// (report) or a diff found drift, 2 usage / unknown scenario, 3 campaign
+// fault.
 #pragma once
 
 #include "cli/options.hpp"
@@ -26,5 +28,7 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
 int cmd_list(const CampaignOptions& options, std::ostream& out);
 int cmd_run(const CampaignOptions& options, std::ostream& out);
 int cmd_report(const CampaignOptions& options, std::ostream& out);
+/// Compare two saved JSON reports (diff.cpp); 0 no drift, 1 drift.
+int cmd_diff(const DiffOptions& options, std::ostream& out);
 
 } // namespace proxima::cli

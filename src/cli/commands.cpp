@@ -220,10 +220,13 @@ void write_partitions_json(JsonWriter& json, const Execution& execution,
   }
   const trace::PartitionReport report =
       trace::PartitionReport::build(filtered_series(execution, options));
+  const std::string measured_partition =
+      casestudy::measured_partition_name(execution.config.measured);
   json.begin_array();
   for (const trace::PartitionReport::Entry& entry : report.entries) {
     json.begin_object();
     json.key("name").value(entry.partition);
+    json.key("measured").value(entry.partition == measured_partition);
     json.key("activations").value(std::uint64_t{entry.summary.count});
     json.key("min").value(entry.summary.min);
     json.key("mean").value(entry.summary.mean);
@@ -276,6 +279,11 @@ void write_throughput_json(JsonWriter& json, const Execution& execution) {
 void write_execution_header_json(JsonWriter& json, const Execution& execution,
                                  const CampaignOptions& options) {
   json.key("name").value(execution.name);
+  // The measured target: which program's UoA the times/digest describe
+  // ("control" / "image").  Under hv/ scenarios this is the measured
+  // partition; the guests appear in "partitions" only.
+  json.key("measured").value(
+      casestudy::measured_target_name(execution.config.measured));
   json.key("vm_core").value(vm_core_name(options.vm_core));
   json.key("seed").begin_object();
   json.key("input").value(execution.config.input_seed);
@@ -402,7 +410,9 @@ int cmd_run(const CampaignOptions& options, std::ostream& out) {
     const trace::TimingReport report =
         trace::TimingReport::from_times(execution.result.times);
     out << execution.name << " (" << vm_core_name(options.vm_core) << " core, "
-        << execution.result.times.size() << " runs)\n";
+        << execution.result.times.size() << " runs, measured "
+        << casestudy::measured_target_name(execution.config.measured)
+        << ")\n";
     out << "  " << report.to_string() << '\n';
     print_adaptive_text(out, execution);
     print_partitions_text(out, execution, options);
@@ -518,7 +528,9 @@ int cmd_report(const CampaignOptions& options, std::ostream& out) {
 
     const trace::TimingReport report =
         trace::TimingReport::from_times(execution.result.times);
-    out << "== " << execution.name << " (" << n << " runs) ==\n";
+    out << "== " << execution.name << " (" << n << " runs, measured "
+        << casestudy::measured_target_name(execution.config.measured)
+        << ") ==\n";
     out << report.to_string() << '\n';
     print_adaptive_text(out, execution);
     print_partitions_text(out, execution, options);

@@ -1,0 +1,330 @@
+// `proxima diff <baseline.json> <candidate.json>`: the golden-number
+// workflow as a CLI habit.
+//
+// Compares two saved `proxima run`/`proxima report` JSON documents and
+// flags every metric whose relative shift exceeds the tolerance:
+// per-scenario times (n/min/mean/MOET/stddev), the times digest, the
+// guest-instruction counter, per-partition rows (activations, cycles
+// statistics, overruns, pWCET), and — for report documents — the Gumbel
+// fit and the pWCET curve point by point.  Wall-clock fields
+// (wall_seconds, minstr_per_second) are deliberately NOT compared: they
+// are the only nondeterministic numbers in a report.
+//
+// Exit codes: 0 no drift, 1 drift, 2 usage (unreadable path, malformed or
+// non-report JSON) via UsageError.
+#include "cli.hpp"
+
+#include "cli/json_reader.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace proxima::cli {
+
+namespace {
+
+JsonValue load_report(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    throw UsageError("diff: cannot read '" + path + "'");
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+  JsonValue document;
+  try {
+    document = JsonValue::parse(text.str());
+  } catch (const JsonParseError& error) {
+    throw UsageError("diff: '" + path + "': " + error.what());
+  }
+  const JsonValue* command = document.get("command");
+  const JsonValue* scenarios = document.get("scenarios");
+  // `proxima list` also emits command + scenarios; comparing a catalogue
+  // dump would "pass" on 100% null-vs-null metrics, so only the two
+  // document kinds that carry measurements are accepted.
+  if (!command || !command->is_string() ||
+      (command->string != "run" && command->string != "report") ||
+      !scenarios || !scenarios->is_array()) {
+    throw UsageError("diff: '" + path +
+                     "' is not a proxima run/report JSON document");
+  }
+  return document;
+}
+
+/// Scenario identity inside a document: name + measured target (two
+/// entries may share a name only across measured targets, but be strict).
+std::string scenario_key(const JsonValue& scenario) {
+  const JsonValue* name = scenario.get("name");
+  const JsonValue* measured = scenario.get("measured");
+  return (name && name->is_string() ? name->string : "?") + '|' +
+         (measured && measured->is_string() ? measured->string : "");
+}
+
+std::string scenario_label(const JsonValue& scenario) {
+  const JsonValue* name = scenario.get("name");
+  return name && name->is_string() ? name->string : "<unnamed>";
+}
+
+class Differ {
+public:
+  Differ(double tolerance, std::ostream& out)
+      : tolerance_(tolerance), out_(out) {}
+
+  int drifts() const noexcept { return drifts_; }
+  int compared() const noexcept { return compared_; }
+
+  void flag(const std::string& context, const std::string& detail) {
+    ++drifts_;
+    out_ << "drift: " << context << ": " << detail << '\n';
+  }
+
+  /// Numeric metric (accepts null==null as equal — e.g. a partition pWCET
+  /// absent on both sides).
+  void number(const std::string& context, const char* metric,
+              const JsonValue* a, const JsonValue* b) {
+    ++compared_;
+    const bool a_null = !a || a->is_null();
+    const bool b_null = !b || b->is_null();
+    if (a_null && b_null) {
+      return;
+    }
+    if (a_null != b_null || !a->is_number() || !b->is_number()) {
+      flag(context, std::string(metric) + ": " + render(a) + " -> " +
+                        render(b));
+      return;
+    }
+    const double lo = a->number;
+    const double hi = b->number;
+    const double scale = std::max(std::abs(lo), std::abs(hi));
+    if (std::abs(lo - hi) <= tolerance_ * scale) {
+      return;
+    }
+    std::ostringstream detail;
+    detail << metric << ": baseline " << render(a) << " candidate "
+           << render(b);
+    if (lo != 0.0) {
+      detail << " (" << std::showpos << std::setprecision(3)
+             << 100.0 * (hi - lo) / lo << "%)";
+    }
+    flag(context, detail.str());
+  }
+
+  /// Exact-match metric (strings, bools): a tolerance never relaxes it,
+  /// except the times digest, which the caller skips at tolerance > 0.
+  void exact(const std::string& context, const char* metric,
+             const JsonValue* a, const JsonValue* b) {
+    ++compared_;
+    if (render(a) != render(b)) {
+      flag(context,
+           std::string(metric) + ": " + render(a) + " -> " + render(b));
+    }
+  }
+
+private:
+  static std::string render(const JsonValue* value) {
+    if (!value) {
+      return "<absent>";
+    }
+    switch (value->kind) {
+    case JsonValue::Kind::kNull:
+      return "null";
+    case JsonValue::Kind::kBool:
+      return value->boolean ? "true" : "false";
+    case JsonValue::Kind::kString:
+      return value->string;
+    case JsonValue::Kind::kNumber: {
+      std::ostringstream text;
+      text << std::setprecision(12) << value->number;
+      return text.str();
+    }
+    default:
+      return "<composite>";
+    }
+  }
+
+  double tolerance_;
+  std::ostream& out_;
+  int drifts_ = 0;
+  int compared_ = 0;
+};
+
+void diff_partitions(Differ& differ, const std::string& context,
+                     const JsonValue* a, const JsonValue* b) {
+  const bool a_rows = a && a->is_array();
+  const bool b_rows = b && b->is_array();
+  if (!a_rows && !b_rows) {
+    return; // bare-platform scenario on both sides
+  }
+  if (a_rows != b_rows) {
+    differ.flag(context, std::string("partitions: ") +
+                             (a_rows ? "baseline" : "candidate") +
+                             " has per-partition rows, the other does not");
+    return;
+  }
+  std::map<std::string, const JsonValue*> baseline;
+  for (const JsonValue& row : a->array) {
+    baseline[scenario_label(row)] = &row;
+  }
+  for (const JsonValue& row : b->array) {
+    const std::string name = scenario_label(row);
+    const auto it = baseline.find(name);
+    if (it == baseline.end()) {
+      differ.flag(context, "partition '" + name + "' only in candidate");
+      continue;
+    }
+    const std::string partition_context = context + " partition " + name;
+    const JsonValue* base = it->second;
+    differ.number(partition_context, "activations", base->get("activations"),
+                  row.get("activations"));
+    differ.number(partition_context, "min", base->get("min"),
+                  row.get("min"));
+    differ.number(partition_context, "mean", base->get("mean"),
+                  row.get("mean"));
+    differ.number(partition_context, "MOET", base->get("moet"),
+                  row.get("moet"));
+    differ.number(partition_context, "stddev", base->get("stddev"),
+                  row.get("stddev"));
+    differ.number(partition_context, "overruns", base->get("overruns"),
+                  row.get("overruns"));
+    differ.number(partition_context, "pWCET", base->get("pwcet"),
+                  row.get("pwcet"));
+    baseline.erase(it);
+  }
+  for (const auto& [name, row] : baseline) {
+    (void)row;
+    differ.flag(context, "partition '" + name + "' only in baseline");
+  }
+}
+
+void diff_analysis(Differ& differ, const std::string& context,
+                   const JsonValue* a, const JsonValue* b) {
+  const bool a_fit = a && a->is_object();
+  const bool b_fit = b && b->is_object();
+  if (!a_fit && !b_fit) {
+    return; // run documents, or both analyses failed
+  }
+  if (a_fit != b_fit) {
+    differ.flag(context, std::string("analysis: ") +
+                             (a_fit ? "candidate" : "baseline") +
+                             " has no MBPTA fit");
+    return;
+  }
+  differ.exact(context, "iid passes", a->get("iid", "passes"),
+               b->get("iid", "passes"));
+  differ.number(context, "gumbel location", a->get("gumbel", "location"),
+                b->get("gumbel", "location"));
+  differ.number(context, "gumbel scale", a->get("gumbel", "scale"),
+                b->get("gumbel", "scale"));
+
+  // pWCET curve, point by point at matching exceedance probabilities
+  // (documents rendered at different --decades depths only compare the
+  // overlap).
+  const JsonValue* a_curve = a->get("curve");
+  const JsonValue* b_curve = b->get("curve");
+  if (!a_curve || !b_curve || !a_curve->is_array() || !b_curve->is_array()) {
+    return;
+  }
+  std::map<double, const JsonValue*> points;
+  for (const JsonValue& point : a_curve->array) {
+    if (const JsonValue* p = point.get("exceedance"); p && p->is_number()) {
+      points[p->number] = point.get("pwcet_cycles");
+    }
+  }
+  for (const JsonValue& point : b_curve->array) {
+    const JsonValue* p = point.get("exceedance");
+    if (!p || !p->is_number()) {
+      continue;
+    }
+    const auto it = points.find(p->number);
+    if (it == points.end()) {
+      continue;
+    }
+    std::ostringstream metric;
+    metric << "pWCET @ " << std::setprecision(3) << p->number;
+    differ.number(context, metric.str().c_str(), it->second,
+                  point.get("pwcet_cycles"));
+  }
+}
+
+void diff_scenario(Differ& differ, double tolerance, const JsonValue& a,
+                   const JsonValue& b) {
+  const std::string context = scenario_label(a);
+  differ.number(context, "runs", a.get("runs"), b.get("runs"));
+  differ.exact(context, "measured", a.get("measured"), b.get("measured"));
+  differ.number(context, "n", a.get("times", "n"), b.get("times", "n"));
+  differ.number(context, "min", a.get("times", "min"),
+                b.get("times", "min"));
+  differ.number(context, "mean", a.get("times", "mean"),
+                b.get("times", "mean"));
+  differ.number(context, "MOET", a.get("times", "max"),
+                b.get("times", "max"));
+  differ.number(context, "stddev", a.get("times", "stddev"),
+                b.get("times", "stddev"));
+  if (tolerance == 0.0) {
+    // Bit-exact mode: the digest is the strongest check there is.  With a
+    // tolerance the times may legitimately differ within the band, so a
+    // digest mismatch alone is not a drift.
+    differ.exact(context, "times digest", a.get("times", "digest"),
+                 b.get("times", "digest"));
+  }
+  differ.number(context, "verified_runs", a.get("verified_runs"),
+                b.get("verified_runs"));
+  differ.number(context, "guest_instructions",
+                a.get("throughput", "guest_instructions"),
+                b.get("throughput", "guest_instructions"));
+  const JsonValue* a_adaptive = a.get("adaptive");
+  const JsonValue* b_adaptive = b.get("adaptive");
+  const bool a_has_adaptive = a_adaptive && a_adaptive->is_object();
+  const bool b_has_adaptive = b_adaptive && b_adaptive->is_object();
+  if (a_has_adaptive != b_has_adaptive) {
+    differ.flag(context, std::string("adaptive: only ") +
+                             (a_has_adaptive ? "baseline" : "candidate") +
+                             " ran a convergence-driven campaign");
+  } else if (a_has_adaptive) {
+    differ.exact(context, "adaptive converged",
+                 a_adaptive->get("converged"), b_adaptive->get("converged"));
+    differ.number(context, "adaptive batches", a_adaptive->get("batches"),
+                  b_adaptive->get("batches"));
+  }
+  diff_partitions(differ, context, a.get("partitions"), b.get("partitions"));
+  diff_analysis(differ, context, a.get("analysis"), b.get("analysis"));
+}
+
+} // namespace
+
+int cmd_diff(const DiffOptions& options, std::ostream& out) {
+  const JsonValue baseline = load_report(options.baseline);
+  const JsonValue candidate = load_report(options.candidate);
+
+  Differ differ(options.tolerance, out);
+  std::map<std::string, const JsonValue*> remaining;
+  for (const JsonValue& scenario : candidate.get("scenarios")->array) {
+    remaining[scenario_key(scenario)] = &scenario;
+  }
+  int scenarios = 0;
+  for (const JsonValue& scenario : baseline.get("scenarios")->array) {
+    const auto it = remaining.find(scenario_key(scenario));
+    if (it == remaining.end()) {
+      differ.flag(scenario_label(scenario), "only in baseline");
+      continue;
+    }
+    ++scenarios;
+    diff_scenario(differ, options.tolerance, scenario, *it->second);
+    remaining.erase(it);
+  }
+  for (const auto& [key, scenario] : remaining) {
+    (void)key;
+    differ.flag(scenario_label(*scenario), "only in candidate");
+  }
+
+  out << "compared " << scenarios << " scenario(s), " << differ.compared()
+      << " metric(s): " << differ.drifts() << " drift(s) beyond tolerance "
+      << options.tolerance << '\n';
+  return differ.drifts() == 0 ? 0 : 1;
+}
+
+} // namespace proxima::cli

@@ -1,0 +1,75 @@
+// Minimal JSON document reader for `proxima diff`: parses the documents
+// json_writer.cpp emits (objects, arrays, strings, doubles, bools, null)
+// back into a navigable value tree.  Deliberately small — no escapes beyond
+// the writer's own (\" \\ \n \t), no streaming, whole-document strings —
+// because its only job is reading proxima's own reports; it is NOT a
+// general-purpose JSON library.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace proxima::cli {
+
+/// Malformed document (syntax error, trailing garbage).  `cmd_diff` turns
+/// it into a usage error: handing a non-report to diff is an operator
+/// mistake, not a drift.
+struct JsonParseError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+class JsonValue {
+public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject
+  };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  /// Insertion order preserved (diff output follows the report's order).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const noexcept { return kind == Kind::kNull; }
+  bool is_number() const noexcept { return kind == Kind::kNumber; }
+  bool is_string() const noexcept { return kind == Kind::kString; }
+  bool is_array() const noexcept { return kind == Kind::kArray; }
+  bool is_object() const noexcept { return kind == Kind::kObject; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* get(std::string_view key) const noexcept {
+    if (kind != Kind::kObject) {
+      return nullptr;
+    }
+    for (const auto& [name, value] : object) {
+      if (name == key) {
+        return &value;
+      }
+    }
+    return nullptr;
+  }
+
+  /// Nested lookup: get("a") then get("b")...; nullptr on any miss.
+  template <typename... Keys>
+  const JsonValue* get(std::string_view key, Keys... rest) const noexcept {
+    const JsonValue* inner = get(key);
+    return inner ? inner->get(rest...) : nullptr;
+  }
+
+  /// Parse a whole document.  Throws JsonParseError.
+  static JsonValue parse(std::string_view text);
+};
+
+} // namespace proxima::cli

@@ -1,6 +1,7 @@
 #include "options.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <cstring>
 #include <string_view>
 
@@ -50,7 +51,7 @@ vm::VmCore parse_vm_core(std::string_view text) {
 Command parse_command_line(std::span<const char* const> args) {
   Command command;
   if (args.empty()) {
-    throw UsageError("missing command: expected list|run|report|help");
+    throw UsageError("missing command: expected list|run|report|diff|help");
   }
   const std::string_view verb = args[0];
   if (verb == "help" || verb == "--help" || verb == "-h") {
@@ -63,9 +64,44 @@ Command parse_command_line(std::span<const char* const> args) {
     command.kind = Command::Kind::kRun;
   } else if (verb == "report") {
     command.kind = Command::Kind::kReport;
+  } else if (verb == "diff") {
+    command.kind = Command::Kind::kDiff;
   } else {
     throw UsageError("unknown command '" + std::string(verb) +
-                     "': expected list|run|report|help");
+                     "': expected list|run|report|diff|help");
+  }
+
+  if (command.kind == Command::Kind::kDiff) {
+    // diff takes two positional report paths plus --tolerance; none of the
+    // campaign flags apply (there is no campaign to execute).
+    std::vector<std::string> paths;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      const std::string_view flag = args[i];
+      if (flag == "--tolerance") {
+        if (i + 1 >= args.size()) {
+          throw UsageError("--tolerance: missing value");
+        }
+        command.diff.tolerance = parse_number<double>(flag, args[++i]);
+        // from_chars accepts nan/inf: nan makes every comparison a drift,
+        // inf disables them all — both are operator mistakes.
+        if (!std::isfinite(command.diff.tolerance) ||
+            command.diff.tolerance < 0.0) {
+          throw UsageError("--tolerance: must be a finite number >= 0");
+        }
+      } else if (flag.rfind("--", 0) == 0) {
+        throw UsageError("unknown flag '" + std::string(flag) + "'");
+      } else {
+        paths.emplace_back(flag);
+      }
+    }
+    if (paths.size() != 2) {
+      throw UsageError(
+          "diff: expected exactly two report paths "
+          "(proxima diff <baseline.json> <candidate.json>)");
+    }
+    command.diff.baseline = std::move(paths[0]);
+    command.diff.candidate = std::move(paths[1]);
+    return command;
   }
 
   CampaignOptions& options = command.options;
@@ -143,6 +179,8 @@ std::string usage() {
       "  run                  execute campaigns, print timing summaries\n"
       "  report               execute campaigns + full MBPTA report\n"
       "                       (i.i.d. verdict, pWCET curve, Figure-3 plot)\n"
+      "  diff A.json B.json   compare two saved JSON reports; exit 1 when\n"
+      "                       pWCET/MOET/counter shifts exceed --tolerance\n"
       "  help                 this text\n"
       "\n"
       "options (run/report):\n"
@@ -164,13 +202,18 @@ std::string usage() {
       "                       (default: the scenario's schedule, 10)\n"
       "  --partition NAME     restrict per-partition sections to NAME\n"
       "\n"
+      "options (diff):\n"
+      "  --tolerance F        max relative metric shift treated as equal\n"
+      "                       (default 0: bit-exact, digests included)\n"
+      "\n"
       "examples:\n"
       "  proxima list\n"
       "  proxima run --scenario control/operation-dsr --runs 500 --workers 8\n"
       "  proxima run --scenario control/analysis-dsr --adaptive --seed 42 \\\n"
       "              --format json\n"
-      "  proxima run --scenario hv/control+image --runs 200 --format json\n"
-      "  proxima report --all --runs 300 --format csv\n";
+      "  proxima run --scenario hv/image+control --runs 200 --format json\n"
+      "  proxima report --all --runs 300 --format csv\n"
+      "  proxima diff golden.json candidate.json --tolerance 0.001\n";
 }
 
 } // namespace proxima::cli

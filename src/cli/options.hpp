@@ -53,10 +53,24 @@ struct CampaignOptions {
   std::optional<std::string> partition;
 };
 
+/// Options for `proxima diff <baseline.json> <candidate.json>`: compare
+/// two saved JSON reports and flag pWCET/MOET/counter shifts beyond the
+/// tolerance.
+struct DiffOptions {
+  std::string baseline;
+  std::string candidate;
+  /// Maximum relative shift |a-b| / max(|a|,|b|) that still counts as
+  /// equal.  0 (default) demands bit-exact numbers AND matching digests;
+  /// with a tolerance > 0 the digests are informational only (times may
+  /// legitimately differ within the band).
+  double tolerance = 0.0;
+};
+
 struct Command {
-  enum class Kind : std::uint8_t { kHelp, kList, kRun, kReport };
+  enum class Kind : std::uint8_t { kHelp, kList, kRun, kReport, kDiff };
   Kind kind = Kind::kHelp;
   CampaignOptions options;
+  DiffOptions diff;
 };
 
 /// Parse `args` (argv without the program name).  Throws UsageError.

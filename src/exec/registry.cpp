@@ -1,9 +1,68 @@
 #include "registry.hpp"
 
+#include <algorithm>
+#include <map>
 #include <sstream>
 #include <stdexcept>
 
 namespace proxima::exec {
+
+namespace {
+
+/// Levenshtein edit distance, small-string DP (scenario names are short).
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) {
+    row[j] = j;
+  }
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diagonal = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t substitution =
+          diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diagonal = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitution});
+    }
+  }
+  return row[b.size()];
+}
+
+/// Closest registered names to a typo, nearest first; only names within a
+/// third of the query's length (so 'nope' suggests nothing rather than
+/// everything).
+std::vector<std::string> closest_names(std::string_view query,
+                                       const std::vector<std::string>& names) {
+  const std::size_t threshold = std::max<std::size_t>(2, query.size() / 3);
+  std::vector<std::pair<std::size_t, std::string>> scored;
+  for (const std::string& name : names) {
+    const std::size_t distance = edit_distance(query, name);
+    if (distance <= threshold) {
+      scored.emplace_back(distance, name);
+    }
+  }
+  std::sort(scored.begin(), scored.end());
+  std::vector<std::string> result;
+  for (std::size_t i = 0; i < scored.size() && i < 3; ++i) {
+    result.push_back(scored[i].second);
+  }
+  return result;
+}
+
+/// Registered families ("control/", "hv/", ...) with member counts, in
+/// sorted order.
+std::map<std::string, std::size_t>
+family_counts(const std::vector<std::string>& names) {
+  std::map<std::string, std::size_t> families;
+  for (const std::string& name : names) {
+    const std::size_t slash = name.find('/');
+    ++families[slash == std::string::npos ? name
+                                          : name.substr(0, slash + 1)];
+  }
+  return families;
+}
+
+} // namespace
 
 void ScenarioRegistry::add(Scenario scenario) {
   if (scenario.name.empty()) {
@@ -38,10 +97,26 @@ const Scenario& ScenarioRegistry::at(std::string_view name) const {
   if (const Scenario* scenario = find(name)) {
     return *scenario;
   }
+  // A growing registry makes the bare "unknown scenario" error unusable:
+  // lead with the closest matches and the family map, then the catalogue.
+  const std::vector<std::string> known = names();
   std::ostringstream oss;
-  oss << "unknown scenario '" << name << "'; known scenarios:";
-  for (const std::string& known : names()) {
-    oss << "\n  " << known;
+  oss << "unknown scenario '" << name << "'";
+  const std::vector<std::string> closest = closest_names(name, known);
+  if (!closest.empty()) {
+    oss << "; did you mean:";
+    for (const std::string& suggestion : closest) {
+      oss << ' ' << suggestion;
+    }
+    oss << '?';
+  }
+  oss << "\nfamilies:";
+  for (const auto& [family, count] : family_counts(known)) {
+    oss << ' ' << family << '(' << count << ')';
+  }
+  oss << "\nknown scenarios:";
+  for (const std::string& name_ : known) {
+    oss << "\n  " << name_;
   }
   throw std::out_of_range(oss.str());
 }
@@ -83,6 +158,7 @@ namespace {
 
 using casestudy::CampaignConfig;
 using casestudy::Layout;
+using casestudy::MeasuredTargetKind;
 using casestudy::PrngKind;
 using casestudy::Randomisation;
 
@@ -125,6 +201,46 @@ casestudy::ImageParams hv_image_params() {
   casestudy::ImageParams params;
   params.grid = 6;
   return params;
+}
+
+/// Image-task measured campaigns (the second case-study axis: an
+/// input-dependent-duration workload).  Operation protocol: a fresh sensor
+/// frame every activation, so the measured spread mixes program (lit-lens
+/// selection) and platform variability — the regime where plain MBPTA
+/// struggles.  Registry defaults use the same CI-sized 6x6 lens grid as
+/// the hv guest; `ImageParams` scale it back up to the paper's 12x12.
+CampaignConfig image_operation_base(Randomisation randomisation,
+                                    std::uint32_t runs) {
+  CampaignConfig config = operation_base(randomisation, runs);
+  config.measured = MeasuredTargetKind::kImage;
+  config.image = hv_image_params();
+  return config;
+}
+
+/// Image analysis protocol (MBPTA methodology): ONE pinned frame with
+/// every lens lit — the all-lenses worst-case path, the image task's
+/// analogue of the control task's pinned corrupt-packet recovery — so the
+/// measured variability is the platform's alone.
+CampaignConfig image_analysis_base(Randomisation randomisation,
+                                   std::uint32_t runs) {
+  CampaignConfig config = image_operation_base(randomisation, runs);
+  config.fixed_inputs = true;
+  config.image.lit_fraction = 1.0;
+  return config;
+}
+
+/// Hypervisor campaigns measuring the IMAGE partition: the image analysis
+/// protocol on the cyclic schedule with the control task riding as an
+/// every-frame interference guest (fresh spacecraft-bus inputs per frame
+/// from its fixed partition stream).
+CampaignConfig hv_image_base(Randomisation randomisation,
+                             std::uint32_t runs) {
+  CampaignConfig config = image_analysis_base(randomisation, runs);
+  casestudy::HvCampaignConfig hv;
+  hv.frames = 10;
+  hv.control_guest = true;
+  config.hypervisor = hv;
+  return config;
 }
 
 struct NamedRandomisation {
@@ -254,6 +370,44 @@ void register_default_scenarios(ScenarioRegistry& registry) {
         config.hypervisor->stressor_guest = true;
         return config;
       }});
+
+  // The image task as a MEASURED workload (ROADMAP: the second case-study
+  // axis): input-dependent duration under each randomisation technology,
+  // operation- and analysis-like (static re-link works on the bare
+  // platform; the hv variants below exclude it as always).
+  for (const NamedRandomisation& r : kRandomisations) {
+    if (r.randomisation == Randomisation::kStatic) {
+      continue; // keep the family at the techs the paper compares for it
+    }
+    registry.add(Scenario{
+        std::string("image/operation-") + r.key,
+        std::string("image task (input-dependent duration), fresh frames, ") +
+            r.label,
+        [randomisation = r.randomisation](std::uint32_t runs) {
+          return image_operation_base(randomisation, runs);
+        }});
+    registry.add(Scenario{
+        std::string("image/analysis-") + r.key,
+        std::string("image task, pinned all-lenses-lit frame (MBPTA), ") +
+            r.label,
+        [randomisation = r.randomisation](std::uint32_t runs) {
+          return image_analysis_base(randomisation, runs);
+        }});
+  }
+
+  // Hypervisor campaigns with the IMAGE partition measured under
+  // control-task interference (ROADMAP "measured-partition selection"):
+  // the mirror image of hv/control+image.
+  registry.add(Scenario{
+      "hv/image+control",
+      "image task measured under control-task interference, COTS layout",
+      [](std::uint32_t runs) { return hv_image_base(Randomisation::kNone,
+                                                    runs); }});
+  registry.add(Scenario{
+      "hv/image+control-dsr",
+      "image task measured under control-task interference, DSR per reboot",
+      [](std::uint32_t runs) { return hv_image_base(Randomisation::kDsr,
+                                                    runs); }});
 }
 
 } // namespace proxima::exec

@@ -5,7 +5,10 @@
 // catalogue: the paper's operation-like and analysis-like protocols for
 // each randomisation technology (COTS / DSR / static re-link / hardware
 // time-randomised caches) plus the layout, PRNG and offset-range sweeps
-// and the fixed-input stress scenarios of the ablation study.
+// and the fixed-input stress scenarios of the ablation study.  Three
+// families: `control/` (the control task on the bare platform), `image/`
+// (the input-dependent-duration image task as the measured workload), and
+// `hv/` (hypervisor campaigns, named `<measured>+<guest>`).
 //
 // The registry is append-only and thread-safe: workloads may be registered
 // and looked up concurrently.  `Scenario` references obtained from lookups

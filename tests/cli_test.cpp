@@ -9,9 +9,14 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include <unistd.h> // getpid: unique temp-file names for the diff tests
 
 namespace {
 
@@ -238,6 +243,53 @@ TEST(CliRun, JsonSchemaOnASmallScenario) {
   }
 }
 
+TEST(CliRun, JsonCarriesTheMeasuredTarget) {
+  // The schema's "measured" field labels which program's UoA the
+  // times/digest describe; hv/ partition sections flag the measured one.
+  const CliResult control =
+      invoke({"run", "--scenario", "control/operation-cots", "--runs", "3",
+              "--format", "json"});
+  ASSERT_EQ(control.code, 0) << control.err;
+  EXPECT_EQ(field_after(control.out, "measured"), "\"control\"");
+
+  const CliResult image =
+      invoke({"run", "--scenario", "image/operation-cots", "--runs", "3",
+              "--format", "json"});
+  ASSERT_EQ(image.code, 0) << image.err;
+  EXPECT_EQ(field_after(image.out, "measured"), "\"image\"");
+  EXPECT_EQ(field_after(image.out, "verified_runs"), "3");
+
+  const CliResult hv =
+      invoke({"run", "--scenario", "hv/image+control", "--runs", "2",
+              "--frames", "3", "--format", "json"});
+  ASSERT_EQ(hv.code, 0) << hv.err;
+  ASSERT_TRUE(JsonChecker(hv.out).valid()) << hv.out;
+  EXPECT_EQ(field_after(hv.out, "measured"), "\"image\"");
+  // The partition sections flag the measured one: the first "measured"
+  // after a partition's "name" key is its flag.
+  const auto partition_flag = [&](const char* name) {
+    const std::size_t at = hv.out.find(std::string("\"name\": \"") + name);
+    EXPECT_NE(at, std::string::npos) << name;
+    return field_after(hv.out.substr(at), "measured");
+  };
+  EXPECT_EQ(partition_flag("processing"), "true");
+  EXPECT_EQ(partition_flag("control"), "false")
+      << "the interference guest is not the measured partition";
+}
+
+TEST(CliRun, PartitionFlagComposesWithMeasuredSelection) {
+  // --partition can pick the interference guest of an image-measured
+  // scenario: the filter operates on partition names regardless of which
+  // one is measured.
+  const CliResult result =
+      invoke({"run", "--scenario", "hv/image+control", "--runs", "2",
+              "--frames", "3", "--partition", "control", "--format", "json"});
+  ASSERT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("\"name\": \"control\""), std::string::npos);
+  EXPECT_EQ(result.out.find("\"name\": \"processing\""), std::string::npos)
+      << "--partition must filter out the measured partition's section";
+}
+
 TEST(CliRun, SeedAndVmCoreFlagsReachTheConfig) {
   const CliResult result =
       invoke({"run", "--scenario", "control/operation-cots", "--runs", "8",
@@ -405,6 +457,128 @@ TEST(CliReport, TooShortCampaignReportsAnalysisError) {
 }
 
 // ---------------------------------------------------------------------------
+// diff
+// ---------------------------------------------------------------------------
+
+/// Write `text` to a unique temp file; removed on destruction.
+class TempReport {
+public:
+  TempReport(const char* tag, const std::string& text)
+      : path_(std::filesystem::temp_directory_path() /
+              ("proxima_cli_test_" + std::to_string(::getpid()) + "_" + tag +
+               ".json")) {
+    std::ofstream file(path_, std::ios::binary);
+    file << text;
+  }
+  ~TempReport() {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+  std::string path() const { return path_.string(); }
+
+private:
+  std::filesystem::path path_;
+};
+
+std::string run_json(const char* scenario, const char* runs,
+                     const char* seed) {
+  const CliResult result = invoke({"run", "--scenario", scenario, "--runs",
+                                   runs, "--seed", seed, "--workers", "2",
+                                   "--format", "json"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  return result.out;
+}
+
+TEST(CliDiff, SelfCompareIsClean) {
+  const std::string report = run_json("control/operation-cots", "8", "5");
+  const TempReport baseline("self_a", report);
+  const TempReport candidate("self_b", report);
+  const CliResult result =
+      invoke({"diff", baseline.path().c_str(), candidate.path().c_str()});
+  EXPECT_EQ(result.code, 0) << result.out << result.err;
+  EXPECT_NE(result.out.find("0 drift(s)"), std::string::npos) << result.out;
+}
+
+TEST(CliDiff, FlagsDriftAndHonoursTolerance) {
+  const TempReport baseline("drift_a",
+                            run_json("control/operation-cots", "8", "5"));
+  const TempReport candidate("drift_b",
+                             run_json("control/operation-cots", "8", "6"));
+  // Different seed -> different times: bit-exact mode must flag the shift
+  // (digest included) and exit 1.
+  const CliResult strict =
+      invoke({"diff", baseline.path().c_str(), candidate.path().c_str()});
+  EXPECT_EQ(strict.code, 1);
+  EXPECT_NE(strict.out.find("drift:"), std::string::npos) << strict.out;
+  EXPECT_NE(strict.out.find("times digest"), std::string::npos)
+      << strict.out;
+  // A 100% relative tolerance accepts any same-sign shift (and stops
+  // comparing digests).
+  const CliResult loose =
+      invoke({"diff", baseline.path().c_str(), candidate.path().c_str(),
+              "--tolerance", "1.0"});
+  EXPECT_EQ(loose.code, 0) << loose.out;
+}
+
+TEST(CliDiff, ComparesPerPartitionRowsAndMeasuredTarget) {
+  const TempReport baseline("hv_a", run_json("hv/image+control", "3", "5"));
+  const TempReport candidate("hv_b", run_json("hv/image+control", "3", "6"));
+  const CliResult result =
+      invoke({"diff", baseline.path().c_str(), candidate.path().c_str()});
+  EXPECT_EQ(result.code, 1);
+  // The measured image times are seed-invariant here (analysis protocol,
+  // every lens lit -> same work, same fixed layout), but the control
+  // GUEST's inputs follow the seed: the drift must surface in its
+  // per-partition row.
+  EXPECT_NE(result.out.find("partition control"), std::string::npos)
+      << "per-partition rows must be compared:\n" + result.out;
+}
+
+TEST(CliDiff, UsageErrorsExitTwo) {
+  EXPECT_EQ(invoke({"diff"}).code, 2);
+  EXPECT_EQ(invoke({"diff", "only-one.json"}).code, 2);
+  EXPECT_EQ(invoke({"diff", "/nonexistent/a.json", "/nonexistent/b.json"})
+                .code,
+            2);
+  const TempReport garbage("garbage", "{not json");
+  const TempReport empty_doc("empty", "{}");
+  EXPECT_EQ(invoke({"diff", garbage.path().c_str(), garbage.path().c_str()})
+                .code,
+            2)
+      << "malformed JSON is a usage error, not a drift";
+  EXPECT_EQ(
+      invoke({"diff", empty_doc.path().c_str(), empty_doc.path().c_str()})
+          .code,
+      2)
+      << "a JSON document without scenarios is not a proxima report";
+  // `proxima list` emits command + scenarios too; comparing a catalogue
+  // dump would pass on null-vs-null metrics, so it must be rejected.
+  const CliResult list = invoke({"list", "--format", "json"});
+  ASSERT_EQ(list.code, 0);
+  const TempReport catalogue("catalogue", list.out);
+  EXPECT_EQ(invoke({"diff", catalogue.path().c_str(),
+                    catalogue.path().c_str()})
+                .code,
+            2)
+      << "a scenario catalogue carries no measurements to compare";
+  const TempReport ok("ok", run_json("control/operation-cots", "4", "5"));
+  EXPECT_EQ(invoke({"diff", ok.path().c_str(), ok.path().c_str(),
+                    "--tolerance", "-0.5"})
+                .code,
+            2);
+  // from_chars parses nan/inf: nan would flag identical reports, inf
+  // would disable every numeric comparison — both are usage errors.
+  EXPECT_EQ(invoke({"diff", ok.path().c_str(), ok.path().c_str(),
+                    "--tolerance", "nan"})
+                .code,
+            2);
+  EXPECT_EQ(invoke({"diff", ok.path().c_str(), ok.path().c_str(),
+                    "--tolerance", "inf"})
+                .code,
+            2);
+}
+
+// ---------------------------------------------------------------------------
 // errors
 // ---------------------------------------------------------------------------
 
@@ -413,6 +587,19 @@ TEST(CliErrors, UnknownScenarioListsTheCatalogue) {
   EXPECT_EQ(result.code, 2);
   EXPECT_NE(result.err.find("unknown scenario 'nope'"), std::string::npos);
   EXPECT_NE(result.err.find("control/operation-dsr"), std::string::npos);
+}
+
+TEST(CliErrors, UnknownScenarioSuggestsClosestMatches) {
+  // The discovery satellite: a typo near a real name leads with "did you
+  // mean" and the family map, usage-error exit 2.
+  const CliResult result =
+      invoke({"run", "--scenario", "hv/control+imge", "--runs", "5"});
+  EXPECT_EQ(result.code, 2);
+  EXPECT_NE(result.err.find("did you mean:"), std::string::npos)
+      << result.err;
+  EXPECT_NE(result.err.find("hv/control+image"), std::string::npos);
+  EXPECT_NE(result.err.find("families:"), std::string::npos);
+  EXPECT_NE(result.err.find("image/(6)"), std::string::npos);
 }
 
 TEST(CliErrors, UsageErrorsExitTwo) {

@@ -51,11 +51,15 @@ TEST(HvScenarios, FamilyIsRegistered) {
   exec::ScenarioRegistry registry;
   exec::register_default_scenarios(registry);
   const std::vector<std::string> hv = registry.names("hv/");
-  EXPECT_EQ(hv.size(), 4u);
+  EXPECT_EQ(hv.size(), 6u);
   EXPECT_TRUE(registry.contains("hv/control-solo"));
   EXPECT_TRUE(registry.contains("hv/control+image"));
   EXPECT_TRUE(registry.contains("hv/control+image-dsr"));
   EXPECT_TRUE(registry.contains("hv/control+stress"));
+  // The image-measured variants (measured-partition selection); their
+  // behaviour is covered by measured_target_test.
+  EXPECT_TRUE(registry.contains("hv/image+control"));
+  EXPECT_TRUE(registry.contains("hv/image+control-dsr"));
 }
 
 TEST(HvScenarios, SoloReproducesTheBareAnalysisProtocol) {

@@ -32,8 +32,9 @@ TEST(ScenarioRegistry, DefaultCatalogue) {
   const exec::ScenarioRegistry& registry = fixture.get();
   // Operation + analysis for every randomisation technology, plus the
   // layout / PRNG / offset / relocation-scheme sweeps, the stress
-  // scenario, and the hypervisor (partition-interference) family.
-  EXPECT_EQ(registry.size(), 17u);
+  // scenario, the hypervisor (partition-interference) family, and the
+  // image-task measured family.
+  EXPECT_EQ(registry.size(), 25u);
   for (const char* name :
        {"control/operation-cots", "control/operation-dsr",
         "control/operation-static", "control/operation-hwrand",
@@ -41,7 +42,11 @@ TEST(ScenarioRegistry, DefaultCatalogue) {
         "control/analysis-static", "control/analysis-hwrand",
         "control/layout-neutral", "control/prng-lfsr", "control/offset-l1",
         "control/dsr-lazy", "control/stress-corrupt", "hv/control-solo",
-        "hv/control+image", "hv/control+image-dsr", "hv/control+stress"}) {
+        "hv/control+image", "hv/control+image-dsr", "hv/control+stress",
+        "hv/image+control", "hv/image+control-dsr", "image/operation-cots",
+        "image/operation-dsr", "image/operation-hwrand",
+        "image/analysis-cots", "image/analysis-dsr",
+        "image/analysis-hwrand"}) {
     EXPECT_TRUE(registry.contains(name)) << name;
   }
 }
@@ -80,6 +85,35 @@ TEST(ScenarioRegistry, LookupSemantics) {
     EXPECT_NE(what.find("control/tpyo"), std::string::npos);
     EXPECT_NE(what.find("control/operation-dsr"), std::string::npos)
         << "the error must list the known names";
+    EXPECT_NE(what.find("families:"), std::string::npos)
+        << "the error must name the registered families";
+    EXPECT_NE(what.find("control/(13)"), std::string::npos);
+    EXPECT_NE(what.find("image/(6)"), std::string::npos);
+  }
+}
+
+TEST(ScenarioRegistry, UnknownNameSuggestsClosestMatches) {
+  FreshRegistry fixture;
+  const exec::ScenarioRegistry& registry = fixture.get();
+  // A near-miss typo gets "did you mean" suggestions, nearest first.
+  try {
+    registry.at("hv/control+imge");
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& error) {
+    const std::string what = error.what();
+    const std::size_t did_you_mean = what.find("did you mean:");
+    ASSERT_NE(did_you_mean, std::string::npos) << what;
+    EXPECT_NE(what.find("hv/control+image", did_you_mean),
+              std::string::npos);
+  }
+  // Garbage matches nothing: no suggestion line, catalogue still listed.
+  try {
+    registry.at("zzzzzzzzzzzzzzzz");
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& error) {
+    const std::string what = error.what();
+    EXPECT_EQ(what.find("did you mean"), std::string::npos) << what;
+    EXPECT_NE(what.find("known scenarios:"), std::string::npos);
   }
 }
 
@@ -96,7 +130,7 @@ TEST(ScenarioRegistry, RejectsInvalidRegistrations) {
                    "control/operation-dsr", "duplicate",
                    [](std::uint32_t) { return CampaignConfig{}; }}),
                std::invalid_argument);
-  EXPECT_EQ(registry.size(), 17u) << "failed adds must not register";
+  EXPECT_EQ(registry.size(), 25u) << "failed adds must not register";
 }
 
 TEST(ScenarioRegistry, FactoriesHonourRunsAndScenarioKnobs) {

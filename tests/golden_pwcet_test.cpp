@@ -97,6 +97,48 @@ TEST(GoldenPwcet, Fig3PwcetFitIsLocked) {
   EXPECT_GT(analysis.pwcet(1e-15), analysis.summary.max);
 }
 
+TEST(GoldenPwcet, ImageOperationSummariesAreLocked) {
+  // The image task as a measured workload (PR 5): operation-like inputs,
+  // so these numbers lock the input-DEPENDENT duration distribution — the
+  // second case-study axis.  The Gumbel fit over such a series is
+  // dominated by the lit-lens count, not the platform: the wild
+  // operation-mode scale is exactly why the analysis protocol pins the
+  // frame (next test).
+  const CampaignResult cots = run_scenario("image/operation-cots");
+  const mbpta::Summary summary = mbpta::summarise(cots.times);
+  EXPECT_EQ(summary.min, 824225.0);
+  EXPECT_EQ(summary.max, 1288457.0);
+  expect_rel_near(summary.mean, 1045019.6233333333, "image operation mean");
+
+  ASSERT_EQ(cots.samples.size(), kRuns);
+  const mem::PerfCounters& c = cots.samples.front().counters;
+  EXPECT_EQ(c.instructions, 646465u);
+  EXPECT_EQ(c.icache_miss, 20u);
+  EXPECT_EQ(c.dcache_miss, 2718u);
+  EXPECT_EQ(c.l2_miss, 1518u);
+  EXPECT_EQ(c.fpu_ops, 21867u);
+}
+
+TEST(GoldenPwcet, ImageAnalysisPwcetFitIsLocked) {
+  const CampaignResult dsr = run_scenario("image/analysis-dsr");
+  const mbpta::MbptaAnalysis analysis =
+      mbpta::analyse(dsr.times, analysis_config());
+
+  ASSERT_TRUE(analysis.applicable())
+      << "image/analysis-dsr must pass the i.i.d. tests at the locked seed";
+  EXPECT_EQ(analysis.summary.min, 1345002.0);
+  EXPECT_EQ(analysis.summary.max, 1345996.0);
+  expect_rel_near(analysis.summary.mean, 1345366.3400000001,
+                  "image analysis mean");
+  expect_rel_near(analysis.model.info().gumbel.location, 1345620.702059973,
+                  "image gumbel location");
+  expect_rel_near(analysis.model.info().gumbel.scale, 96.378661812072991,
+                  "image gumbel scale");
+  expect_rel_near(analysis.pwcet(1e-15), 1348727.6601037001,
+                  "image pWCET @ 1e-15");
+  EXPECT_GT(analysis.pwcet(1e-15), analysis.summary.max);
+}
+
 TEST(GoldenPwcet, MarginComparisonIsLocked) {
   const CampaignResult cots = run_scenario("control/analysis-cots");
   const CampaignResult dsr = run_scenario("control/analysis-dsr");
