@@ -23,6 +23,9 @@ CampaignResult run_control_campaign(const CampaignConfig& config) {
   result.pass_report = runner.pass_report();
   result.code_bytes = runner.code_bytes();
   result.verified_runs = runner.verified_runs();
+  if (config.collect_metrics) {
+    result.metrics = runner.metrics();
+  }
   return result;
 }
 

@@ -20,6 +20,7 @@
 #include "core/dsr_pass.hpp"
 #include "core/dsr_runtime.hpp"
 #include "mem/counters.hpp"
+#include "obs/metrics.hpp"
 #include "trace/partition_report.hpp"
 #include "vm/vm.hpp"
 
@@ -29,6 +30,10 @@
 #include <string>
 #include <utility>
 #include <vector>
+
+namespace proxima::obs {
+class Timeline;
+}
 
 namespace proxima::casestudy {
 
@@ -169,6 +174,19 @@ struct CampaignConfig {
   /// When set, runs execute on the partitioned hypervisor platform instead
   /// of the bare platform (see HvCampaignConfig).
   std::optional<HvCampaignConfig> hypervisor;
+
+  // --- Observability (src/obs/) -------------------------------------------
+  /// Collect the metrics registry (instruction mix, hierarchy counters, DSR
+  /// runtime activity, hv partition occupancy) into per-runner shards,
+  /// merged into `CampaignResult::metrics`.  Off by default: runners leave
+  /// the VM's mix hook null and skip every snapshot, so campaigns pay
+  /// nothing.  Purely observational — enabling it never changes times,
+  /// samples or any derived seed.
+  bool collect_metrics = false;
+  /// When non-null, producers record Chrome-trace spans here (engine
+  /// worker runs, adaptive batches, hv partition frames).  Non-owning; the
+  /// CLI owns the Timeline for the duration of the campaign.
+  obs::Timeline* timeline = nullptr;
 };
 
 /// Per-partition activity of one hypervisor run (empty on the bare
@@ -199,6 +217,10 @@ struct CampaignResult {
   dsr::PassReport pass_report;     // meaningful for kDsr
   std::uint32_t code_bytes = 0;    // image code size
   std::uint64_t verified_runs = 0; // golden-model matches
+  /// Merged metrics registry (empty unless `collect_metrics`).  The
+  /// counter/histogram/series classes are bit-identical across worker
+  /// counts (obs::metrics_digest); gauges carry wall-clock facts.
+  obs::MetricsSnapshot metrics;
 };
 
 /// Execute the campaign sequentially (any measured target — the function

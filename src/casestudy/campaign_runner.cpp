@@ -5,6 +5,7 @@
 #include "rng/lfsr.hpp"
 #include "rng/mwc.hpp"
 
+#include <iterator>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -69,6 +70,14 @@ CampaignRunner::CampaignRunner(const CampaignConfig& config)
     runtime_ = std::make_unique<dsr::DsrRuntime>(
         memory_, hierarchy_, image_, *layout_rng_, config_.dsr_options);
     runtime_->attach(cpu_);
+  }
+  if (config_.collect_metrics) {
+    // Instruction-mix telemetry: the VM's hook stays null (and the fast
+    // dispatch loop's mix branch never taken) unless metrics are on.
+    const auto opcodes = static_cast<std::size_t>(isa::Opcode::kOpcodeCount);
+    mix_.assign(opcodes, 0);
+    mix_base_.assign(opcodes, 0);
+    cpu_.set_mix_counters(mix_.data());
   }
   if (config_.hypervisor) {
     hv_build(); // hv_runner.cpp: guest images + PartitionedPlatform
@@ -161,6 +170,8 @@ void CampaignRunner::setup(std::uint64_t run_index) {
     fault("injected platform fault (CampaignConfig::fault_at_run)");
   }
 
+  obs_begin_run();
+
   // Warm-up activations occupy the first `warmup_runs` slots of the global
   // activation sequence: they advance the input stream (host-side replay)
   // but are never executed — the protocol rebuilds the platform state from
@@ -203,6 +214,7 @@ void CampaignRunner::execute() {
   }
   hierarchy_.flush_l1s();
   hierarchy_.counters().reset();
+  obs_rebase_mix(); // warm-up instructions stay out of vm.mix.*
   trace_buffer_.clear();
 
   // The measured activation.
@@ -218,7 +230,9 @@ RunSample CampaignRunner::collect() {
     throw std::logic_error("CampaignRunner::collect: no executed run");
   }
   if (hv_) {
-    return hv_collect();
+    RunSample sample = hv_collect();
+    obs_publish_run(sample);
+    return sample;
   }
   // Extract the UoA time + counters (one invocation: the warm-up's trace
   // was cleared).
@@ -236,7 +250,105 @@ RunSample CampaignRunner::collect() {
   if (config_.verify_outputs) {
     verify_measured();
   }
+  obs_publish_run(sample);
   return sample;
+}
+
+void CampaignRunner::obs_begin_run() {
+  if (!config_.collect_metrics) {
+    return;
+  }
+  mix_base_ = mix_;
+  if (runtime_) {
+    dsr_base_ = runtime_->stats();
+  }
+  decode_base_ = cpu_.decode_stats();
+}
+
+void CampaignRunner::obs_rebase_mix() {
+  if (!mix_.empty()) {
+    mix_base_ = mix_;
+  }
+}
+
+namespace {
+
+/// X-macro token of a dense handler/opcode index, with the "k" prefix
+/// stripped: kAddi -> "Addi".  Display names (opcode_info) collide across
+/// R/I forms ("add" twice), so metric names use the enum spelling.
+const char* opcode_token(std::size_t handler) {
+  static constexpr const char* kTokens[] = {
+#define PROXIMA_OBS_OPCODE_TOKEN(op) (#op) + 1,
+      PROXIMA_VM_FOREACH_OPCODE(PROXIMA_OBS_OPCODE_TOKEN)
+#undef PROXIMA_OBS_OPCODE_TOKEN
+  };
+  static_assert(std::size(kTokens) ==
+                static_cast<std::size_t>(isa::Opcode::kOpcodeCount));
+  return kTokens[handler];
+}
+
+} // namespace
+
+void CampaignRunner::obs_publish_run(const RunSample& sample) {
+  if (hv_ && (config_.collect_metrics || config_.timeline != nullptr)) {
+    hv_publish_obs();
+  }
+  if (!config_.collect_metrics) {
+    return;
+  }
+  metrics_.add("runs", 1);
+  if (sample.corrupt_input) {
+    metrics_.add("runs.corrupt_input", 1);
+  }
+  // UoA cycle counts are integers carried in doubles: exact as u64.
+  metrics_.record("time.uoa_cycles",
+                  static_cast<std::uint64_t>(sample.uoa_cycles));
+  // mem.*: the sample's hierarchy counters are already a per-run window
+  // (execute() resets them after the warm-up activation; hv runs cover
+  // the whole schedule).
+  sample.counters.for_each([&](const char* name, std::uint64_t value) {
+    metrics_.add(std::string("mem.") + name, value);
+  });
+  // vm.mix.*: per-opcode retirements over the whole run window, warm-up
+  // activation included (it executes under this run's layout and inputs,
+  // so the delta stays a pure function of the run index).
+  for (std::size_t i = 0; i < mix_.size(); ++i) {
+    const std::uint64_t delta = mix_[i] - mix_base_[i];
+    if (delta != 0) {
+      metrics_.add(std::string("vm.mix.") + opcode_token(i), delta);
+    }
+  }
+  if (runtime_) {
+    const dsr::DsrRuntime::Stats now = runtime_->stats();
+    metrics_.add("dsr.reseeds", now.reseeds - dsr_base_.reseeds);
+    metrics_.add("dsr.relocations", now.relocations - dsr_base_.relocations);
+    metrics_.add("dsr.bytes_copied", now.bytes_copied - dsr_base_.bytes_copied);
+    metrics_.add("dsr.lazy_traps", now.lazy_traps - dsr_base_.lazy_traps);
+    metrics_.add("dsr.lazy_cycles", now.lazy_cycles - dsr_base_.lazy_cycles);
+    // Invalidated-line counts depend on the platform state the PREVIOUS
+    // run on this runner left behind (first run of a shard has no live
+    // chunks to release), so they are worker-count-dependent: gauge class.
+    metrics_.add_gauge("dsr.lines_invalidated",
+                       static_cast<double>(now.lines_invalidated -
+                                           dsr_base_.lines_invalidated));
+  }
+  // vm.decode.*: decode-cache activity persists across the runs one
+  // runner executes (a different sharding decodes differently), so the
+  // whole family is gauge-class — see DecodeCache::Stats.
+  const vm::DecodeCache::Stats decode_now = cpu_.decode_stats();
+  metrics_.add_gauge(
+      "vm.decode.decodes",
+      static_cast<double>(decode_now.decodes - decode_base_.decodes));
+  metrics_.add_gauge(
+      "vm.decode.write_invalidation_events",
+      static_cast<double>(decode_now.write_invalidation_events -
+                          decode_base_.write_invalidation_events));
+  metrics_.add_gauge("vm.decode.invalidated_slots",
+                     static_cast<double>(decode_now.invalidated_slots -
+                                         decode_base_.invalidated_slots));
+  metrics_.add_gauge("vm.decode.full_invalidations",
+                     static_cast<double>(decode_now.full_invalidations -
+                                         decode_base_.full_invalidations));
 }
 
 RunSample CampaignRunner::run(std::uint64_t run_index) {

@@ -86,6 +86,11 @@ public:
   std::uint32_t code_bytes() const noexcept { return code_bytes_; }
   std::uint64_t verified_runs() const noexcept { return verified_runs_; }
 
+  /// This runner's metrics shard (empty unless config().collect_metrics):
+  /// per-run deltas folded at collect(), merged by the campaign driver
+  /// into CampaignResult::metrics.
+  const obs::MetricsShard& metrics() const noexcept { return metrics_; }
+
 private:
   /// Partition reboot / re-link / cache reseed from an already-derived
   /// layout seed (the bare protocol derives it per run, the hv mode per
@@ -108,6 +113,23 @@ private:
   void hv_execute();
   RunSample hv_collect();
 
+  // Observability (config_.collect_metrics / config_.timeline).  The
+  // metric baselines are snapped at setup() entry and the deltas folded
+  // into the shard at collect(), so construction-time work (initial
+  // predecode, guest image loads) never reaches the merged counters and
+  // every run's contribution is a pure function of its index — the
+  // property obs::metrics_digest certifies across worker counts.
+  void obs_begin_run();
+  /// Re-base the instruction-mix snapshot at the point the hierarchy
+  /// counters reset (after the unmeasured warm-up activation), so
+  /// `vm.mix.*` attributes exactly the instructions the `mem.*` counters
+  /// describe.
+  void obs_rebase_mix();
+  void obs_publish_run(const RunSample& sample);
+  /// hv only (hv_runner.cpp): per-partition counters, frame-occupancy
+  /// histogram, and simulated-time partition spans on the timeline.
+  void hv_publish_obs();
+
   CampaignConfig config_;
   std::unique_ptr<MeasuredTarget> target_; // input mirror lives here
   dsr::PassReport pass_report_;
@@ -129,6 +151,12 @@ private:
   std::optional<std::uint64_t> current_run_; // set by setup, used by stages
   bool executed_ = false;
   std::uint64_t verified_runs_ = 0;
+
+  obs::MetricsShard metrics_;
+  std::vector<std::uint64_t> mix_;      // per-opcode counters (live array)
+  std::vector<std::uint64_t> mix_base_; // snapshot at setup() entry
+  dsr::DsrRuntime::Stats dsr_base_;
+  vm::DecodeCache::Stats decode_base_;
   // shared_ptr for its type-erased deleter: HvState stays incomplete
   // outside hv_runner.cpp.  Never actually shared.
   std::shared_ptr<HvState> hv_; // null on the bare platform

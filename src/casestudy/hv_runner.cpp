@@ -31,6 +31,7 @@
 #include "casestudy/campaign_runner.hpp"
 
 #include "exec/seed.hpp"
+#include "obs/timeline.hpp"
 #include "rng/mwc.hpp"
 #include "rtos/platform.hpp"
 
@@ -410,6 +411,7 @@ void CampaignRunner::hv_execute() {
     fault("hv warm-up activation did not halt");
   }
   hierarchy_.counters().reset();
+  obs_rebase_mix(); // warm-up instructions stay out of vm.mix.*
   trace_buffer_.clear();
 
   // Replay the cyclic schedule from a fresh timeline.  Partition-start L1
@@ -466,6 +468,59 @@ RunSample CampaignRunner::hv_collect() {
     verify_measured();
   }
   return sample;
+}
+
+void CampaignRunner::hv_publish_obs() {
+  const HvCampaignConfig& hv = *config_.hypervisor;
+  const std::uint64_t frame_cycles =
+      std::uint64_t{hv.minor_frame_ms} * hv.cycles_per_ms;
+  // Nominal budget fence of a partition, in ms (0 = the whole minor frame)
+  // — partition names are unique per task kind (hv_build rejects the
+  // measured kind doubling as a guest).
+  const auto budget_ms_of = [&](const std::string& name) -> std::uint32_t {
+    if (name == hv_->measured_partition) {
+      return hv.measured_budget_ms;
+    }
+    if (name == measured_partition_name(MeasuredTargetKind::kControl)) {
+      return hv.control_guest_budget_ms;
+    }
+    if (name == measured_partition_name(MeasuredTargetKind::kImage)) {
+      return hv.image_budget_ms;
+    }
+    return hv.stressor_budget_ms; // kStressorPartition
+  };
+  // Timeline spans live on the SIMULATED clock: each measured run replays
+  // `frames` minor frames from cycle 0, so consecutive runs are laid out
+  // end to end at their schedule positions.
+  const std::uint64_t run_base_ms =
+      *current_run_ * std::uint64_t{hv.frames} * hv.minor_frame_ms;
+  for (const rtos::ActivationRecord& record : hv_->records) {
+    if (config_.collect_metrics) {
+      const std::string prefix = "hv." + record.partition + ".";
+      metrics_.add(prefix + "activations", 1);
+      metrics_.add(prefix + "consumed_cycles", record.cycles_used);
+      const std::uint32_t budget_ms = budget_ms_of(record.partition);
+      metrics_.add(prefix + "granted_cycles",
+                   std::uint64_t{budget_ms != 0 ? budget_ms
+                                                : hv.minor_frame_ms} *
+                       hv.cycles_per_ms);
+      if (record.overran) {
+        metrics_.add(prefix + "overruns", 1);
+      }
+      metrics_.record(prefix + "frame_occupancy_pct",
+                      record.cycles_used * 100 / frame_cycles);
+    }
+    if (config_.timeline != nullptr) {
+      const double cycles_to_us = 1000.0 / static_cast<double>(hv.cycles_per_ms);
+      config_.timeline->record(
+          "partitions", record.partition,
+          "run " + std::to_string(*current_run_) + " frame " +
+              std::to_string(record.frame_index),
+          static_cast<double>(run_base_ms) * 1000.0 +
+              static_cast<double>(record.start_cycle) * cycles_to_us,
+          static_cast<double>(record.cycles_used) * cycles_to_us);
+    }
+  }
 }
 
 } // namespace proxima::casestudy

@@ -24,9 +24,11 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
     case Command::Kind::kList:
       return cmd_list(command.options, out);
     case Command::Kind::kRun:
-      return cmd_run(command.options, out);
+      return cmd_run(command.options, out, err);
     case Command::Kind::kReport:
-      return cmd_report(command.options, out);
+      return cmd_report(command.options, out, err);
+    case Command::Kind::kProfile:
+      return cmd_profile(command.options, out, err);
     case Command::Kind::kDiff:
       return cmd_diff(command.diff, out);
     }

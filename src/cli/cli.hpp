@@ -24,10 +24,16 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
 
 /// Individual commands (parsed options already validated).  May throw
 /// (unknown scenario: std::out_of_range; campaign fault: runtime_error) —
-/// `run_cli` turns those into exit codes.
+/// `run_cli` turns those into exit codes.  `err` carries the optional
+/// `--progress` live line (kept off `out` so piped json/csv stays clean).
 int cmd_list(const CampaignOptions& options, std::ostream& out);
-int cmd_run(const CampaignOptions& options, std::ostream& out);
-int cmd_report(const CampaignOptions& options, std::ostream& out);
+int cmd_run(const CampaignOptions& options, std::ostream& out,
+            std::ostream& err);
+int cmd_report(const CampaignOptions& options, std::ostream& out,
+               std::ostream& err);
+/// Render the merged metrics registry of the selected scenarios.
+int cmd_profile(const CampaignOptions& options, std::ostream& out,
+                std::ostream& err);
 /// Compare two saved JSON reports (diff.cpp); 0 no drift, 1 drift.
 int cmd_diff(const DiffOptions& options, std::ostream& out);
 

@@ -1,10 +1,12 @@
-// Implementation of `proxima list|run|report`.
+// Implementation of `proxima list|run|report|profile`.
 //
 // `run` executes scenarios through the parallel engine (fixed size, or
 // `--adaptive`: convergence-driven growth with deterministic batch
 // boundaries) and prints timing summaries plus a times digest that is
 // bit-stable across worker counts.  `report` additionally runs the MBPTA
 // pipeline and renders the pWCET curve (text plot / JSON / CSV).
+// `profile` renders the merged observability registry; `--trace-out`
+// attaches a Chrome trace_event timeline to any campaign command.
 #include "cli.hpp"
 
 #include "cli/json_writer.hpp"
@@ -12,12 +14,15 @@
 #include "exec/registry.hpp"
 #include "exec/seed.hpp"
 #include "mbpta/mbpta.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "trace/report.hpp"
 
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -106,12 +111,27 @@ struct Execution {
 };
 
 Execution execute_scenario(const std::string& name,
-                           const CampaignOptions& options) {
+                           const CampaignOptions& options,
+                           obs::Timeline* timeline, std::ostream& err) {
   Execution execution;
   execution.name = name;
   execution.config = scenario_config(name, options);
+  // The registry is always collected: the delta-snapshot capture is off the
+  // per-instruction path, and every output mode can then offer the metrics
+  // digest as a determinism witness (see bench_obs_overhead for the cost).
+  execution.config.collect_metrics = true;
+  execution.config.timeline = timeline;
   exec::EngineOptions engine_options;
   engine_options.workers = options.workers;
+  if (options.progress) {
+    // The meter serialises callback invocations and coalesces bursts, so a
+    // plain stream write is safe here even though workers drive it.
+    engine_options.progress = [&err, name](std::uint64_t completed,
+                                           std::uint64_t total) {
+      err << '\r' << name << ": " << completed << '/' << total << " runs"
+          << std::flush;
+    };
+  }
   const exec::CampaignEngine engine(engine_options);
 
   const auto start = std::chrono::steady_clock::now();
@@ -133,7 +153,51 @@ Execution execute_scenario(const std::string& name,
   execution.seconds = std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - start)
                           .count();
+  if (options.progress) {
+    err << '\n'; // terminate the live \r line before the next scenario
+  }
   return execution;
+}
+
+/// Serialise the timeline to `--trace-out FILE`.  Failures surface as a
+/// campaign fault (exit 3): the campaign DID run, but its requested
+/// artefact could not be produced.
+void write_trace_file(const obs::Timeline& timeline, const std::string& path) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    throw std::runtime_error("--trace-out: cannot open '" + path +
+                             "' for writing");
+  }
+  timeline.write_json(file);
+  file.flush();
+  if (!file) {
+    throw std::runtime_error("--trace-out: write to '" + path + "' failed");
+  }
+}
+
+/// Execute every selected scenario (campaign fault on a later scenario
+/// propagates BEFORE any output, so machine consumers never see a
+/// truncated document), then write the shared `--trace-out` timeline.
+std::vector<Execution> execute_selected(const CampaignOptions& options,
+                                        std::ostream& err) {
+  const std::vector<std::string> names = selected_scenarios(options);
+  std::optional<obs::Timeline> timeline;
+  if (!options.trace_out.empty()) {
+    timeline.emplace();
+  }
+  std::vector<Execution> executions;
+  executions.reserve(names.size());
+  for (const std::string& name : names) {
+    executions.push_back(execute_scenario(
+        name, options, timeline ? &*timeline : nullptr, err));
+  }
+  if (timeline) {
+    write_trace_file(*timeline, options.trace_out);
+  }
+  for (Execution& execution : executions) {
+    execution.config.timeline = nullptr; // the local timeline dies here
+  }
+  return executions;
 }
 
 const char* vm_core_name(vm::VmCore core) {
@@ -276,6 +340,139 @@ void write_throughput_json(JsonWriter& json, const Execution& execution) {
   json.end_object();
 }
 
+/// The `"metrics"` section of run/report/profile JSON: the merged registry
+/// keyed by determinism class.  The key is named "digest" like the times
+/// digest, so a `grep '"digest"'` across worker counts checks BOTH
+/// invariants at once.  Gauges land under "wall": wall-clock/platform
+/// facts, legitimately different between identical campaigns.
+void write_metrics_json(JsonWriter& json, const Execution& execution) {
+  const obs::MetricsSnapshot& metrics = execution.result.metrics;
+  json.key("metrics").begin_object();
+  json.key("digest").value(obs::metrics_digest_hex(metrics));
+  json.key("counters").begin_object();
+  for (const auto& [name, value] : metrics.counters) {
+    json.key(name).value(value);
+  }
+  json.end_object();
+  json.key("histograms").begin_object();
+  for (const auto& [name, histogram] : metrics.histograms) {
+    json.key(name).begin_object();
+    json.key("count").value(histogram.count);
+    json.key("min").value(histogram.count == 0 ? 0 : histogram.min);
+    json.key("max").value(histogram.max);
+    json.key("mean").value(histogram.mean());
+    // Sparse [bit_width, count] pairs; bucket b holds values of b bits.
+    json.key("buckets").begin_array();
+    for (std::size_t bit = 0; bit < obs::Histogram::kBuckets; ++bit) {
+      if (histogram.buckets[bit] == 0) {
+        continue;
+      }
+      json.begin_array();
+      json.value(std::uint64_t{bit});
+      json.value(histogram.buckets[bit]);
+      json.end_array();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_object();
+  json.key("series").begin_object();
+  for (const auto& [name, values] : metrics.series) {
+    json.key(name).begin_array();
+    for (const double value : values) {
+      json.value(value); // NaN (i.i.d. failed evaluation) renders as null
+    }
+    json.end_array();
+  }
+  json.end_object();
+  json.key("wall").begin_object();
+  for (const auto& [name, value] : metrics.gauges) {
+    json.key(name).value(value);
+  }
+  json.end_object();
+  json.end_object();
+}
+
+void print_metrics_text(std::ostream& out, const Execution& execution) {
+  const obs::MetricsSnapshot& metrics = execution.result.metrics;
+  char line[200];
+  out << execution.name << " (" << execution.result.times.size()
+      << " runs, metrics digest " << obs::metrics_digest_hex(metrics)
+      << ")\n";
+  if (!metrics.counters.empty()) {
+    out << "  counters:\n";
+    for (const auto& [name, value] : metrics.counters) {
+      std::snprintf(line, sizeof(line), "    %-36s %20llu\n", name.c_str(),
+                    static_cast<unsigned long long>(value));
+      out << line;
+    }
+  }
+  if (!metrics.histograms.empty()) {
+    out << "  histograms:\n";
+    for (const auto& [name, histogram] : metrics.histograms) {
+      std::snprintf(line, sizeof(line),
+                    "    %-36s n=%llu min=%llu mean=%.1f max=%llu\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(histogram.count),
+                    static_cast<unsigned long long>(
+                        histogram.count == 0 ? 0 : histogram.min),
+                    histogram.mean(),
+                    static_cast<unsigned long long>(histogram.max));
+      out << line;
+    }
+  }
+  if (!metrics.series.empty()) {
+    out << "  series:\n";
+    for (const auto& [name, values] : metrics.series) {
+      out << "    " << name << " (" << values.size() << "):";
+      for (const double value : values) {
+        std::snprintf(line, sizeof(line), " %.6g", value);
+        out << line;
+      }
+      out << '\n';
+    }
+  }
+  if (!metrics.gauges.empty()) {
+    out << "  wall:\n";
+    for (const auto& [name, value] : metrics.gauges) {
+      std::snprintf(line, sizeof(line), "    %-36s %20.6f\n", name.c_str(),
+                    value);
+      out << line;
+    }
+  }
+}
+
+/// CSV rows `scenario,class,metric,value`: histograms flatten to
+/// .count/.min/.mean/.max rows, series to indexed rows — every value a
+/// plain number except the digest row's hex string.
+void print_metrics_csv(std::ostream& out, const Execution& execution) {
+  const obs::MetricsSnapshot& metrics = execution.result.metrics;
+  out << execution.name << ",digest,metrics_digest,"
+      << obs::metrics_digest_hex(metrics) << '\n';
+  for (const auto& [name, value] : metrics.counters) {
+    out << execution.name << ",counter," << name << ',' << value << '\n';
+  }
+  for (const auto& [name, histogram] : metrics.histograms) {
+    out << execution.name << ",histogram," << name << ".count,"
+        << histogram.count << '\n';
+    out << execution.name << ",histogram," << name << ".min,"
+        << (histogram.count == 0 ? 0 : histogram.min) << '\n';
+    out << execution.name << ",histogram," << name << ".mean,"
+        << histogram.mean() << '\n';
+    out << execution.name << ",histogram," << name << ".max," << histogram.max
+        << '\n';
+  }
+  for (const auto& [name, values] : metrics.series) {
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      out << execution.name << ",series," << name << '[' << i << "],"
+          << values[i] << '\n';
+    }
+  }
+  for (const auto& [name, value] : metrics.gauges) {
+    out << execution.name << ",wall," << name << ',' << value << '\n';
+  }
+}
+
 void write_execution_header_json(JsonWriter& json, const Execution& execution,
                                  const CampaignOptions& options) {
   json.key("name").value(execution.name);
@@ -353,16 +550,9 @@ int cmd_list(const CampaignOptions& options, std::ostream& out) {
   return 0;
 }
 
-int cmd_run(const CampaignOptions& options, std::ostream& out) {
-  const std::vector<std::string> names = selected_scenarios(options);
-  // Execute everything before emitting: a campaign fault on a later
-  // scenario propagates BEFORE any output, so machine consumers never see
-  // a truncated (syntactically invalid) JSON/CSV document.
-  std::vector<Execution> executions;
-  executions.reserve(names.size());
-  for (const std::string& name : names) {
-    executions.push_back(execute_scenario(name, options));
-  }
+int cmd_run(const CampaignOptions& options, std::ostream& out,
+            std::ostream& err) {
+  const std::vector<Execution> executions = execute_selected(options, err);
   std::vector<const Execution*> executed;
   for (const Execution& execution : executions) {
     executed.push_back(&execution);
@@ -381,6 +571,7 @@ int cmd_run(const CampaignOptions& options, std::ostream& out) {
       write_times_json(json, execution);
       write_partitions_json(json, execution, options);
       write_throughput_json(json, execution);
+      write_metrics_json(json, execution);
       json.key("verified_runs").value(execution.result.verified_runs);
       json.end_object();
     }
@@ -426,8 +617,8 @@ int cmd_run(const CampaignOptions& options, std::ostream& out) {
   return 0;
 }
 
-int cmd_report(const CampaignOptions& options, std::ostream& out) {
-  const std::vector<std::string> names = selected_scenarios(options);
+int cmd_report(const CampaignOptions& options, std::ostream& out,
+               std::ostream& err) {
   int exit_code = 0;
 
   // Execute and analyse everything before emitting (see cmd_run).
@@ -436,10 +627,11 @@ int cmd_report(const CampaignOptions& options, std::ostream& out) {
     std::optional<mbpta::MbptaAnalysis> analysis;
     std::string error;
   };
+  std::vector<Execution> executions = execute_selected(options, err);
   std::vector<Reported> reports;
-  reports.reserve(names.size());
-  for (const std::string& name : names) {
-    Reported reported{execute_scenario(name, options), {}, {}};
+  reports.reserve(executions.size());
+  for (Execution& execution : executions) {
+    Reported reported{std::move(execution), {}, {}};
     mbpta::MbptaConfig analysis_config;
     if (options.adaptive) {
       // The reported fit must be the estimator whose stability the
@@ -487,6 +679,7 @@ int cmd_report(const CampaignOptions& options, std::ostream& out) {
       write_adaptive_json(*json, execution);
       write_times_json(*json, execution);
       write_partitions_json(*json, execution, options);
+      write_metrics_json(*json, execution);
       if (analysis) {
         json->key("analysis").begin_object();
         json->key("iid").begin_object();
@@ -567,6 +760,40 @@ int cmd_report(const CampaignOptions& options, std::ostream& out) {
     json->end_object();
   }
   return exit_code;
+}
+
+int cmd_profile(const CampaignOptions& options, std::ostream& out,
+                std::ostream& err) {
+  const std::vector<Execution> executions = execute_selected(options, err);
+
+  if (options.format == OutputFormat::kJson) {
+    JsonWriter json(out);
+    json.begin_object();
+    json.key("command").value("profile");
+    json.key("scenarios").begin_array();
+    for (const Execution& execution : executions) {
+      json.begin_object();
+      write_execution_header_json(json, execution, options);
+      write_metrics_json(json, execution);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    return 0;
+  }
+
+  if (options.format == OutputFormat::kCsv) {
+    out << "scenario,class,metric,value\n";
+    for (const Execution& execution : executions) {
+      print_metrics_csv(out, execution);
+    }
+    return 0;
+  }
+
+  for (const Execution& execution : executions) {
+    print_metrics_text(out, execution);
+  }
+  return 0;
 }
 
 } // namespace proxima::cli

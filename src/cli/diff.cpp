@@ -10,15 +10,20 @@
 // (wall_seconds, minstr_per_second) are deliberately NOT compared: they
 // are the only nondeterministic numbers in a report.
 //
+// `--format json` renders the same comparison as a machine-readable drift
+// report (per-drift records plus the summary); exit codes are identical.
+//
 // Exit codes: 0 no drift, 1 drift, 2 usage (unreadable path, malformed or
 // non-report JSON) via UsageError.
 #include "cli.hpp"
 
 #include "cli/json_reader.hpp"
+#include "cli/json_writer.hpp"
 
 #include <cmath>
 #include <fstream>
 #include <iomanip>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <string>
@@ -69,17 +74,31 @@ std::string scenario_label(const JsonValue& scenario) {
   return name && name->is_string() ? name->string : "<unnamed>";
 }
 
+/// One metric shift beyond the tolerance, kept structured so the renderer
+/// (text line or JSON record) is chosen once at the end.
+struct Drift {
+  std::string context;   // "scenario" or "scenario partition NAME"
+  std::string metric;    // empty for structural drifts (missing rows)
+  std::string baseline;  // rendered values ("<absent>" when missing)
+  std::string candidate;
+  /// (candidate - baseline) / baseline; NaN for non-numeric/structural
+  /// drifts (renders as null in JSON).
+  double relative_shift = std::numeric_limits<double>::quiet_NaN();
+  std::string detail; // the human-readable text-mode line body
+};
+
 class Differ {
 public:
-  Differ(double tolerance, std::ostream& out)
-      : tolerance_(tolerance), out_(out) {}
+  explicit Differ(double tolerance) : tolerance_(tolerance) {}
 
-  int drifts() const noexcept { return drifts_; }
+  int drifts() const noexcept { return static_cast<int>(drifts_.size()); }
   int compared() const noexcept { return compared_; }
+  const std::vector<Drift>& records() const noexcept { return drifts_; }
 
   void flag(const std::string& context, const std::string& detail) {
-    ++drifts_;
-    out_ << "drift: " << context << ": " << detail << '\n';
+    drifts_.push_back(Drift{context, {}, {}, {},
+                            std::numeric_limits<double>::quiet_NaN(),
+                            detail});
   }
 
   /// Numeric metric (accepts null==null as equal — e.g. a partition pWCET
@@ -93,8 +112,10 @@ public:
       return;
     }
     if (a_null != b_null || !a->is_number() || !b->is_number()) {
-      flag(context, std::string(metric) + ": " + render(a) + " -> " +
-                        render(b));
+      drifts_.push_back(Drift{context, metric, render(a), render(b),
+                              std::numeric_limits<double>::quiet_NaN(),
+                              std::string(metric) + ": " + render(a) +
+                                  " -> " + render(b)});
       return;
     }
     const double lo = a->number;
@@ -106,21 +127,26 @@ public:
     std::ostringstream detail;
     detail << metric << ": baseline " << render(a) << " candidate "
            << render(b);
+    double shift = std::numeric_limits<double>::quiet_NaN();
     if (lo != 0.0) {
-      detail << " (" << std::showpos << std::setprecision(3)
-             << 100.0 * (hi - lo) / lo << "%)";
+      shift = (hi - lo) / lo;
+      detail << " (" << std::showpos << std::setprecision(3) << 100.0 * shift
+             << "%)";
     }
-    flag(context, detail.str());
+    drifts_.push_back(
+        Drift{context, metric, render(a), render(b), shift, detail.str()});
   }
 
   /// Exact-match metric (strings, bools): a tolerance never relaxes it,
-  /// except the times digest, which the caller skips at tolerance > 0.
+  /// except the digests, which the caller skips at tolerance > 0.
   void exact(const std::string& context, const char* metric,
              const JsonValue* a, const JsonValue* b) {
     ++compared_;
     if (render(a) != render(b)) {
-      flag(context,
-           std::string(metric) + ": " + render(a) + " -> " + render(b));
+      drifts_.push_back(Drift{context, metric, render(a), render(b),
+                              std::numeric_limits<double>::quiet_NaN(),
+                              std::string(metric) + ": " + render(a) +
+                                  " -> " + render(b)});
     }
   }
 
@@ -147,8 +173,7 @@ private:
   }
 
   double tolerance_;
-  std::ostream& out_;
-  int drifts_ = 0;
+  std::vector<Drift> drifts_;
   int compared_ = 0;
 };
 
@@ -270,6 +295,14 @@ void diff_scenario(Differ& differ, double tolerance, const JsonValue& a,
     // digest mismatch alone is not a drift.
     differ.exact(context, "times digest", a.get("times", "digest"),
                  b.get("times", "digest"));
+    // Metrics digest only when both documents carry one: older golden
+    // reports predate the observability registry and must keep diffing
+    // clean against fresh candidates.
+    const JsonValue* a_metrics = a.get("metrics", "digest");
+    const JsonValue* b_metrics = b.get("metrics", "digest");
+    if (a_metrics && b_metrics) {
+      differ.exact(context, "metrics digest", a_metrics, b_metrics);
+    }
   }
   differ.number(context, "verified_runs", a.get("verified_runs"),
                 b.get("verified_runs"));
@@ -300,7 +333,7 @@ int cmd_diff(const DiffOptions& options, std::ostream& out) {
   const JsonValue baseline = load_report(options.baseline);
   const JsonValue candidate = load_report(options.candidate);
 
-  Differ differ(options.tolerance, out);
+  Differ differ(options.tolerance);
   std::map<std::string, const JsonValue*> remaining;
   for (const JsonValue& scenario : candidate.get("scenarios")->array) {
     remaining[scenario_key(scenario)] = &scenario;
@@ -321,6 +354,50 @@ int cmd_diff(const DiffOptions& options, std::ostream& out) {
     differ.flag(scenario_label(*scenario), "only in candidate");
   }
 
+  if (options.format == OutputFormat::kJson) {
+    JsonWriter json(out);
+    json.begin_object();
+    json.key("command").value("diff");
+    json.key("baseline").value(options.baseline);
+    json.key("candidate").value(options.candidate);
+    json.key("tolerance").value(options.tolerance);
+    json.key("compared_scenarios").value(scenarios);
+    json.key("compared_metrics").value(differ.compared());
+    json.key("drifts").begin_array();
+    for (const Drift& drift : differ.records()) {
+      json.begin_object();
+      json.key("context").value(drift.context);
+      json.key("metric");
+      if (drift.metric.empty()) {
+        json.null(); // structural drift (missing scenario/partition rows)
+      } else {
+        json.value(drift.metric);
+      }
+      json.key("baseline");
+      if (drift.baseline.empty() && drift.metric.empty()) {
+        json.null();
+      } else {
+        json.value(drift.baseline);
+      }
+      json.key("candidate");
+      if (drift.candidate.empty() && drift.metric.empty()) {
+        json.null();
+      } else {
+        json.value(drift.candidate);
+      }
+      json.key("relative_shift").value(drift.relative_shift); // NaN -> null
+      json.key("detail").value(drift.detail);
+      json.end_object();
+    }
+    json.end_array();
+    json.key("drift_count").value(differ.drifts());
+    json.end_object();
+    return differ.drifts() == 0 ? 0 : 1;
+  }
+
+  for (const Drift& drift : differ.records()) {
+    out << "drift: " << drift.context << ": " << drift.detail << '\n';
+  }
   out << "compared " << scenarios << " scenario(s), " << differ.compared()
       << " metric(s): " << differ.drifts() << " drift(s) beyond tolerance "
       << options.tolerance << '\n';

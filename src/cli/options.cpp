@@ -66,9 +66,11 @@ Command parse_command_line(std::span<const char* const> args) {
     command.kind = Command::Kind::kReport;
   } else if (verb == "diff") {
     command.kind = Command::Kind::kDiff;
+  } else if (verb == "profile") {
+    command.kind = Command::Kind::kProfile;
   } else {
     throw UsageError("unknown command '" + std::string(verb) +
-                     "': expected list|run|report|diff|help");
+                     "': expected list|run|report|profile|diff|help");
   }
 
   if (command.kind == Command::Kind::kDiff) {
@@ -87,6 +89,14 @@ Command parse_command_line(std::span<const char* const> args) {
         if (!std::isfinite(command.diff.tolerance) ||
             command.diff.tolerance < 0.0) {
           throw UsageError("--tolerance: must be a finite number >= 0");
+        }
+      } else if (flag == "--format") {
+        if (i + 1 >= args.size()) {
+          throw UsageError("--format: missing value");
+        }
+        command.diff.format = parse_format(args[++i]);
+        if (command.diff.format == OutputFormat::kCsv) {
+          throw UsageError("diff --format: expected text|json");
         }
       } else if (flag.rfind("--", 0) == 0) {
         throw UsageError("unknown flag '" + std::string(flag) + "'");
@@ -149,6 +159,13 @@ Command parse_command_line(std::span<const char* const> args) {
       }
     } else if (flag == "--partition") {
       options.partition = std::string(value());
+    } else if (flag == "--trace-out") {
+      options.trace_out = std::string(value());
+      if (options.trace_out.empty()) {
+        throw UsageError("--trace-out: expected a file path");
+      }
+    } else if (flag == "--progress") {
+      options.progress = true;
     } else {
       throw UsageError("unknown flag '" + std::string(flag) + "'");
     }
@@ -179,6 +196,9 @@ std::string usage() {
       "  run                  execute campaigns, print timing summaries\n"
       "  report               execute campaigns + full MBPTA report\n"
       "                       (i.i.d. verdict, pWCET curve, Figure-3 plot)\n"
+      "  profile              execute campaigns, render the merged metrics\n"
+      "                       registry (instruction mix, hierarchy, DSR,\n"
+      "                       hv occupancy, engine) as text/json/csv\n"
       "  diff A.json B.json   compare two saved JSON reports; exit 1 when\n"
       "                       pWCET/MOET/counter shifts exceed --tolerance\n"
       "  help                 this text\n"
@@ -201,10 +221,15 @@ std::string usage() {
       "  --frames N           hv/ scenarios: minor frames per measured run\n"
       "                       (default: the scenario's schedule, 10)\n"
       "  --partition NAME     restrict per-partition sections to NAME\n"
+      "  --trace-out FILE     write a Chrome trace_event JSON timeline\n"
+      "                       (worker runs, adaptive batches, hv partition\n"
+      "                       frames) for chrome://tracing / Perfetto\n"
+      "  --progress           live progress line on stderr\n"
       "\n"
       "options (diff):\n"
       "  --tolerance F        max relative metric shift treated as equal\n"
       "                       (default 0: bit-exact, digests included)\n"
+      "  --format F           text|json (default text; exit codes identical)\n"
       "\n"
       "examples:\n"
       "  proxima list\n"
@@ -212,8 +237,12 @@ std::string usage() {
       "  proxima run --scenario control/analysis-dsr --adaptive --seed 42 \\\n"
       "              --format json\n"
       "  proxima run --scenario hv/image+control --runs 200 --format json\n"
+      "  proxima run --scenario control/operation-dsr --runs 200 \\\n"
+      "              --trace-out trace.json --progress\n"
+      "  proxima profile --scenario control/operation-dsr --runs 200\n"
       "  proxima report --all --runs 300 --format csv\n"
-      "  proxima diff golden.json candidate.json --tolerance 0.001\n";
+      "  proxima diff golden.json candidate.json --tolerance 0.001\n"
+      "  proxima diff golden.json candidate.json --format json\n";
 }
 
 } // namespace proxima::cli

@@ -51,6 +51,13 @@ struct CampaignOptions {
   /// `--partition NAME`: restrict the per-partition report sections to one
   /// partition (hv/ scenarios emit all partitions by default).
   std::optional<std::string> partition;
+  /// `--trace-out FILE`: write a Chrome trace_event JSON timeline of the
+  /// campaign (engine worker runs, adaptive batches, hv partition frames)
+  /// — load it in chrome://tracing or Perfetto.  Empty: tracing off.
+  std::string trace_out;
+  /// `--progress`: live completed/total progress line on stderr while the
+  /// campaigns execute (stderr so piped --format json/csv stays clean).
+  bool progress = false;
 };
 
 /// Options for `proxima diff <baseline.json> <candidate.json>`: compare
@@ -64,10 +71,20 @@ struct DiffOptions {
   /// with a tolerance > 0 the digests are informational only (times may
   /// legitimately differ within the band).
   double tolerance = 0.0;
+  /// `--format json`: machine-readable drift report (per-drift records +
+  /// summary) instead of the human text.  Exit codes are identical.
+  OutputFormat format = OutputFormat::kText;
 };
 
 struct Command {
-  enum class Kind : std::uint8_t { kHelp, kList, kRun, kReport, kDiff };
+  enum class Kind : std::uint8_t {
+    kHelp,
+    kList,
+    kRun,
+    kReport,
+    kDiff,
+    kProfile,
+  };
   Kind kind = Kind::kHelp;
   CampaignOptions options;
   DiffOptions diff;

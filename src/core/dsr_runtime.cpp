@@ -106,6 +106,7 @@ void DsrRuntime::relocate(std::uint32_t id) {
 }
 
 void DsrRuntime::initialise() {
+  ++stats_.reseeds;
   // Release the previous layout: the freed chunks' cache lines must be
   // written back and invalidated (the invalidation routine's other half —
   // stale code from a dead layout must never survive in the warm L2).
@@ -161,7 +162,9 @@ std::uint64_t DsrRuntime::handle_lazy_trap(std::uint32_t id) {
   relocate(id);
   // Charge the on-line cost: copy loop plus the invalidation routine.
   const std::uint64_t words = size / 4;
-  return words * options_.lazy_copy_cycles_per_word;
+  const std::uint64_t cycles = words * options_.lazy_copy_cycles_per_word;
+  stats_.lazy_cycles += cycles;
+  return cycles;
 }
 
 void DsrRuntime::attach(vm::Vm& cpu) {

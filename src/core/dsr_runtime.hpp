@@ -61,10 +61,12 @@ struct RuntimeOptions {
 class DsrRuntime {
 public:
   struct Stats {
+    std::uint64_t reseeds = 0; // initialise() + every rerandomise()
     std::uint64_t relocations = 0;
     std::uint64_t bytes_copied = 0;
     std::uint64_t lines_invalidated = 0;
     std::uint64_t lazy_traps = 0;
+    std::uint64_t lazy_cycles = 0; // guest cycles charged to lazy traps
   };
 
   DsrRuntime(mem::GuestMemory& memory, mem::MemoryHierarchy& hierarchy,

@@ -1,13 +1,16 @@
 #include "engine.hpp"
 
 #include "casestudy/campaign_runner.hpp"
+#include "obs/timeline.hpp"
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -22,6 +25,20 @@ unsigned hardware_workers() {
 
 using RunnerSlots = std::vector<std::unique_ptr<casestudy::CampaignRunner>>;
 
+/// Per-worker wall-clock telemetry (observability only — gauge class, not
+/// in the metrics digest).  Each worker writes its own slot; the engine
+/// reads after the pool joins.  Accumulates across adaptive batches.
+struct WorkerTelemetry {
+  std::uint64_t runs = 0;
+  double busy_us = 0.0;
+};
+
+double elapsed_us(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
 /// Shared campaign state the workers cooperate on.  One `CampaignJob` is
 /// one pass over a shard queue; `run_adaptive` creates a job per batch but
 /// the runner slots (and their platform instances) persist across jobs.
@@ -30,10 +47,11 @@ struct CampaignJob {
               const std::vector<ShardRange>& shards_in,
               casestudy::CampaignResult& result_in, ProgressMeter& meter_in,
               const ShardSink& sink_in, std::stop_token external_in,
-              RunnerSlots& runners_in)
+              RunnerSlots& runners_in,
+              std::vector<WorkerTelemetry>* telemetry_in)
       : config(config_in), shards(shards_in), result(result_in),
         meter(meter_in), sink(sink_in), external(std::move(external_in)),
-        runners(runners_in) {}
+        runners(runners_in), telemetry(telemetry_in) {}
 
   const casestudy::CampaignConfig& config;
   const std::vector<ShardRange>& shards;
@@ -42,6 +60,7 @@ struct CampaignJob {
   const ShardSink& sink;
   const std::stop_token external;      // user cancellation
   RunnerSlots& runners;                // one slot per worker, caller-owned
+  std::vector<WorkerTelemetry>* telemetry; // null unless metrics are on
 
   std::atomic<std::size_t> next_shard{0};
   std::atomic<std::uint64_t> runs_done{0};
@@ -74,11 +93,36 @@ void worker_main(CampaignJob& job, unsigned slot) {
         runner = std::make_unique<casestudy::CampaignRunner>(job.config);
       }
       const ShardRange shard = job.shards[shard_index];
+      // Observability is fully gated: when neither tracing nor metrics are
+      // on, the run loop takes no clock readings at all.
+      obs::Timeline* const timeline = job.config.timeline;
+      WorkerTelemetry* const telemetry =
+          job.telemetry ? &(*job.telemetry)[slot] : nullptr;
+      const bool timed = timeline != nullptr || telemetry != nullptr;
       for (std::uint64_t index = shard.begin; index < shard.end; ++index) {
         if (job.cancelled()) {
           return; // cooperative stop mid-shard
         }
+        std::chrono::steady_clock::time_point t0;
+        double ts_us = 0.0;
+        if (timed) {
+          t0 = std::chrono::steady_clock::now();
+          if (timeline != nullptr) {
+            ts_us = timeline->now_us();
+          }
+        }
         const casestudy::RunSample sample = runner->run(index);
+        if (timed) {
+          const double dur_us = elapsed_us(t0);
+          if (telemetry != nullptr) {
+            ++telemetry->runs;
+            telemetry->busy_us += dur_us;
+          }
+          if (timeline != nullptr) {
+            timeline->record("engine", "worker-" + std::to_string(slot),
+                             "run " + std::to_string(index), ts_us, dur_us);
+          }
+        }
         // Disjoint slots: no lock needed for the result vectors.
         job.result.times[index] = sample.uoa_cycles;
         job.result.samples[index] = sample;
@@ -108,8 +152,10 @@ void execute_shards(const casestudy::CampaignConfig& config,
                     const std::vector<ShardRange>& shards, unsigned workers,
                     casestudy::CampaignResult& result, ProgressMeter& meter,
                     const ShardSink& sink, const std::stop_token& external,
-                    RunnerSlots& runners) {
-  CampaignJob job{config, shards, result, meter, sink, external, runners};
+                    RunnerSlots& runners,
+                    std::vector<WorkerTelemetry>* telemetry = nullptr) {
+  CampaignJob job{config,   shards,  result,  meter,
+                  sink,     external, runners, telemetry};
   if (workers == 1) {
     worker_main(job, 0); // no thread spawn for the sequential case
   } else {
@@ -159,6 +205,35 @@ void fill_metadata(const RunnerSlots& runners,
   }
 }
 
+/// Collection barrier: fold the per-worker metric shards into the result
+/// (order-independent — counter sums, histogram folds) and attach the
+/// engine's own wall-clock telemetry as gauges.  Runs strictly after the
+/// pool has joined, so no shard is still being written.
+void merge_metrics(const RunnerSlots& runners,
+                   const std::vector<WorkerTelemetry>& telemetry,
+                   unsigned workers, double wall_us,
+                   casestudy::CampaignResult& result) {
+  for (const auto& runner : runners) {
+    if (runner) {
+      result.metrics.merge_from(runner->metrics());
+    }
+  }
+  result.metrics.set_gauge("engine.workers", static_cast<double>(workers));
+  result.metrics.set_gauge("engine.wall_seconds", wall_us / 1e6);
+  for (std::size_t slot = 0; slot < telemetry.size(); ++slot) {
+    const std::string prefix = "engine.worker" + std::to_string(slot) + ".";
+    result.metrics.set_gauge(prefix + "runs",
+                             static_cast<double>(telemetry[slot].runs));
+    result.metrics.set_gauge(prefix + "busy_seconds",
+                             telemetry[slot].busy_us / 1e6);
+    // Time a worker spent NOT running measurements (queue claims, runner
+    // construction, join skew) — the utilisation gap at a glance.
+    result.metrics.set_gauge(
+        prefix + "queue_wait_seconds",
+        std::max(0.0, (wall_us - telemetry[slot].busy_us) / 1e6));
+  }
+}
+
 } // namespace
 
 CampaignEngine::CampaignEngine(EngineOptions options)
@@ -199,10 +274,18 @@ CampaignEngine::run(const casestudy::CampaignConfig& config) const {
   result.samples.resize(static_cast<std::size_t>(runs));
   ProgressMeter meter(runs, options_.progress);
   RunnerSlots runners(execution_plan.workers);
+  std::vector<WorkerTelemetry> telemetry(
+      config.collect_metrics ? execution_plan.workers : 0);
+  const auto wall_start = std::chrono::steady_clock::now();
   execute_shards(config, execution_plan.shards, execution_plan.workers,
-                 result, meter, options_.shard_sink, options_.stop, runners);
+                 result, meter, options_.shard_sink, options_.stop, runners,
+                 config.collect_metrics ? &telemetry : nullptr);
   result.verified_runs = total_verified(runners);
   fill_metadata(runners, result);
+  if (config.collect_metrics) {
+    merge_metrics(runners, telemetry, execution_plan.workers,
+                  elapsed_us(wall_start), result);
+  }
   return result;
 }
 
@@ -237,6 +320,9 @@ CampaignEngine::run_adaptive(const casestudy::CampaignConfig& config,
   ProgressMeter meter(budget, options_.progress);
 
   RunnerSlots runners; // persist across batches, grown to the widest batch
+  std::vector<WorkerTelemetry> telemetry; // likewise, accumulated
+  unsigned widest_workers = 1;
+  const auto wall_start = std::chrono::steady_clock::now();
 
   for (std::uint64_t begin = 0; begin < budget; begin += options.batch_runs) {
     const std::uint64_t end = std::min(budget, begin + options.batch_runs);
@@ -254,9 +340,23 @@ CampaignEngine::run_adaptive(const casestudy::CampaignConfig& config,
     if (runners.size() < batch_plan.workers) {
       runners.resize(batch_plan.workers);
     }
+    widest_workers = std::max(widest_workers, batch_plan.workers);
+    if (config.collect_metrics && telemetry.size() < batch_plan.workers) {
+      telemetry.resize(batch_plan.workers);
+    }
+    const double batch_ts_us =
+        config.timeline != nullptr ? config.timeline->now_us() : 0.0;
+    const auto batch_start = std::chrono::steady_clock::now();
     execute_shards(run_config, batch_plan.shards, batch_plan.workers,
                    campaign, meter, options_.shard_sink, options_.stop,
-                   runners);
+                   runners, config.collect_metrics ? &telemetry : nullptr);
+    if (config.timeline != nullptr) {
+      config.timeline->record(
+          "engine", "batches",
+          "batch " + std::to_string(out.batches) + " [" +
+              std::to_string(begin) + ", " + std::to_string(end) + ")",
+          batch_ts_us, elapsed_us(batch_start));
+    }
 
     // Deterministic batch boundary: the controller sees this batch in
     // run-index order, exactly once, regardless of which worker completed
@@ -275,6 +375,15 @@ CampaignEngine::run_adaptive(const casestudy::CampaignConfig& config,
   out.estimates = controller.estimates();
   campaign.verified_runs = total_verified(runners);
   fill_metadata(runners, campaign);
+  if (config.collect_metrics) {
+    merge_metrics(runners, telemetry, widest_workers, elapsed_us(wall_start),
+                  campaign);
+    // The convergence trajectory is computed at deterministic batch
+    // boundaries from deterministic samples: series class, in the digest.
+    campaign.metrics.set_series("engine.pwcet_estimates", out.estimates);
+    campaign.metrics.set_gauge("engine.batches",
+                               static_cast<double>(out.batches));
+  }
   return out;
 }
 

@@ -2,8 +2,14 @@
 //
 // Workers report completed shards; the meter aggregates and forwards the
 // running total to a user callback (rendering, logging, convergence
-// control).  Callbacks are invoked under the meter's lock, so they are
-// naturally serialised — keep them short.
+// control).  The callback is invoked OUTSIDE the meter's lock: a slow
+// callback (terminal writes, a UI hop) must never serialise the worker
+// pool behind it, and a callback that re-enters the meter (reads
+// completed()) must not deadlock.  Invocations are still serialised — at
+// most one callback is in flight at a time — and coalesced: counts
+// arriving while a callback runs are folded into one trailing invocation,
+// so the callback always ends up seeing the latest total but is not
+// called once per run under contention.
 #pragma once
 
 #include <cstdint>
@@ -21,12 +27,35 @@ public:
   ProgressMeter(std::uint64_t total, ProgressFn callback)
       : total_(total), callback_(std::move(callback)) {}
 
-  /// Record `runs` newly completed runs and notify the callback.
+  /// Record `runs` newly completed runs and notify the callback
+  /// (serialised, lock-free from the callback's point of view, coalesced
+  /// under contention; the final count is always delivered).
   void add(std::uint64_t runs) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    completed_ += runs;
-    if (callback_) {
-      callback_(completed_, total_);
+    std::uint64_t snapshot;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      completed_ += runs;
+      if (!callback_) {
+        return;
+      }
+      if (in_flight_) {
+        // Another thread is inside the callback: it will pick this update
+        // up in its trailing invocation.
+        pending_ = true;
+        return;
+      }
+      in_flight_ = true;
+      snapshot = completed_;
+    }
+    for (;;) {
+      callback_(snapshot, total_);
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!pending_) {
+        in_flight_ = false;
+        return;
+      }
+      pending_ = false;
+      snapshot = completed_;
     }
   }
 
@@ -40,6 +69,8 @@ public:
 private:
   mutable std::mutex mutex_;
   std::uint64_t completed_ = 0;
+  bool in_flight_ = false; // a thread is currently invoking the callback
+  bool pending_ = false;   // updates arrived while the callback ran
   const std::uint64_t total_;
   ProgressFn callback_;
 };

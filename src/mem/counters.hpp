@@ -41,6 +41,30 @@ struct PerfCounters {
 
   void reset() { *this = PerfCounters{}; }
 
+  /// Enumerate every counter as a (name, value) pair — the single place
+  /// that knows the field list, used by the metrics registry so a new
+  /// counter added here shows up in `proxima profile` automatically.
+  template <typename Fn> void for_each(Fn&& fn) const {
+    fn("icache_miss", icache_miss);
+    fn("dcache_miss", dcache_miss);
+    fn("l2_miss", l2_miss);
+    fn("fpu_ops", fpu_ops);
+    fn("instructions", instructions);
+    fn("icache_access", icache_access);
+    fn("dcache_access", dcache_access);
+    fn("l2_access", l2_access);
+    fn("loads", loads);
+    fn("stores", stores);
+    fn("itlb_miss", itlb_miss);
+    fn("dtlb_miss", dtlb_miss);
+    fn("dram_reads", dram_reads);
+    fn("dram_writes", dram_writes);
+    fn("l2_writebacks", l2_writebacks);
+    fn("coherence_violations", coherence_violations);
+    fn("window_overflows", window_overflows);
+    fn("window_underflows", window_underflows);
+  }
+
   friend bool operator==(const PerfCounters&, const PerfCounters&) = default;
 };
 

@@ -1,0 +1,99 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+#include <cstdio>
+
+namespace proxima::obs {
+
+void Histogram::merge_from(const Histogram& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  count += other.count;
+  sum += other.sum;
+  min = other.min < min ? other.min : min;
+  max = other.max > max ? other.max : max;
+}
+
+void MetricsSnapshot::merge_from(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) {
+    counters[name] += value;
+  }
+  for (const auto& [name, histogram] : other.histograms) {
+    histograms[name].merge_from(histogram);
+  }
+  for (const auto& [name, values] : other.series) {
+    auto& dest = series[name];
+    dest.insert(dest.end(), values.begin(), values.end());
+  }
+  for (const auto& [name, value] : other.gauges) {
+    gauges[name] += value;
+  }
+}
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf2'9ce4'8422'2325ULL;
+constexpr std::uint64_t kFnvPrime = 0x0000'0100'0000'01b3ULL;
+
+void fold_bytes(std::uint64_t& hash, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= kFnvPrime;
+  }
+}
+
+void fold_name(std::uint64_t& hash, const std::string& name) {
+  fold_bytes(hash, name.data(), name.size());
+  const unsigned char zero = 0;
+  fold_bytes(hash, &zero, 1); // terminator: "ab"+"c" != "a"+"bc"
+}
+
+void fold_u64(std::uint64_t& hash, std::uint64_t value) {
+  fold_bytes(hash, &value, sizeof(value));
+}
+
+void fold_double(std::uint64_t& hash, double value) {
+  fold_u64(hash, std::bit_cast<std::uint64_t>(value));
+}
+
+} // namespace
+
+std::uint64_t metrics_digest(const MetricsSnapshot& snapshot) {
+  // std::map iteration is name-ordered, so the fold order is a pure
+  // function of the merged content — never of merge order.  Gauges are
+  // wall-clock/platform-local and intentionally not folded.
+  std::uint64_t hash = kFnvOffset;
+  for (const auto& [name, value] : snapshot.counters) {
+    fold_name(hash, name);
+    fold_u64(hash, value);
+  }
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    fold_name(hash, name);
+    for (std::uint64_t bucket : histogram.buckets) {
+      fold_u64(hash, bucket);
+    }
+    fold_u64(hash, histogram.count);
+    fold_u64(hash, histogram.sum);
+    fold_u64(hash, histogram.min);
+    fold_u64(hash, histogram.max);
+  }
+  for (const auto& [name, values] : snapshot.series) {
+    fold_name(hash, name);
+    fold_u64(hash, values.size());
+    for (double value : values) {
+      fold_double(hash, value);
+    }
+  }
+  return hash;
+}
+
+std::string metrics_digest_hex(const MetricsSnapshot& snapshot) {
+  char buffer[2 + 16 + 1];
+  std::snprintf(buffer, sizeof(buffer), "0x%016llx",
+                static_cast<unsigned long long>(metrics_digest(snapshot)));
+  return buffer;
+}
+
+} // namespace proxima::obs

@@ -1,0 +1,153 @@
+#include "obs/timeline.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <tuple>
+
+namespace proxima::obs {
+
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Minimal JSON string escaping.  obs cannot depend on src/cli, and track
+// names are ASCII identifiers; control characters are escaped defensively
+// so the output always parses.
+void write_escaped(std::ostream& out, const std::string& text) {
+  out << '"';
+  for (char c : text) {
+    switch (c) {
+    case '"':
+      out << "\\\"";
+      break;
+    case '\\':
+      out << "\\\\";
+      break;
+    case '\n':
+      out << "\\n";
+      break;
+    case '\t':
+      out << "\\t";
+      break;
+    case '\r':
+      out << "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(c) < 0x20) {
+        const char* hex = "0123456789abcdef";
+        out << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+      } else {
+        out << c;
+      }
+    }
+  }
+  out << '"';
+}
+
+void write_number(std::ostream& out, double value) {
+  if (!std::isfinite(value)) {
+    out << 0;
+    return;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", value);
+  out << buffer;
+}
+
+} // namespace
+
+Timeline::Timeline() : epoch_ns_(steady_ns()) {}
+
+double Timeline::now_us() const {
+  return static_cast<double>(steady_ns() - epoch_ns_) / 1000.0;
+}
+
+void Timeline::record(std::string pid, std::string tid, std::string name,
+                      double ts_us, double dur_us) {
+  std::lock_guard lock(mutex_);
+  events_.push_back(Event{std::move(pid), std::move(tid), std::move(name),
+                          ts_us, dur_us});
+}
+
+std::size_t Timeline::size() const {
+  std::lock_guard lock(mutex_);
+  return events_.size();
+}
+
+void Timeline::write_json(std::ostream& out) const {
+  std::vector<Event> events;
+  {
+    std::lock_guard lock(mutex_);
+    events = events_;
+  }
+  // Stable track numbering: pids in first-seen order, tids per pid in
+  // first-seen order — so worker-0 is thread 1, worker-1 thread 2, ...
+  std::vector<std::string> pids;
+  std::map<std::string, int> pid_ids;
+  std::map<std::string, std::vector<std::string>> tids;
+  std::map<std::pair<std::string, std::string>, int> tid_ids;
+  for (const Event& event : events) {
+    if (pid_ids.emplace(event.pid, static_cast<int>(pids.size()) + 1).second) {
+      pids.push_back(event.pid);
+    }
+    auto key = std::make_pair(event.pid, event.tid);
+    auto& per_pid = tids[event.pid];
+    if (tid_ids.emplace(key, static_cast<int>(per_pid.size()) + 1).second) {
+      per_pid.push_back(event.tid);
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [&](const Event& a, const Event& b) {
+                     return std::tuple(pid_ids.at(a.pid),
+                                       tid_ids.at({a.pid, a.tid}), a.ts_us) <
+                            std::tuple(pid_ids.at(b.pid),
+                                       tid_ids.at({b.pid, b.tid}), b.ts_us);
+                   });
+
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "\n  ";
+  };
+  for (const std::string& pid : pids) {
+    comma();
+    out << "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": "
+        << pid_ids.at(pid)
+        << ", \"tid\": 0, \"args\": {\"name\": ";
+    write_escaped(out, pid);
+    out << "}}";
+    for (const std::string& tid : tids.at(pid)) {
+      comma();
+      out << "{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": "
+          << pid_ids.at(pid) << ", \"tid\": " << tid_ids.at({pid, tid})
+          << ", \"args\": {\"name\": ";
+      write_escaped(out, tid);
+      out << "}}";
+    }
+  }
+  for (const Event& event : events) {
+    comma();
+    out << "{\"ph\": \"X\", \"name\": ";
+    write_escaped(out, event.name);
+    out << ", \"cat\": \"proxima\", \"pid\": " << pid_ids.at(event.pid)
+        << ", \"tid\": " << tid_ids.at({event.pid, event.tid}) << ", \"ts\": ";
+    write_number(out, event.ts_us);
+    out << ", \"dur\": ";
+    write_number(out, event.dur_us);
+    out << "}";
+  }
+  out << "\n]}\n";
+}
+
+} // namespace proxima::obs

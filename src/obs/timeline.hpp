@@ -1,0 +1,65 @@
+// Chrome trace_event timeline recorder.
+//
+// Collects named spans from concurrent producers (engine workers, the
+// adaptive controller, the hv runner) and writes the Chrome Trace Event
+// Format JSON array that chrome://tracing, Perfetto and `catapult` load
+// directly.  Tracks are addressed by (pid, tid) *strings* — "engine" /
+// "worker-3", "partitions" / "image-guest" — and mapped to the integer
+// ids the format requires at write time, with process_name/thread_name
+// metadata events so the UI shows the human names.
+//
+// Two kinds of spans coexist:
+//   * wall-clock spans (worker run/batch activity): timestamps from a
+//     steady_clock epoch captured at Timeline construction, via now_us().
+//   * simulated-time spans (hv partition frames): timestamps derived from
+//     guest cycle counts, offset per run so consecutive runs don't
+//     overlap on the track.  Same JSON, different clock — they live in
+//     separate processes in the viewer, so the mixed clocks never share
+//     an axis.
+//
+// Recording is mutex-serialised; this is fine because spans are recorded
+// per-run / per-frame / per-batch (thousands per campaign), never
+// per-instruction.  The Timeline is owned by the CLI and handed to the
+// engine via CampaignConfig as a non-owning pointer; a null pointer means
+// tracing is off and no producer does any work at all.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace proxima::obs {
+
+class Timeline {
+public:
+  struct Event {
+    std::string pid;  // process track, e.g. "engine", "partitions"
+    std::string tid;  // thread track, e.g. "worker-0", "image-guest"
+    std::string name; // span label shown in the viewer
+    double ts_us = 0; // start, microseconds
+    double dur_us = 0;
+  };
+
+  Timeline();
+
+  /// Microseconds since this Timeline was constructed (steady clock).
+  double now_us() const;
+
+  void record(std::string pid, std::string tid, std::string name,
+              double ts_us, double dur_us);
+
+  std::size_t size() const;
+
+  /// Emit the full trace as a Chrome trace_event JSON document:
+  /// {"traceEvents": [...metadata..., ...spans sorted by (pid,tid,ts)...]}.
+  void write_json(std::ostream& out) const;
+
+private:
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+  std::uint64_t epoch_ns_ = 0;
+};
+
+} // namespace proxima::obs

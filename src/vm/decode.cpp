@@ -41,6 +41,7 @@ void DecodeCache::predecode_range(const mem::GuestMemory& memory,
   for (std::uint32_t pc = first;; pc += 4) {
     Page& page = page_slow(pc >> kPageShift);
     DecodedOp& op = page.ops[(pc & ((1u << kPageShift) - 1)) >> 2];
+    ++stats_.decodes;
     decode_into(op, pc, memory);
     if (pc == last) {
       break;
@@ -49,6 +50,7 @@ void DecodeCache::predecode_range(const mem::GuestMemory& memory,
 }
 
 void DecodeCache::invalidate_all() {
+  ++stats_.full_invalidations;
   pages_.clear();
   mru_ = nullptr;
   mru_index_ = 0xffff'ffff;
@@ -58,6 +60,7 @@ void DecodeCache::on_memory_written(std::uint32_t addr, std::uint32_t length) {
   if (length == 0) {
     return;
   }
+  ++stats_.write_invalidation_events;
   const std::uint32_t first_word = addr >> 2;
   const std::uint32_t last_word = (addr + length - 1) >> 2;
   const std::uint32_t first_page = first_word >> (kPageShift - 2);
@@ -72,6 +75,9 @@ void DecodeCache::on_memory_written(std::uint32_t addr, std::uint32_t length) {
           index == last_page ? (last_word & (kOpsPerPage - 1)) + 1
                              : kOpsPerPage;
       for (std::uint32_t slot = begin; slot < end; ++slot) {
+        if (page.ops[slot].handler != kUndecodedOp) {
+          ++stats_.invalidated_slots;
+        }
         page.ops[slot].handler = kUndecodedOp;
       }
     }

@@ -73,6 +73,21 @@ public:
   /// over thousands of partition reboots).
   static constexpr std::size_t kMaxPages = 1024; // 8 MiB of DecodedOps
 
+  /// Cache activity counters (observability).  All increments live on the
+  /// already-slow paths (decode miss, invalidation walk), never in the
+  /// dispatch loop's hit path.  NOTE for telemetry consumers: these depend
+  /// on cache *state*, which persists across runs within one runner — the
+  /// same global run executed by a different worker sharding can hit or
+  /// miss differently.  Only `write_invalidation_events` (listener-call
+  /// count, a pure function of the guest's writes) is worker-count
+  /// deterministic; the rest are reported as wall-class gauges.
+  struct Stats {
+    std::uint64_t decodes = 0;                  // slots decoded (incl. re-)
+    std::uint64_t write_invalidation_events = 0; // on_memory_written calls
+    std::uint64_t invalidated_slots = 0;        // decoded slots flipped back
+    std::uint64_t full_invalidations = 0;       // wholesale drops
+  };
+
   DecodeCache() = default;
   DecodeCache(const DecodeCache&) = delete;
   DecodeCache& operator=(const DecodeCache&) = delete;
@@ -87,6 +102,7 @@ public:
     }
     DecodedOp& op = mru_->ops[(pc & ((1u << kPageShift) - 1)) >> 2];
     if (op.handler == kUndecodedOp) [[unlikely]] {
+      ++stats_.decodes;
       decode_into(op, pc, memory);
     }
     return op;
@@ -102,6 +118,8 @@ public:
 
   /// Decoded pages currently materialised (observability/tests).
   std::size_t resident_pages() const noexcept { return pages_.size(); }
+
+  const Stats& stats() const noexcept { return stats_; }
 
   // mem::MemoryWriteListener
   void on_memory_written(std::uint32_t addr, std::uint32_t length) override;
@@ -125,6 +143,7 @@ private:
   std::unordered_map<std::uint32_t, std::unique_ptr<Page>> pages_;
   Page* mru_ = nullptr;
   std::uint32_t mru_index_ = 0xffff'ffff;
+  Stats stats_;
 };
 
 } // namespace proxima::vm

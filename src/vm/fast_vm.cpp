@@ -67,6 +67,9 @@ RunResult Vm::run_fast(std::uint64_t cycle_budget) {
   mem::PerfCounters& ctr = hier.counters();
   const VmConfig& cfg = config_;
   const std::uint32_t nw = cfg.nwindows;
+  // Instruction-mix telemetry: hoisted so the off case is one never-taken
+  // branch on a register, invisible next to the fetch/dispatch work.
+  std::uint64_t* const mix = mix_;
 
   // Inline register-file access, mirroring visible/visible_value/set_reg.
   auto vis = [&](std::uint8_t index) -> std::uint32_t& {
@@ -174,6 +177,9 @@ next_instruction:
   if (op->handler >= static_cast<std::uint8_t>(Opcode::kFaddd) &&
       op->handler <= static_cast<std::uint8_t>(Opcode::kFabsd)) {
     ++ctr.fpu_ops;
+  }
+  if (mix != nullptr) {
+    ++mix[op->handler];
   }
   VM_DISPATCH();
 

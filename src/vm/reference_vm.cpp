@@ -48,6 +48,9 @@ void Vm::step() {
   if (isa::is_fp_op(instr.op)) {
     ++hierarchy_.counters().fpu_ops;
   }
+  if (mix_ != nullptr) {
+    ++mix_[static_cast<std::uint8_t>(instr.op)];
+  }
   execute(instr);
 }
 

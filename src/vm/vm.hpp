@@ -22,6 +22,7 @@
 #include "isa/instruction.hpp"
 #include "mem/guest_memory.hpp"
 #include "mem/hierarchy.hpp"
+#include "vm/decode.hpp"
 
 #include <cstdint>
 #include <functional>
@@ -30,8 +31,6 @@
 #include <vector>
 
 namespace proxima::vm {
-
-class DecodeCache;
 
 class VmError : public std::runtime_error {
 public:
@@ -144,6 +143,21 @@ public:
     reloc_trap_sink_ = std::move(sink);
   }
 
+  /// Instruction-mix telemetry hook: when non-null, both cores increment
+  /// `counters[opcode]` once per retired instruction.  The caller owns the
+  /// array, which must have at least isa::Opcode::kOpcodeCount slots and
+  /// outlive the Vm (or a later set_mix_counters(nullptr)).  Null (the
+  /// default) disables the mix entirely — the fast dispatch loop hoists
+  /// the pointer into a local, so when metrics are off the hot path pays
+  /// one never-taken branch on a register.  Purely observational: no
+  /// cycle, instruction-count or architectural effect.
+  void set_mix_counters(std::uint64_t* counters) noexcept { mix_ = counters; }
+
+  /// Decode-cache activity counters; all-zero on the reference core.
+  DecodeCache::Stats decode_stats() const {
+    return decode_ ? decode_->stats() : DecodeCache::Stats{};
+  }
+
   const VmConfig& config() const noexcept { return config_; }
 
 private:
@@ -181,6 +195,7 @@ private:
   bool halted_ = true;
   IpointSink ipoint_sink_;
   RelocTrapSink reloc_trap_sink_;
+  std::uint64_t* mix_ = nullptr;        // per-opcode counters, off by default
   std::unique_ptr<DecodeCache> decode_; // fast core only
 };
 

@@ -578,6 +578,167 @@ TEST(CliDiff, UsageErrorsExitTwo) {
             2);
 }
 
+TEST(CliDiff, JsonFormatCarriesDriftRecordsAndSameExitCodes) {
+  const std::string report = run_json("control/operation-cots", "6", "5");
+  const TempReport baseline("json_a", report);
+  const TempReport candidate("json_b", report);
+  const CliResult clean =
+      invoke({"diff", baseline.path().c_str(), candidate.path().c_str(),
+              "--format", "json"});
+  EXPECT_EQ(clean.code, 0) << clean.out;
+  ASSERT_TRUE(JsonChecker(clean.out).valid()) << clean.out;
+  EXPECT_EQ(field_after(clean.out, "command"), "\"diff\"");
+  EXPECT_EQ(field_after(clean.out, "drift_count"), "0");
+
+  const TempReport shifted("json_c",
+                           run_json("control/operation-cots", "6", "6"));
+  const CliResult drifted =
+      invoke({"diff", baseline.path().c_str(), shifted.path().c_str(),
+              "--format", "json"});
+  EXPECT_EQ(drifted.code, 1) << "drift exit code must not change with "
+                                "--format json";
+  ASSERT_TRUE(JsonChecker(drifted.out).valid()) << drifted.out;
+  EXPECT_NE(field_after(drifted.out, "drift_count"), "0");
+  for (const char* key : {"context", "metric", "baseline", "candidate",
+                          "relative_shift", "detail"}) {
+    EXPECT_FALSE(field_after(drifted.out, key).empty()) << key;
+  }
+
+  // csv is not a diff format.
+  EXPECT_EQ(invoke({"diff", baseline.path().c_str(),
+                    candidate.path().c_str(), "--format", "csv"})
+                .code,
+            2);
+}
+
+// ---------------------------------------------------------------------------
+// metrics / trace / progress / profile
+// ---------------------------------------------------------------------------
+
+TEST(CliRun, JsonCarriesTheMetricsRegistry) {
+  const CliResult result =
+      invoke({"run", "--scenario", "control/operation-dsr", "--runs", "6",
+              "--workers", "2", "--format", "json"});
+  ASSERT_EQ(result.code, 0) << result.err;
+  ASSERT_TRUE(JsonChecker(result.out).valid()) << result.out;
+  const std::size_t metrics_at = result.out.find("\"metrics\":");
+  ASSERT_NE(metrics_at, std::string::npos);
+  const std::string metrics = result.out.substr(metrics_at);
+  // The digest inside "metrics" is the registry digest: 0x + 16 hex.
+  const std::string digest = field_after(metrics, "digest");
+  EXPECT_EQ(digest.size(), 20u) << digest; // "0x...." with quotes
+  EXPECT_EQ(digest.substr(0, 3), "\"0x");
+  for (const char* key :
+       {"counters", "histograms", "series", "wall", "runs",
+        "mem.instructions", "time.uoa_cycles", "dsr.reseeds",
+        "engine.workers"}) {
+    EXPECT_NE(metrics.find('"' + std::string(key) + '"'), std::string::npos)
+        << key;
+  }
+  EXPECT_EQ(field_after(metrics, "runs"), "6");
+}
+
+TEST(CliRun, MetricsDigestIsBitIdenticalAcrossWorkerCounts) {
+  auto digest_of = [](const char* workers) {
+    const CliResult result =
+        invoke({"run", "--scenario", "hv/control+image", "--runs", "6",
+                "--workers", workers, "--format", "json"});
+    EXPECT_EQ(result.code, 0) << result.err;
+    const std::size_t at = result.out.find("\"metrics\":");
+    EXPECT_NE(at, std::string::npos);
+    return field_after(result.out.substr(at), "digest");
+  };
+  const std::string sequential = digest_of("1");
+  EXPECT_FALSE(sequential.empty());
+  EXPECT_EQ(sequential, digest_of("8"));
+}
+
+TEST(CliRun, TraceOutWritesAParseableTimeline) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() /
+      ("proxima_cli_test_trace_" + std::to_string(::getpid()) + ".json");
+  const std::string path_text = path.string();
+  const CliResult result =
+      invoke({"run", "--scenario", "hv/control+image", "--runs", "4",
+              "--workers", "2", "--trace-out", path_text.c_str()});
+  EXPECT_EQ(result.code, 0) << result.err;
+  std::ifstream file(path, std::ios::binary);
+  ASSERT_TRUE(file.good()) << "trace file missing: " << path_text;
+  std::ostringstream text;
+  text << file.rdbuf();
+  EXPECT_TRUE(JsonChecker(text.str()).valid()) << text.str().substr(0, 400);
+  EXPECT_NE(text.str().find("traceEvents"), std::string::npos);
+  EXPECT_NE(text.str().find("process_name"), std::string::npos);
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+}
+
+TEST(CliRun, TraceOutToAnUnwritablePathIsACampaignFault) {
+  const CliResult result =
+      invoke({"run", "--scenario", "control/operation-cots", "--runs", "2",
+              "--trace-out", "/nonexistent-dir/trace.json"});
+  EXPECT_EQ(result.code, 3) << result.err;
+  EXPECT_NE(result.err.find("--trace-out"), std::string::npos) << result.err;
+}
+
+TEST(CliRun, ProgressWritesLiveLineToStderrOnly) {
+  const CliResult result =
+      invoke({"run", "--scenario", "control/operation-cots", "--runs", "4",
+              "--workers", "2", "--progress", "--format", "json"});
+  EXPECT_EQ(result.code, 0);
+  EXPECT_TRUE(JsonChecker(result.out).valid())
+      << "progress output must not corrupt piped JSON";
+  EXPECT_EQ(result.out.find('\r'), std::string::npos);
+  EXPECT_NE(result.err.find('\r'), std::string::npos) << result.err;
+  EXPECT_NE(result.err.find("control/operation-cots: 4/4 runs"),
+            std::string::npos)
+      << "the final count must always be delivered: " << result.err;
+}
+
+TEST(CliProfile, TextRendersTheRegistry) {
+  const CliResult result = invoke(
+      {"profile", "--scenario", "control/operation-dsr", "--runs", "4"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  for (const char* needle :
+       {"metrics digest 0x", "counters:", "histograms:", "wall:",
+        "vm.mix.", "dsr.reseeds", "time.uoa_cycles"}) {
+    EXPECT_NE(result.out.find(needle), std::string::npos)
+        << needle << " missing from:\n"
+        << result.out;
+  }
+}
+
+TEST(CliProfile, JsonSchemaAndCsvRows) {
+  const CliResult json =
+      invoke({"profile", "--scenario", "control/operation-cots", "--runs",
+              "3", "--format", "json"});
+  EXPECT_EQ(json.code, 0) << json.err;
+  ASSERT_TRUE(JsonChecker(json.out).valid()) << json.out;
+  EXPECT_EQ(field_after(json.out, "command"), "\"profile\"");
+  EXPECT_EQ(field_after(json.out, "name"), "\"control/operation-cots\"");
+  EXPECT_NE(json.out.find("\"metrics\":"), std::string::npos);
+
+  const CliResult csv =
+      invoke({"profile", "--scenario", "control/operation-cots", "--runs",
+              "3", "--format", "csv"});
+  EXPECT_EQ(csv.code, 0) << csv.err;
+  EXPECT_EQ(csv.out.rfind("scenario,class,metric,value\n", 0), 0u)
+      << csv.out.substr(0, 120);
+  for (const char* needle :
+       {",digest,metrics_digest,0x", ",counter,runs,3",
+        ",histogram,time.uoa_cycles.count,3", ",wall,engine.workers,"}) {
+    EXPECT_NE(csv.out.find(needle), std::string::npos)
+        << needle << " missing from:\n"
+        << csv.out;
+  }
+}
+
+TEST(CliProfile, RequiresAScenarioSelection) {
+  EXPECT_EQ(invoke({"profile"}).code, 2);
+  EXPECT_EQ(invoke({"run", "--scenario", "x", "--trace-out", ""}).code, 2)
+      << "--trace-out needs a non-empty path";
+}
+
 // ---------------------------------------------------------------------------
 // errors
 // ---------------------------------------------------------------------------

@@ -14,6 +14,7 @@
 #include "casestudy/campaign.hpp"
 #include "exec/registry.hpp"
 #include "isa/builder.hpp"
+#include "obs/metrics.hpp"
 #include "vm_harness.hpp"
 
 #include <gtest/gtest.h>
@@ -96,6 +97,77 @@ TEST(VmDifferential, LazyRelocationRewritesCodeMidRun) {
   // mean anything: the DSR pass emitted first-call stubs.
   EXPECT_GT(fast.pass_report.stubs_emitted, 0u)
       << "control/dsr-lazy no longer produces lazy-relocation stubs";
+}
+
+// The observability registry is part of the equivalence contract: both
+// cores must publish bit-identical deterministic metrics — instruction mix,
+// memory-hierarchy counters, DSR activity, UoA-cycle histograms — for the
+// same campaign.  Gauges (decode-cache activity, wall clock) legitimately
+// differ between cores (the reference core HAS no decode cache) and are
+// excluded from the digest, so the digest comparison is exact.
+TEST(VmDifferential, MetricRegistryAgreesAcrossCores) {
+  exec::ScenarioRegistry registry;
+  exec::register_default_scenarios(registry);
+  for (const char* name :
+       {"control/operation-cots", "control/operation-dsr",
+        "control/dsr-lazy", "image/operation-cots"}) {
+    CampaignConfig config = registry.at(name).make_config(4);
+    config.collect_metrics = true;
+    const CampaignResult fast = run_with_core(config, vm::VmCore::kFast);
+    const CampaignResult reference =
+        run_with_core(config, vm::VmCore::kReference);
+    EXPECT_EQ(fast.metrics.counters, reference.metrics.counters) << name;
+    EXPECT_EQ(fast.metrics.histograms, reference.metrics.histograms) << name;
+    EXPECT_EQ(fast.metrics.series, reference.metrics.series) << name;
+    EXPECT_EQ(obs::metrics_digest_hex(fast.metrics),
+              obs::metrics_digest_hex(reference.metrics))
+        << name;
+    EXPECT_GT(fast.metrics.counters.at("mem.instructions"), 0u) << name;
+  }
+}
+
+// Locked totals for control/operation-cots x 4 runs at the paper seeds:
+// any change to the instruction mix, the hierarchy model, or the metric
+// capture shows up here as a diff against known-good constants (the
+// telemetry analogue of seed_stability_test).  The digest locks the full
+// registry; the spot-checked counters make a regression readable.
+TEST(VmDifferential, LockedMetricTotalsControlOperationCots) {
+  exec::ScenarioRegistry registry;
+  exec::register_default_scenarios(registry);
+  CampaignConfig config =
+      registry.at("control/operation-cots").make_config(4);
+  config.collect_metrics = true;
+  const CampaignResult result = run_with_core(config, vm::VmCore::kFast);
+  const obs::MetricsSnapshot& metrics = result.metrics;
+
+  EXPECT_EQ(obs::metrics_digest_hex(metrics), "0xcd1fd24de8ff047c");
+  EXPECT_EQ(metrics.counters.at("runs"), 4u);
+  EXPECT_EQ(metrics.counters.at("mem.instructions"), 613487u);
+  EXPECT_EQ(metrics.counters.at("mem.icache_access"), 613487u);
+  EXPECT_EQ(metrics.counters.at("mem.dcache_access"), 90528u);
+  EXPECT_EQ(metrics.counters.at("mem.fpu_ops"), 13191u);
+  EXPECT_EQ(metrics.counters.at("vm.mix.Addi"), 84500u);
+  EXPECT_EQ(metrics.counters.at("vm.mix.Subcci"), 78640u);
+  EXPECT_EQ(metrics.counters.at("vm.mix.Ld"), 45056u);
+  EXPECT_EQ(metrics.counters.at("vm.mix.Halt"), 4u);
+
+  // Mix and hierarchy counters describe the same window (the measured
+  // activation; the warm-up is re-based away), so the mix must sum to the
+  // retired instruction total: every instruction attributed to exactly
+  // one opcode.
+  std::uint64_t mix_total = 0;
+  for (const auto& [name, value] : metrics.counters) {
+    if (name.rfind("vm.mix.", 0) == 0) {
+      mix_total += value;
+    }
+  }
+  EXPECT_EQ(mix_total, metrics.counters.at("mem.instructions"));
+
+  const obs::Histogram& uoa = metrics.histograms.at("time.uoa_cycles");
+  EXPECT_EQ(uoa.count, 4u);
+  EXPECT_EQ(uoa.min, 224807u);
+  EXPECT_EQ(uoa.max, 224808u);
+  EXPECT_EQ(uoa.sum, 899229u);
 }
 
 // Direct machine-level differential on a handwritten program: both cores
