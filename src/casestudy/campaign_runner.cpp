@@ -258,6 +258,7 @@ void CampaignRunner::obs_begin_run() {
   if (!config_.collect_metrics) {
     return;
   }
+  run_metrics_ = obs::MetricsShard{};
   mix_base_ = mix_;
   if (runtime_) {
     dsr_base_ = runtime_->stats();
@@ -296,18 +297,22 @@ void CampaignRunner::obs_publish_run(const RunSample& sample) {
   if (!config_.collect_metrics) {
     return;
   }
-  metrics_.add("runs", 1);
+  // Publish into the per-run scratch shard, then fold it into the
+  // cumulative shard: merge_from is a commutative sum/fold, so the
+  // cumulative totals are exactly what direct accumulation produced, and
+  // the per-run delta stays available for the campaign store.
+  run_metrics_.add("runs", 1);
   if (sample.corrupt_input) {
-    metrics_.add("runs.corrupt_input", 1);
+    run_metrics_.add("runs.corrupt_input", 1);
   }
   // UoA cycle counts are integers carried in doubles: exact as u64.
-  metrics_.record("time.uoa_cycles",
-                  static_cast<std::uint64_t>(sample.uoa_cycles));
+  run_metrics_.record("time.uoa_cycles",
+                      static_cast<std::uint64_t>(sample.uoa_cycles));
   // mem.*: the sample's hierarchy counters are already a per-run window
   // (execute() resets them after the warm-up activation; hv runs cover
   // the whole schedule).
   sample.counters.for_each([&](const char* name, std::uint64_t value) {
-    metrics_.add(std::string("mem.") + name, value);
+    run_metrics_.add(std::string("mem.") + name, value);
   });
   // vm.mix.*: per-opcode retirements over the whole run window, warm-up
   // activation included (it executes under this run's layout and inputs,
@@ -315,40 +320,45 @@ void CampaignRunner::obs_publish_run(const RunSample& sample) {
   for (std::size_t i = 0; i < mix_.size(); ++i) {
     const std::uint64_t delta = mix_[i] - mix_base_[i];
     if (delta != 0) {
-      metrics_.add(std::string("vm.mix.") + opcode_token(i), delta);
+      run_metrics_.add(std::string("vm.mix.") + opcode_token(i), delta);
     }
   }
   if (runtime_) {
     const dsr::DsrRuntime::Stats now = runtime_->stats();
-    metrics_.add("dsr.reseeds", now.reseeds - dsr_base_.reseeds);
-    metrics_.add("dsr.relocations", now.relocations - dsr_base_.relocations);
-    metrics_.add("dsr.bytes_copied", now.bytes_copied - dsr_base_.bytes_copied);
-    metrics_.add("dsr.lazy_traps", now.lazy_traps - dsr_base_.lazy_traps);
-    metrics_.add("dsr.lazy_cycles", now.lazy_cycles - dsr_base_.lazy_cycles);
+    run_metrics_.add("dsr.reseeds", now.reseeds - dsr_base_.reseeds);
+    run_metrics_.add("dsr.relocations",
+                     now.relocations - dsr_base_.relocations);
+    run_metrics_.add("dsr.bytes_copied",
+                     now.bytes_copied - dsr_base_.bytes_copied);
+    run_metrics_.add("dsr.lazy_traps", now.lazy_traps - dsr_base_.lazy_traps);
+    run_metrics_.add("dsr.lazy_cycles",
+                     now.lazy_cycles - dsr_base_.lazy_cycles);
     // Invalidated-line counts depend on the platform state the PREVIOUS
     // run on this runner left behind (first run of a shard has no live
     // chunks to release), so they are worker-count-dependent: gauge class.
-    metrics_.add_gauge("dsr.lines_invalidated",
-                       static_cast<double>(now.lines_invalidated -
-                                           dsr_base_.lines_invalidated));
+    run_metrics_.add_gauge("dsr.lines_invalidated",
+                           static_cast<double>(now.lines_invalidated -
+                                               dsr_base_.lines_invalidated));
   }
   // vm.decode.*: decode-cache activity persists across the runs one
   // runner executes (a different sharding decodes differently), so the
   // whole family is gauge-class — see DecodeCache::Stats.
   const vm::DecodeCache::Stats decode_now = cpu_.decode_stats();
-  metrics_.add_gauge(
+  run_metrics_.add_gauge(
       "vm.decode.decodes",
       static_cast<double>(decode_now.decodes - decode_base_.decodes));
-  metrics_.add_gauge(
+  run_metrics_.add_gauge(
       "vm.decode.write_invalidation_events",
       static_cast<double>(decode_now.write_invalidation_events -
                           decode_base_.write_invalidation_events));
-  metrics_.add_gauge("vm.decode.invalidated_slots",
-                     static_cast<double>(decode_now.invalidated_slots -
-                                         decode_base_.invalidated_slots));
-  metrics_.add_gauge("vm.decode.full_invalidations",
-                     static_cast<double>(decode_now.full_invalidations -
-                                         decode_base_.full_invalidations));
+  run_metrics_.add_gauge("vm.decode.invalidated_slots",
+                         static_cast<double>(decode_now.invalidated_slots -
+                                             decode_base_.invalidated_slots));
+  run_metrics_.add_gauge(
+      "vm.decode.full_invalidations",
+      static_cast<double>(decode_now.full_invalidations -
+                          decode_base_.full_invalidations));
+  metrics_.merge_from(run_metrics_);
 }
 
 RunSample CampaignRunner::run(std::uint64_t run_index) {

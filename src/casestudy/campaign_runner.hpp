@@ -91,6 +91,18 @@ public:
   /// into CampaignResult::metrics.
   const obs::MetricsShard& metrics() const noexcept { return metrics_; }
 
+  /// The delta the LAST collected run contributed to `metrics()` (empty
+  /// unless config().collect_metrics).  Valid until the next setup();
+  /// the engine snapshots it per run when a persistence sink is attached,
+  /// so the campaign store can replay exact per-run telemetry.  Counters,
+  /// histograms and series in the delta are pure functions of the run
+  /// index; gauge deltas (decode-cache activity, DSR invalidation counts)
+  /// legitimately depend on what the previous run on this runner left
+  /// behind — they are excluded from the metrics digest either way.
+  const obs::MetricsShard& last_run_metrics() const noexcept {
+    return run_metrics_;
+  }
+
 private:
   /// Partition reboot / re-link / cache reseed from an already-derived
   /// layout seed (the bare protocol derives it per run, the hv mode per
@@ -153,6 +165,9 @@ private:
   std::uint64_t verified_runs_ = 0;
 
   obs::MetricsShard metrics_;
+  /// Scratch shard the obs_* hooks publish into; folded into `metrics_`
+  /// at the end of obs_publish_run and exposed via last_run_metrics().
+  obs::MetricsShard run_metrics_;
   std::vector<std::uint64_t> mix_;      // per-opcode counters (live array)
   std::vector<std::uint64_t> mix_base_; // snapshot at setup() entry
   dsr::DsrRuntime::Stats dsr_base_;

@@ -497,18 +497,18 @@ void CampaignRunner::hv_publish_obs() {
   for (const rtos::ActivationRecord& record : hv_->records) {
     if (config_.collect_metrics) {
       const std::string prefix = "hv." + record.partition + ".";
-      metrics_.add(prefix + "activations", 1);
-      metrics_.add(prefix + "consumed_cycles", record.cycles_used);
+      run_metrics_.add(prefix + "activations", 1);
+      run_metrics_.add(prefix + "consumed_cycles", record.cycles_used);
       const std::uint32_t budget_ms = budget_ms_of(record.partition);
-      metrics_.add(prefix + "granted_cycles",
-                   std::uint64_t{budget_ms != 0 ? budget_ms
-                                                : hv.minor_frame_ms} *
-                       hv.cycles_per_ms);
+      run_metrics_.add(prefix + "granted_cycles",
+                       std::uint64_t{budget_ms != 0 ? budget_ms
+                                                    : hv.minor_frame_ms} *
+                           hv.cycles_per_ms);
       if (record.overran) {
-        metrics_.add(prefix + "overruns", 1);
+        run_metrics_.add(prefix + "overruns", 1);
       }
-      metrics_.record(prefix + "frame_occupancy_pct",
-                      record.cycles_used * 100 / frame_cycles);
+      run_metrics_.record(prefix + "frame_occupancy_pct",
+                          record.cycles_used * 100 / frame_cycles);
     }
     if (config_.timeline != nullptr) {
       const double cycles_to_us = 1000.0 / static_cast<double>(hv.cycles_per_ms);

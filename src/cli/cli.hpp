@@ -12,6 +12,7 @@
 // fault.
 #pragma once
 
+#include "cli/json_reader.hpp"
 #include "cli/options.hpp"
 
 #include <ostream>
@@ -36,5 +37,18 @@ int cmd_profile(const CampaignOptions& options, std::ostream& out,
                 std::ostream& err);
 /// Compare two saved JSON reports (diff.cpp); 0 no drift, 1 drift.
 int cmd_diff(const DiffOptions& options, std::ostream& out);
+/// Run the scenario × seed grid through the campaign store (sweep.cpp);
+/// 0 success, 1 baseline drift, 3 campaign fault.
+int cmd_sweep(const CampaignOptions& options, const SweepOptions& sweep,
+              std::ostream& out, std::ostream& err);
+
+/// Load and shape-check a saved run/report/sweep JSON document (diff.cpp).
+/// Throws UsageError on unreadable/unparseable/wrong-kind files.
+JsonValue load_report_document(const std::string& path);
+/// Compare two loaded documents with the diff engine, print drift lines +
+/// a summary to `out`, and return the drift count (diff.cpp).  Shared by
+/// `cmd_diff` and the `sweep --baseline` gate.
+int diff_drift_count(const JsonValue& baseline, const JsonValue& candidate,
+                     double tolerance, std::ostream& out);
 
 } // namespace proxima::cli

@@ -7,8 +7,14 @@
 // pipeline and renders the pWCET curve (text plot / JSON / CSV).
 // `profile` renders the merged observability registry; `--trace-out`
 // attaches a Chrome trace_event timeline to any campaign command.
+//
+// The execution plumbing and JSON section writers live in
+// `proxima::cli::detail` (exec_common.hpp) because sweep.cpp assembles its
+// per-cell scenario objects from the same pieces.
 #include "cli.hpp"
 
+#include "casestudy/fingerprint.hpp"
+#include "cli/exec_common.hpp"
 #include "cli/json_writer.hpp"
 #include "exec/engine.hpp"
 #include "exec/registry.hpp"
@@ -30,7 +36,7 @@
 
 namespace proxima::cli {
 
-namespace {
+namespace detail {
 
 std::vector<std::string> selected_scenarios(const CampaignOptions& options) {
   const exec::ScenarioRegistry& registry = exec::ScenarioRegistry::global();
@@ -84,32 +90,6 @@ exec::ConvergenceOptions convergence_options(const CampaignOptions& options) {
   return convergence;
 }
 
-/// One executed scenario: the campaign, its wall time, and (adaptive) the
-/// convergence trace.
-struct Execution {
-  std::string name;
-  casestudy::CampaignConfig config;
-  casestudy::CampaignResult result;
-  double seconds = 0.0;
-  std::optional<exec::AdaptiveCampaignResult> adaptive; // trace only
-  std::uint64_t budget = 0;     // adaptive: --runs
-  std::uint64_t batch_runs = 0; // adaptive growth quantum
-  unsigned workers = 0;         // resolved count the engine actually uses
-
-  std::uint64_t guest_instructions() const {
-    std::uint64_t total = 0;
-    for (const casestudy::RunSample& sample : result.samples) {
-      total += sample.counters.instructions;
-    }
-    return total;
-  }
-  double minstr_per_second() const {
-    return seconds <= 0.0
-               ? 0.0
-               : static_cast<double>(guest_instructions()) / seconds / 1e6;
-  }
-};
-
 Execution execute_scenario(const std::string& name,
                            const CampaignOptions& options,
                            obs::Timeline* timeline, std::ostream& err) {
@@ -132,23 +112,45 @@ Execution execute_scenario(const std::string& name,
           << std::flush;
     };
   }
-  const exec::CampaignEngine engine(engine_options);
+  // `resolved_workers` depends only on the options, so a probe engine
+  // answers for the store-backed path too (the store builds its own).
+  const exec::CampaignEngine probe(engine_options);
+  const bool store_backed = !options.store_dir.empty();
 
   const auto start = std::chrono::steady_clock::now();
   if (options.adaptive) {
     execution.budget = options.runs;
     execution.batch_runs = effective_batch(options);
     // Adaptive campaigns shard one batch at a time.
-    execution.workers = engine.resolved_workers(
+    execution.workers = probe.resolved_workers(
         std::min<std::uint64_t>(execution.batch_runs, execution.budget));
-    exec::AdaptiveCampaignResult adaptive =
-        engine.run_adaptive(execution.config, convergence_options(options));
+    exec::AdaptiveCampaignResult adaptive;
+    if (store_backed) {
+      const store::CampaignStore store(options.store_dir);
+      store::StoreStats stats;
+      adaptive =
+          store.run_adaptive(name, execution.config,
+                             convergence_options(options),
+                             std::move(engine_options), &stats);
+      execution.store = std::move(stats);
+    } else {
+      adaptive =
+          probe.run_adaptive(execution.config, convergence_options(options));
+    }
     execution.result = std::move(adaptive.campaign);
     adaptive.campaign = {};
     execution.adaptive = std::move(adaptive);
   } else {
-    execution.workers = engine.resolved_workers(options.runs);
-    execution.result = engine.run(execution.config);
+    execution.workers = probe.resolved_workers(options.runs);
+    if (store_backed) {
+      const store::CampaignStore store(options.store_dir);
+      store::StoreStats stats;
+      execution.result = store.run(name, execution.config,
+                                   std::move(engine_options), &stats);
+      execution.store = std::move(stats);
+    } else {
+      execution.result = probe.run(execution.config);
+    }
   }
   execution.seconds = std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - start)
@@ -495,6 +497,21 @@ void write_execution_header_json(JsonWriter& json, const Execution& execution,
   } else {
     json.null();
   }
+  // Store-backed campaigns record their cell provenance; the counts are
+  // NOT compared by diff (a warm cache legitimately differs from a cold
+  // one) — the sweep manifest is what asserts simulated_runs == 0.
+  json.key("store");
+  if (execution.store) {
+    json.begin_object();
+    json.key("fingerprint")
+        .value(casestudy::fingerprint_hex(execution.store->fingerprint));
+    json.key("cell").value(execution.store->cell_path);
+    json.key("stored_runs").value(execution.store->stored_runs);
+    json.key("simulated_runs").value(execution.store->simulated_runs);
+    json.end_object();
+  } else {
+    json.null();
+  }
 }
 
 void print_adaptive_text(std::ostream& out, const Execution& execution) {
@@ -520,7 +537,61 @@ void print_adaptive_text(std::ostream& out, const Execution& execution) {
   }
 }
 
-} // namespace
+Analysed analyse_execution(const Execution& execution,
+                           const CampaignOptions& options) {
+  Analysed analysed;
+  mbpta::MbptaConfig analysis_config;
+  if (options.adaptive) {
+    // The reported fit must be the estimator whose stability the
+    // convergence decision certified: reuse the controller's tail-fit
+    // config rather than re-deriving a block size from the stop count.
+    analysis_config = convergence_options(options).controller.mbpta;
+  } else {
+    analysis_config.block_size =
+        mbpta::auto_block_size(execution.result.times.size());
+  }
+  try {
+    analysed.analysis =
+        mbpta::analyse(execution.result.times, analysis_config);
+  } catch (const std::invalid_argument& error) {
+    analysed.error = error.what(); // campaign too short for the fit
+  }
+  return analysed;
+}
+
+void write_analysis_json(JsonWriter& json, const Analysed& analysed,
+                         int decades) {
+  if (!analysed.analysis) {
+    json.key("analysis").null();
+    json.key("analysis_error").value(analysed.error);
+    return;
+  }
+  const mbpta::MbptaAnalysis& analysis = *analysed.analysis;
+  json.key("analysis").begin_object();
+  json.key("iid").begin_object();
+  json.key("independence_p").value(analysis.iid.independence.p_value);
+  json.key("identical_distribution_p")
+      .value(analysis.iid.identical_distribution.p_value);
+  json.key("passes").value(analysis.applicable());
+  json.end_object();
+  json.key("gumbel").begin_object();
+  json.key("location").value(analysis.model.info().gumbel.location);
+  json.key("scale").value(analysis.model.info().gumbel.scale);
+  json.end_object();
+  json.key("curve").begin_array();
+  for (const auto& [cycles, p] : analysis.model.curve(decades)) {
+    json.begin_object();
+    json.key("exceedance").value(p);
+    json.key("pwcet_cycles").value(cycles);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+} // namespace detail
+
+using namespace detail;
 
 int cmd_list(const CampaignOptions& options, std::ostream& out) {
   const exec::ScenarioRegistry& registry = exec::ScenarioRegistry::global();
@@ -624,32 +695,17 @@ int cmd_report(const CampaignOptions& options, std::ostream& out,
   // Execute and analyse everything before emitting (see cmd_run).
   struct Reported {
     Execution execution;
-    std::optional<mbpta::MbptaAnalysis> analysis;
-    std::string error;
+    Analysed analysed;
   };
   std::vector<Execution> executions = execute_selected(options, err);
   std::vector<Reported> reports;
   reports.reserve(executions.size());
   for (Execution& execution : executions) {
-    Reported reported{std::move(execution), {}, {}};
-    mbpta::MbptaConfig analysis_config;
-    if (options.adaptive) {
-      // The reported fit must be the estimator whose stability the
-      // convergence decision certified: reuse the controller's tail-fit
-      // config rather than re-deriving a block size from the stop count.
-      analysis_config = convergence_options(options).controller.mbpta;
-    } else {
-      analysis_config.block_size =
-          mbpta::auto_block_size(reported.execution.result.times.size());
-    }
-    try {
-      reported.analysis =
-          mbpta::analyse(reported.execution.result.times, analysis_config);
-    } catch (const std::invalid_argument& error) {
-      reported.error = error.what(); // campaign too short for the fit
+    Analysed analysed = analyse_execution(execution, options);
+    if (!analysed.analysis) {
       exit_code = 1;
     }
-    reports.push_back(std::move(reported));
+    reports.push_back(Reported{std::move(execution), std::move(analysed)});
   }
   std::vector<const Execution*> executed;
   for (const Reported& reported : reports) {
@@ -670,8 +726,9 @@ int cmd_report(const CampaignOptions& options, std::ostream& out,
   for (const Reported& reported : reports) {
     const Execution& execution = reported.execution;
     const std::size_t n = execution.result.times.size();
-    const std::optional<mbpta::MbptaAnalysis>& analysis = reported.analysis;
-    const std::string& analysis_error = reported.error;
+    const std::optional<mbpta::MbptaAnalysis>& analysis =
+        reported.analysed.analysis;
+    const std::string& analysis_error = reported.analysed.error;
 
     if (json) {
       json->begin_object();
@@ -680,32 +737,7 @@ int cmd_report(const CampaignOptions& options, std::ostream& out,
       write_times_json(*json, execution);
       write_partitions_json(*json, execution, options);
       write_metrics_json(*json, execution);
-      if (analysis) {
-        json->key("analysis").begin_object();
-        json->key("iid").begin_object();
-        json->key("independence_p")
-            .value(analysis->iid.independence.p_value);
-        json->key("identical_distribution_p")
-            .value(analysis->iid.identical_distribution.p_value);
-        json->key("passes").value(analysis->applicable());
-        json->end_object();
-        json->key("gumbel").begin_object();
-        json->key("location").value(analysis->model.info().gumbel.location);
-        json->key("scale").value(analysis->model.info().gumbel.scale);
-        json->end_object();
-        json->key("curve").begin_array();
-        for (const auto& [cycles, p] : analysis->model.curve(options.decades)) {
-          json->begin_object();
-          json->key("exceedance").value(p);
-          json->key("pwcet_cycles").value(cycles);
-          json->end_object();
-        }
-        json->end_array();
-        json->end_object();
-      } else {
-        json->key("analysis").null();
-        json->key("analysis_error").value(analysis_error);
-      }
+      write_analysis_json(*json, reported.analysed, options.decades);
       json->end_object();
       continue;
     }

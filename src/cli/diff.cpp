@@ -1,14 +1,20 @@
 // `proxima diff <baseline.json> <candidate.json>`: the golden-number
 // workflow as a CLI habit.
 //
-// Compares two saved `proxima run`/`proxima report` JSON documents and
-// flags every metric whose relative shift exceeds the tolerance:
-// per-scenario times (n/min/mean/MOET/stddev), the times digest, the
-// guest-instruction counter, per-partition rows (activations, cycles
-// statistics, overruns, pWCET), and — for report documents — the Gumbel
-// fit and the pWCET curve point by point.  Wall-clock fields
+// Compares two saved `proxima run`/`proxima report`/`proxima sweep` JSON
+// documents and flags every metric whose relative shift exceeds the
+// tolerance: per-scenario times (n/min/mean/MOET/stddev), the times
+// digest, the guest-instruction counter, per-partition rows (activations,
+// cycles statistics, overruns, pWCET), and — for report/sweep documents —
+// the Gumbel fit and the pWCET curve point by point.  Wall-clock fields
 // (wall_seconds, minstr_per_second) are deliberately NOT compared: they
 // are the only nondeterministic numbers in a report.
+//
+// Zero and absence are strict: a value moving onto/off zero only passes
+// bit-equal (any relative tolerance would wave it through), and a metric
+// present on one side only is a drift — with one documented exception,
+// a BASELINE without a metrics digest (golden files that predate the
+// observability registry stay clean against fresh candidates).
 //
 // `--format json` renders the same comparison as a machine-readable drift
 // report (per-drift records plus the summary); exit codes are identical.
@@ -33,7 +39,9 @@ namespace proxima::cli {
 
 namespace {
 
-JsonValue load_report(const std::string& path) {
+} // namespace
+
+JsonValue load_report_document(const std::string& path) {
   std::ifstream file(path, std::ios::binary);
   if (!file) {
     throw UsageError("diff: cannot read '" + path + "'");
@@ -49,16 +57,19 @@ JsonValue load_report(const std::string& path) {
   const JsonValue* command = document.get("command");
   const JsonValue* scenarios = document.get("scenarios");
   // `proxima list` also emits command + scenarios; comparing a catalogue
-  // dump would "pass" on 100% null-vs-null metrics, so only the two
-  // document kinds that carry measurements are accepted.
+  // dump would "pass" on 100% null-vs-null metrics, so only the document
+  // kinds that carry measurements are accepted.
   if (!command || !command->is_string() ||
-      (command->string != "run" && command->string != "report") ||
+      (command->string != "run" && command->string != "report" &&
+       command->string != "sweep") ||
       !scenarios || !scenarios->is_array()) {
     throw UsageError("diff: '" + path +
-                     "' is not a proxima run/report JSON document");
+                     "' is not a proxima run/report/sweep JSON document");
   }
   return document;
 }
+
+namespace {
 
 /// Scenario identity inside a document: name + measured target (two
 /// entries may share a name only across measured targets, but be strict).
@@ -120,13 +131,26 @@ public:
     }
     const double lo = a->number;
     const double hi = b->number;
+    if (lo == hi) {
+      return; // bit-equal, including 0 == 0
+    }
+    // Zero is special-cased BEFORE the relative band: with
+    // scale = max(|lo|,|hi|), a zero baseline against any candidate shrinks
+    // to |hi| <= tolerance * |hi|, which passes at --tolerance >= 1.  A
+    // count or estimate moving onto/off zero is a structural change
+    // (something stopped happening, or started), so it only ever passes
+    // bit-equal — handled above.
+    const bool zero_crossing = (lo == 0.0) != (hi == 0.0);
     const double scale = std::max(std::abs(lo), std::abs(hi));
-    if (std::abs(lo - hi) <= tolerance_ * scale) {
+    if (!zero_crossing && std::abs(lo - hi) <= tolerance_ * scale) {
       return;
     }
     std::ostringstream detail;
     detail << metric << ": baseline " << render(a) << " candidate "
            << render(b);
+    if (zero_crossing) {
+      detail << " (zero baseline/candidate: only bit-equality passes)";
+    }
     double shift = std::numeric_limits<double>::quiet_NaN();
     if (lo != 0.0) {
       shift = (hi - lo) / lo;
@@ -245,9 +269,11 @@ void diff_analysis(Differ& differ, const std::string& context,
   differ.number(context, "gumbel scale", a->get("gumbel", "scale"),
                 b->get("gumbel", "scale"));
 
-  // pWCET curve, point by point at matching exceedance probabilities
-  // (documents rendered at different --decades depths only compare the
-  // overlap).
+  // pWCET curve, point by point at matching exceedance probabilities.
+  // One-sided points (a baseline exceedance the candidate does not carry,
+  // or vice versa — e.g. documents rendered at different --decades depths)
+  // used to be skipped silently; a curve point is a metric, and a missing
+  // metric is a drift, so the mismatch is flagged once, structurally.
   const JsonValue* a_curve = a->get("curve");
   const JsonValue* b_curve = b->get("curve");
   if (!a_curve || !b_curve || !a_curve->is_array() || !b_curve->is_array()) {
@@ -259,6 +285,7 @@ void diff_analysis(Differ& differ, const std::string& context,
       points[p->number] = point.get("pwcet_cycles");
     }
   }
+  std::size_t candidate_only = 0;
   for (const JsonValue& point : b_curve->array) {
     const JsonValue* p = point.get("exceedance");
     if (!p || !p->is_number()) {
@@ -266,12 +293,21 @@ void diff_analysis(Differ& differ, const std::string& context,
     }
     const auto it = points.find(p->number);
     if (it == points.end()) {
+      ++candidate_only;
       continue;
     }
     std::ostringstream metric;
     metric << "pWCET @ " << std::setprecision(3) << p->number;
     differ.number(context, metric.str().c_str(), it->second,
                   point.get("pwcet_cycles"));
+    points.erase(it);
+  }
+  if (!points.empty() || candidate_only != 0) {
+    std::ostringstream detail;
+    detail << "pWCET curve: " << points.size()
+           << " exceedance point(s) only in baseline, " << candidate_only
+           << " only in candidate (different --decades?)";
+    differ.flag(context, detail.str());
   }
 }
 
@@ -295,13 +331,19 @@ void diff_scenario(Differ& differ, double tolerance, const JsonValue& a,
     // digest mismatch alone is not a drift.
     differ.exact(context, "times digest", a.get("times", "digest"),
                  b.get("times", "digest"));
-    // Metrics digest only when both documents carry one: older golden
-    // reports predate the observability registry and must keep diffing
-    // clean against fresh candidates.
+    // Metrics digest: a baseline without one is the single tolerated
+    // absence — older golden reports predate the observability registry
+    // and must keep diffing clean against fresh candidates.  A CANDIDATE
+    // that lost the digest its baseline has is a drift (metrics stopped
+    // being collected — silently skipping it would wave through exactly
+    // the regression the digest exists to catch).
     const JsonValue* a_metrics = a.get("metrics", "digest");
     const JsonValue* b_metrics = b.get("metrics", "digest");
     if (a_metrics && b_metrics) {
       differ.exact(context, "metrics digest", a_metrics, b_metrics);
+    } else if (a_metrics && !b_metrics) {
+      differ.flag(context,
+                  "metrics digest: present in baseline, absent in candidate");
     }
   }
   differ.number(context, "verified_runs", a.get("verified_runs"),
@@ -327,32 +369,62 @@ void diff_scenario(Differ& differ, double tolerance, const JsonValue& a,
   diff_analysis(differ, context, a.get("analysis"), b.get("analysis"));
 }
 
-} // namespace
+/// Scenario-matched comparison of two loaded documents — the shared core
+/// of `cmd_diff` and the `proxima sweep --baseline` gate.
+struct ComparisonResult {
+  Differ differ;
+  int scenarios = 0; // matched on both sides
+};
 
-int cmd_diff(const DiffOptions& options, std::ostream& out) {
-  const JsonValue baseline = load_report(options.baseline);
-  const JsonValue candidate = load_report(options.candidate);
-
-  Differ differ(options.tolerance);
+ComparisonResult compare_documents(const JsonValue& baseline,
+                                   const JsonValue& candidate,
+                                   double tolerance) {
+  ComparisonResult result{Differ(tolerance), 0};
+  Differ& differ = result.differ;
   std::map<std::string, const JsonValue*> remaining;
   for (const JsonValue& scenario : candidate.get("scenarios")->array) {
     remaining[scenario_key(scenario)] = &scenario;
   }
-  int scenarios = 0;
   for (const JsonValue& scenario : baseline.get("scenarios")->array) {
     const auto it = remaining.find(scenario_key(scenario));
     if (it == remaining.end()) {
       differ.flag(scenario_label(scenario), "only in baseline");
       continue;
     }
-    ++scenarios;
-    diff_scenario(differ, options.tolerance, scenario, *it->second);
+    ++result.scenarios;
+    diff_scenario(differ, tolerance, scenario, *it->second);
     remaining.erase(it);
   }
   for (const auto& [key, scenario] : remaining) {
     (void)key;
     differ.flag(scenario_label(*scenario), "only in candidate");
   }
+  return result;
+}
+
+} // namespace
+
+int diff_drift_count(const JsonValue& baseline, const JsonValue& candidate,
+                     double tolerance, std::ostream& out) {
+  const ComparisonResult result =
+      compare_documents(baseline, candidate, tolerance);
+  for (const Drift& drift : result.differ.records()) {
+    out << "drift: " << drift.context << ": " << drift.detail << '\n';
+  }
+  out << "compared " << result.scenarios << " scenario(s), "
+      << result.differ.compared() << " metric(s): " << result.differ.drifts()
+      << " drift(s) beyond tolerance " << tolerance << '\n';
+  return result.differ.drifts();
+}
+
+int cmd_diff(const DiffOptions& options, std::ostream& out) {
+  const JsonValue baseline = load_report_document(options.baseline);
+  const JsonValue candidate = load_report_document(options.candidate);
+
+  const ComparisonResult result =
+      compare_documents(baseline, candidate, options.tolerance);
+  const Differ& differ = result.differ;
+  const int scenarios = result.scenarios;
 
   if (options.format == OutputFormat::kJson) {
     JsonWriter json(out);

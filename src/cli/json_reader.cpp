@@ -123,6 +123,14 @@ private:
         case 'r':
           c = '\r';
           break;
+        case 'b':
+          // \b and \f used to fall into the pass-through default and decode
+          // to literal 'b'/'f', corrupting round-tripped strings.
+          c = '\b';
+          break;
+        case 'f':
+          c = '\f';
+          break;
         case 'u': {
           // json_writer emits \u00XX for control bytes; decode the code
           // unit (non-Latin-1 points never appear in proxima reports and

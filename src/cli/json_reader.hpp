@@ -1,9 +1,9 @@
-// Minimal JSON document reader for `proxima diff`: parses the documents
-// json_writer.cpp emits (objects, arrays, strings, doubles, bools, null)
-// back into a navigable value tree.  Deliberately small — no escapes beyond
-// the writer's own (\" \\ \n \t), no streaming, whole-document strings —
-// because its only job is reading proxima's own reports; it is NOT a
-// general-purpose JSON library.
+// Minimal JSON document reader for `proxima diff` and `proxima sweep`:
+// parses the documents json_writer.cpp emits (objects, arrays, strings,
+// doubles, bools, null) back into a navigable value tree.  Deliberately
+// small — handles exactly the JSON string escapes (\" \\ \/ \n \t \r \b \f
+// \uXXXX), no streaming, whole-document strings — because its only job is
+// reading proxima's own reports; it is NOT a general-purpose JSON library.
 #pragma once
 
 #include <cstdint>

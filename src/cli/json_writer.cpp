@@ -30,6 +30,8 @@ void JsonWriter::write_escaped(std::string_view text) {
     case '\n': out_ << "\\n"; break;
     case '\t': out_ << "\\t"; break;
     case '\r': out_ << "\\r"; break;
+    case '\b': out_ << "\\b"; break;
+    case '\f': out_ << "\\f"; break;
     default:
       if (static_cast<unsigned char>(c) < 0x20) {
         char buffer[8];

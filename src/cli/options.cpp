@@ -51,7 +51,8 @@ vm::VmCore parse_vm_core(std::string_view text) {
 Command parse_command_line(std::span<const char* const> args) {
   Command command;
   if (args.empty()) {
-    throw UsageError("missing command: expected list|run|report|diff|help");
+    throw UsageError(
+        "missing command: expected list|run|report|profile|sweep|diff|help");
   }
   const std::string_view verb = args[0];
   if (verb == "help" || verb == "--help" || verb == "-h") {
@@ -68,9 +69,11 @@ Command parse_command_line(std::span<const char* const> args) {
     command.kind = Command::Kind::kDiff;
   } else if (verb == "profile") {
     command.kind = Command::Kind::kProfile;
+  } else if (verb == "sweep") {
+    command.kind = Command::Kind::kSweep;
   } else {
     throw UsageError("unknown command '" + std::string(verb) +
-                     "': expected list|run|report|profile|diff|help");
+                     "': expected list|run|report|profile|sweep|diff|help");
   }
 
   if (command.kind == Command::Kind::kDiff) {
@@ -115,6 +118,8 @@ Command parse_command_line(std::span<const char* const> args) {
   }
 
   CampaignOptions& options = command.options;
+  const bool is_sweep = command.kind == Command::Kind::kSweep;
+  bool saw_decades = false;
   for (std::size_t i = 1; i < args.size(); ++i) {
     const std::string_view flag = args[i];
     const auto value = [&]() -> std::string_view {
@@ -122,6 +127,11 @@ Command parse_command_line(std::span<const char* const> args) {
         throw UsageError(std::string(flag) + ": missing value");
       }
       return args[++i];
+    };
+    const auto sweep_only = [&]() {
+      if (!is_sweep) {
+        throw UsageError(std::string(flag) + ": only applicable to sweep");
+      }
     };
     if (flag == "--scenario") {
       options.scenarios.emplace_back(value());
@@ -138,13 +148,54 @@ Command parse_command_line(std::span<const char* const> args) {
       }
     } else if (flag == "--workers") {
       options.workers = parse_number<unsigned>(flag, value());
+      // 0 means "pick the hardware concurrency"; an explicit count is a
+      // thread-spawn request, and a typo like `--workers 100000` would
+      // honour it literally in execute_shards.
+      if (options.workers > 512) {
+        throw UsageError("--workers: expected 0..512 (0: hardware "
+                         "concurrency)");
+      }
     } else if (flag == "--seed") {
-      options.seed = parse_number<std::uint64_t>(flag, value());
+      if (is_sweep) {
+        // Repeatable under sweep: each seed is a grid axis value.
+        command.sweep.seeds.push_back(
+            parse_number<std::uint64_t>(flag, value()));
+      } else {
+        options.seed = parse_number<std::uint64_t>(flag, value());
+      }
+    } else if (flag == "--store") {
+      if (command.kind == Command::Kind::kList) {
+        throw UsageError("--store: not applicable to list");
+      }
+      options.store_dir = std::string(value());
+      if (options.store_dir.empty()) {
+        throw UsageError("--store: expected a directory path");
+      }
+    } else if (flag == "--manifest") {
+      sweep_only();
+      command.sweep.manifest = std::string(value());
+      if (command.sweep.manifest.empty()) {
+        throw UsageError("--manifest: expected a file path");
+      }
+    } else if (flag == "--baseline") {
+      sweep_only();
+      command.sweep.baseline = std::string(value());
+      if (command.sweep.baseline.empty()) {
+        throw UsageError("--baseline: expected a file path");
+      }
+    } else if (flag == "--tolerance") {
+      sweep_only(); // diff parses its own --tolerance above
+      command.sweep.tolerance = parse_number<double>(flag, value());
+      if (!std::isfinite(command.sweep.tolerance) ||
+          command.sweep.tolerance < 0.0) {
+        throw UsageError("--tolerance: must be a finite number >= 0");
+      }
     } else if (flag == "--vm-core") {
       options.vm_core = parse_vm_core(value());
     } else if (flag == "--format") {
       options.format = parse_format(value());
     } else if (flag == "--decades") {
+      saw_decades = true;
       options.decades = parse_number<int>(flag, value());
       if (options.decades < 1 || options.decades > 18) {
         throw UsageError("--decades: expected 1..18");
@@ -168,6 +219,31 @@ Command parse_command_line(std::span<const char* const> args) {
       options.progress = true;
     } else {
       throw UsageError("unknown flag '" + std::string(flag) + "'");
+    }
+  }
+
+  // Flags that parse fine but do nothing in this invocation used to be
+  // silently ignored — an operator asking for them got a campaign that
+  // quietly ran with different settings than requested.  Reject instead.
+  if (options.batch_runs != 0 && !options.adaptive) {
+    throw UsageError("--batch: only meaningful with --adaptive "
+                     "(fixed campaigns have no growth quantum)");
+  }
+  if (saw_decades && command.kind != Command::Kind::kReport && !is_sweep) {
+    throw UsageError("--decades: only applicable to report/sweep "
+                     "(run/profile emit no pWCET curve)");
+  }
+
+  if (is_sweep) {
+    if (options.store_dir.empty()) {
+      throw UsageError("sweep: --store DIR is required (the store is what "
+                       "makes re-invocations skip finished cells)");
+    }
+    if (options.format == OutputFormat::kCsv) {
+      throw UsageError("sweep --format: expected text|json");
+    }
+    if (options.scenarios.empty() && !options.all) {
+      options.all = true; // sweep default: the whole registry
     }
   }
 
@@ -199,6 +275,10 @@ std::string usage() {
       "  profile              execute campaigns, render the merged metrics\n"
       "                       registry (instruction mix, hierarchy, DSR,\n"
       "                       hv occupancy, engine) as text/json/csv\n"
+      "  sweep                run the scenario × seed grid through the\n"
+      "                       campaign store: stored cells are re-rendered\n"
+      "                       without simulating, fresh cells are persisted;\n"
+      "                       writes a machine-readable sweep manifest\n"
       "  diff A.json B.json   compare two saved JSON reports; exit 1 when\n"
       "                       pWCET/MOET/counter shifts exceed --tolerance\n"
       "  help                 this text\n"
@@ -225,6 +305,20 @@ std::string usage() {
       "                       (worker runs, adaptive batches, hv partition\n"
       "                       frames) for chrome://tracing / Perfetto\n"
       "  --progress           live progress line on stderr\n"
+      "  --store DIR          persist/resume campaigns via the on-disk\n"
+      "                       campaign store in DIR (interrupted campaigns\n"
+      "                       resume bit-identically; finished ones render\n"
+      "                       without re-simulating)\n"
+      "\n"
+      "options (sweep):\n"
+      "  --store DIR          required: the campaign store backing the sweep\n"
+      "  --seed S             repeatable: seed axis of the scenario × seed\n"
+      "                       grid (default: each scenario's default seeds)\n"
+      "  --manifest FILE      sweep manifest path\n"
+      "                       (default <store>/sweep-manifest.json)\n"
+      "  --baseline FILE      gate against a stored sweep/report document;\n"
+      "                       drift beyond --tolerance exits 1\n"
+      "  --tolerance F        baseline gate tolerance (default 0: bit-exact)\n"
       "\n"
       "options (diff):\n"
       "  --tolerance F        max relative metric shift treated as equal\n"
@@ -241,6 +335,12 @@ std::string usage() {
       "              --trace-out trace.json --progress\n"
       "  proxima profile --scenario control/operation-dsr --runs 200\n"
       "  proxima report --all --runs 300 --format csv\n"
+      "  proxima run --scenario control/operation-dsr --runs 500 \\\n"
+      "              --store .proxima-store\n"
+      "  proxima sweep --store .proxima-store --runs 200 --seed 1 --seed 2 \\\n"
+      "              --manifest sweep.json --format json > sweep-report.json\n"
+      "  proxima sweep --store .proxima-store --runs 200 \\\n"
+      "              --baseline sweep-report.json --tolerance 0.001\n"
       "  proxima diff golden.json candidate.json --tolerance 0.001\n"
       "  proxima diff golden.json candidate.json --format json\n";
 }

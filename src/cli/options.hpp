@@ -58,6 +58,28 @@ struct CampaignOptions {
   /// `--progress`: live completed/total progress line on stderr while the
   /// campaigns execute (stderr so piped --format json/csv stays clean).
   bool progress = false;
+  /// `--store DIR`: run campaigns through the on-disk campaign store —
+  /// stored runs are served without simulating, fresh runs are persisted
+  /// per completed shard (interrupted campaigns resume bit-identically).
+  /// Empty: no persistence.  Required by `sweep`.
+  std::string store_dir;
+};
+
+/// Options specific to `proxima sweep` (combined with CampaignOptions for
+/// the shared campaign knobs).
+struct SweepOptions {
+  /// `--seed S` (repeatable): the seed axis of the scenario × seed grid.
+  /// Empty: every scenario runs once at its default seeds.
+  std::vector<std::uint64_t> seeds;
+  /// `--manifest FILE`: where the machine-readable sweep manifest goes
+  /// (default `<store>/sweep-manifest.json`).
+  std::string manifest;
+  /// `--baseline FILE`: gate the sweep against a stored report document
+  /// with the diff engine; drift exits 1 (same contract as `proxima
+  /// diff`).
+  std::string baseline;
+  /// Tolerance for the `--baseline` gate (same semantics as diff).
+  double tolerance = 0.0;
 };
 
 /// Options for `proxima diff <baseline.json> <candidate.json>`: compare
@@ -84,10 +106,12 @@ struct Command {
     kReport,
     kDiff,
     kProfile,
+    kSweep,
   };
   Kind kind = Kind::kHelp;
   CampaignOptions options;
   DiffOptions diff;
+  SweepOptions sweep;
 };
 
 /// Parse `args` (argv without the program name).  Throws UsageError.

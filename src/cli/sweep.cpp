@@ -1,0 +1,263 @@
+// Implementation of `proxima sweep`: the scenario × seed grid through the
+// campaign store.
+//
+// Every cell runs store-backed, so a grid cell whose (scenario, config
+// fingerprint) already has a fully stored campaign re-renders without
+// simulating a single run — the sweep manifest records per-cell
+// stored/simulated counts and their totals, and CI asserts
+// `"total_simulated_runs": 0` on the second pass over an unchanged grid.
+// An interrupted sweep resumes the same way: the store serves the finished
+// prefix of every cell and only the remainder executes.
+//
+// The rendered document (`--format json`) has the same scenario-object
+// shape as `proxima report`, so the `--baseline FILE` gate can reuse the
+// diff engine verbatim: drift beyond `--tolerance` exits 1, exactly like
+// `proxima diff`.
+#include "cli.hpp"
+
+#include "casestudy/fingerprint.hpp"
+#include "cli/exec_common.hpp"
+#include "cli/json_writer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+#include "trace/report.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace proxima::cli {
+
+namespace {
+
+using detail::Execution;
+
+/// One grid cell: a scenario at one seed, executed through the store.
+struct Cell {
+  std::string scenario; // registry name
+  std::optional<std::uint64_t> seed; // explicit --seed axis value
+  Execution execution;  // execution.name is the display name (see below)
+  detail::Analysed analysed;
+};
+
+/// Cell display name, and its scenario identity inside the sweep document.
+/// The seed suffix keeps grid cells of one scenario apart — diff matches
+/// scenarios by name, and two seeds of the same scenario are different
+/// measurements, not drift.
+std::string display_name(const std::string& scenario,
+                         std::optional<std::uint64_t> seed) {
+  return seed ? scenario + "@seed=" + std::to_string(*seed) : scenario;
+}
+
+/// The full sweep document: `{"command": "sweep", "scenarios": [...]}`
+/// with report-shaped scenario objects.
+void render_document(std::ostream& out, const std::vector<Cell>& cells,
+                     const CampaignOptions& options) {
+  JsonWriter json(out);
+  json.begin_object();
+  json.key("command").value("sweep");
+  json.key("store").value(options.store_dir);
+  json.key("scenarios").begin_array();
+  for (const Cell& cell : cells) {
+    json.begin_object();
+    detail::write_execution_header_json(json, cell.execution, options);
+    detail::write_adaptive_json(json, cell.execution);
+    detail::write_times_json(json, cell.execution);
+    detail::write_partitions_json(json, cell.execution, options);
+    detail::write_throughput_json(json, cell.execution);
+    detail::write_metrics_json(json, cell.execution);
+    detail::write_analysis_json(json, cell.analysed, options.decades);
+    json.key("verified_runs").value(cell.execution.result.verified_runs);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+/// The machine-readable manifest: per-cell provenance + counts, and the
+/// totals CI greps (`"total_simulated_runs": 0` on a warm store).
+void write_manifest(const std::string& path, const std::vector<Cell>& cells,
+                    const CampaignOptions& options) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::filesystem::create_directories(parent);
+  }
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    throw std::runtime_error("sweep: cannot open manifest '" + path +
+                             "' for writing");
+  }
+  std::uint64_t total_runs = 0;
+  std::uint64_t total_stored = 0;
+  std::uint64_t total_simulated = 0;
+  JsonWriter json(file);
+  json.begin_object();
+  json.key("command").value("sweep-manifest");
+  json.key("store").value(options.store_dir);
+  json.key("cells").begin_array();
+  for (const Cell& cell : cells) {
+    const store::StoreStats& stats = *cell.execution.store;
+    json.begin_object();
+    json.key("name").value(cell.execution.name);
+    json.key("scenario").value(cell.scenario);
+    json.key("input_seed").value(cell.execution.config.input_seed);
+    json.key("layout_seed").value(cell.execution.config.layout_seed);
+    json.key("fingerprint")
+        .value(casestudy::fingerprint_hex(stats.fingerprint));
+    json.key("cell").value(stats.cell_path);
+    json.key("runs")
+        .value(std::uint64_t{cell.execution.result.times.size()});
+    json.key("stored_runs").value(stats.stored_runs);
+    json.key("simulated_runs").value(stats.simulated_runs);
+    json.key("times_digest")
+        .value(trace::times_digest_hex(cell.execution.result.times));
+    json.key("metrics_digest")
+        .value(obs::metrics_digest_hex(cell.execution.result.metrics));
+    json.end_object();
+    total_runs += cell.execution.result.times.size();
+    total_stored += stats.stored_runs;
+    total_simulated += stats.simulated_runs;
+  }
+  json.end_array();
+  json.key("total_cells").value(std::uint64_t{cells.size()});
+  json.key("total_runs").value(total_runs);
+  json.key("total_stored_runs").value(total_stored);
+  json.key("total_simulated_runs").value(total_simulated);
+  json.end_object();
+  file.flush();
+  if (!file) {
+    throw std::runtime_error("sweep: write to manifest '" + path +
+                             "' failed");
+  }
+}
+
+void print_text_summary(std::ostream& out, const std::vector<Cell>& cells,
+                        const std::string& manifest) {
+  std::uint64_t total_stored = 0;
+  std::uint64_t total_simulated = 0;
+  for (const Cell& cell : cells) {
+    const store::StoreStats& stats = *cell.execution.store;
+    total_stored += stats.stored_runs;
+    total_simulated += stats.simulated_runs;
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "%-40s %6zu runs (%llu stored, %llu simulated) digest %s\n",
+                  cell.execution.name.c_str(),
+                  cell.execution.result.times.size(),
+                  static_cast<unsigned long long>(stats.stored_runs),
+                  static_cast<unsigned long long>(stats.simulated_runs),
+                  trace::times_digest_hex(cell.execution.result.times)
+                      .c_str());
+    out << line;
+  }
+  out << "sweep: " << cells.size() << " cell(s), " << total_stored
+      << " run(s) served from the store, " << total_simulated
+      << " simulated; manifest " << manifest << '\n';
+}
+
+} // namespace
+
+int cmd_sweep(const CampaignOptions& options, const SweepOptions& sweep,
+              std::ostream& out, std::ostream& err) {
+  const std::vector<std::string> names = detail::selected_scenarios(options);
+  std::vector<std::optional<std::uint64_t>> seed_axis;
+  if (sweep.seeds.empty()) {
+    seed_axis.push_back(std::nullopt); // each scenario's default seeds
+  } else {
+    for (const std::uint64_t seed : sweep.seeds) {
+      seed_axis.emplace_back(seed);
+    }
+  }
+
+  std::optional<obs::Timeline> timeline;
+  if (!options.trace_out.empty()) {
+    timeline.emplace();
+  }
+
+  // Execute the whole grid before emitting anything (same contract as
+  // run/report: a fault on a later cell must not leave a truncated
+  // document or a misleading manifest behind).
+  int exit_code = 0;
+  std::vector<Cell> cells;
+  cells.reserve(names.size() * seed_axis.size());
+  for (const std::string& name : names) {
+    for (const std::optional<std::uint64_t>& seed : seed_axis) {
+      CampaignOptions cell_options = options;
+      if (seed) {
+        cell_options.seed = *seed;
+      }
+      Cell cell;
+      cell.scenario = name;
+      cell.seed = seed;
+      cell.execution = detail::execute_scenario(
+          name, cell_options, timeline ? &*timeline : nullptr, err);
+      cell.execution.name = display_name(name, seed);
+      cell.analysed = detail::analyse_execution(cell.execution, cell_options);
+      if (!cell.analysed.analysis) {
+        exit_code = 1; // same contract as report: the fit could not run
+      }
+      cells.push_back(std::move(cell));
+    }
+  }
+  if (timeline) {
+    detail::write_trace_file(*timeline, options.trace_out);
+    for (Cell& cell : cells) {
+      cell.execution.config.timeline = nullptr; // the local timeline dies
+    }
+  }
+  std::vector<const Execution*> executed;
+  for (const Cell& cell : cells) {
+    executed.push_back(&cell.execution);
+  }
+  detail::validate_partition_filter(executed, options);
+
+  // Render once: the same bytes feed stdout (--format json) and the
+  // --baseline gate, so what the gate compared is exactly what the
+  // operator can save as the next baseline.
+  std::ostringstream document;
+  render_document(document, cells, options);
+
+  const std::string manifest_path =
+      sweep.manifest.empty()
+          ? (std::filesystem::path(options.store_dir) /
+             "sweep-manifest.json")
+                .string()
+          : sweep.manifest;
+  write_manifest(manifest_path, cells, options);
+
+  if (options.format == OutputFormat::kJson) {
+    out << document.str();
+  } else {
+    print_text_summary(out, cells, manifest_path);
+  }
+
+  if (!sweep.baseline.empty()) {
+    const JsonValue baseline = load_report_document(sweep.baseline);
+    JsonValue candidate;
+    try {
+      candidate = JsonValue::parse(document.str());
+    } catch (const JsonParseError& error) {
+      // Re-reading our own document cannot legitimately fail; treat it as
+      // a campaign fault rather than mis-reporting drift.
+      throw std::runtime_error(std::string("sweep: internal error parsing "
+                                           "rendered document: ") +
+                               error.what());
+    }
+    // In json mode stdout carries the document, so the gate reports on
+    // stderr; text mode keeps everything on stdout like `proxima diff`.
+    std::ostream& gate =
+        options.format == OutputFormat::kJson ? err : out;
+    if (diff_drift_count(baseline, candidate, sweep.tolerance, gate) > 0) {
+      exit_code = 1;
+    }
+  }
+  return exit_code;
+}
+
+} // namespace proxima::cli

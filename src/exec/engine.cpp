@@ -46,18 +46,20 @@ struct CampaignJob {
   CampaignJob(const casestudy::CampaignConfig& config_in,
               const std::vector<ShardRange>& shards_in,
               casestudy::CampaignResult& result_in, ProgressMeter& meter_in,
-              const ShardSink& sink_in, std::stop_token external_in,
-              RunnerSlots& runners_in,
+              const ShardSink& sink_in, const SampleSink& sample_sink_in,
+              std::stop_token external_in, RunnerSlots& runners_in,
               std::vector<WorkerTelemetry>* telemetry_in)
       : config(config_in), shards(shards_in), result(result_in),
-        meter(meter_in), sink(sink_in), external(std::move(external_in)),
-        runners(runners_in), telemetry(telemetry_in) {}
+        meter(meter_in), sink(sink_in), sample_sink(sample_sink_in),
+        external(std::move(external_in)), runners(runners_in),
+        telemetry(telemetry_in) {}
 
   const casestudy::CampaignConfig& config;
   const std::vector<ShardRange>& shards;
   casestudy::CampaignResult& result;   // times/samples pre-sized
   ProgressMeter& meter;
   const ShardSink& sink;
+  const SampleSink& sample_sink;       // persistence; completed shards only
   const std::stop_token external;      // user cancellation
   RunnerSlots& runners;                // one slot per worker, caller-owned
   std::vector<WorkerTelemetry>* telemetry; // null unless metrics are on
@@ -99,6 +101,15 @@ void worker_main(CampaignJob& job, unsigned slot) {
       WorkerTelemetry* const telemetry =
           job.telemetry ? &(*job.telemetry)[slot] : nullptr;
       const bool timed = timeline != nullptr || telemetry != nullptr;
+      // Per-run metric deltas buffered shard-locally for the sample sink:
+      // the runner's scratch shard is overwritten every run, so a
+      // persistence sink needs its own copy until the shard completes.
+      std::vector<obs::MetricsShard> shard_metrics;
+      const bool capture_metrics =
+          static_cast<bool>(job.sample_sink) && job.config.collect_metrics;
+      if (capture_metrics) {
+        shard_metrics.reserve(static_cast<std::size_t>(shard.size()));
+      }
       for (std::uint64_t index = shard.begin; index < shard.end; ++index) {
         if (job.cancelled()) {
           return; // cooperative stop mid-shard
@@ -126,14 +137,27 @@ void worker_main(CampaignJob& job, unsigned slot) {
         // Disjoint slots: no lock needed for the result vectors.
         job.result.times[index] = sample.uoa_cycles;
         job.result.samples[index] = sample;
+        if (capture_metrics) {
+          shard_metrics.push_back(runner->last_run_metrics());
+        }
         job.runs_done.fetch_add(1, std::memory_order_relaxed);
         job.meter.add(1);
       }
-      if (job.sink) {
+      if (job.sink || job.sample_sink) {
         std::lock_guard<std::mutex> lock(job.mutex);
-        job.sink(shard, std::span<const double>(
-                            job.result.times.data() + shard.begin,
-                            static_cast<std::size_t>(shard.size())));
+        if (job.sample_sink) {
+          job.sample_sink(
+              shard,
+              std::span<const casestudy::RunSample>(
+                  job.result.samples.data() + shard.begin,
+                  static_cast<std::size_t>(shard.size())),
+              std::span<const obs::MetricsShard>(shard_metrics));
+        }
+        if (job.sink) {
+          job.sink(shard, std::span<const double>(
+                              job.result.times.data() + shard.begin,
+                              static_cast<std::size_t>(shard.size())));
+        }
       }
     }
   } catch (...) {
@@ -151,11 +175,11 @@ void worker_main(CampaignJob& job, unsigned slot) {
 void execute_shards(const casestudy::CampaignConfig& config,
                     const std::vector<ShardRange>& shards, unsigned workers,
                     casestudy::CampaignResult& result, ProgressMeter& meter,
-                    const ShardSink& sink, const std::stop_token& external,
-                    RunnerSlots& runners,
+                    const ShardSink& sink, const SampleSink& sample_sink,
+                    const std::stop_token& external, RunnerSlots& runners,
                     std::vector<WorkerTelemetry>* telemetry = nullptr) {
-  CampaignJob job{config,   shards,  result,  meter,
-                  sink,     external, runners, telemetry};
+  CampaignJob job{config,      shards,   result,  meter,    sink,
+                  sample_sink, external, runners, telemetry};
   if (workers == 1) {
     worker_main(job, 0); // no thread spawn for the sequential case
   } else {
@@ -234,6 +258,57 @@ void merge_metrics(const RunnerSlots& runners,
   }
 }
 
+/// Shape-check a stored prefix against the config it will replay under.
+void validate_prefix(const casestudy::CampaignConfig& config,
+                     const StoredPrefix& prefix) {
+  if (!prefix.run_metrics.empty() &&
+      prefix.run_metrics.size() != prefix.samples.size()) {
+    throw std::invalid_argument(
+        "stored prefix: run_metrics must be empty or match samples");
+  }
+  if (!prefix.verified.empty() &&
+      prefix.verified.size() != prefix.samples.size()) {
+    throw std::invalid_argument(
+        "stored prefix: verified flags must be empty or match samples");
+  }
+  if (config.collect_metrics && !prefix.samples.empty() &&
+      prefix.run_metrics.empty()) {
+    throw std::invalid_argument(
+        "stored prefix: the campaign collects metrics but the prefix "
+        "carries no per-run metric deltas (stored without "
+        "collect_metrics?)");
+  }
+}
+
+/// Copy prefix runs [begin, end) into the result's slots.  No execution:
+/// a stored sample IS the run's output (pure function of the index).
+void splice_prefix(const StoredPrefix& prefix, std::uint64_t begin,
+                   std::uint64_t end, casestudy::CampaignResult& result) {
+  for (std::uint64_t index = begin; index < end; ++index) {
+    const auto slot = static_cast<std::size_t>(index);
+    result.samples[slot] = prefix.samples[slot];
+    result.times[slot] = prefix.samples[slot].uoa_cycles;
+  }
+}
+
+/// Collection-barrier bookkeeping for the consumed part of the prefix:
+/// fold its per-run metric deltas into the result shard (order-independent
+/// merge — the same totals direct accumulation would have produced) and
+/// credit its golden-model verifications.
+void merge_prefix(const casestudy::CampaignConfig& config,
+                  const StoredPrefix& prefix, std::uint64_t consumed,
+                  casestudy::CampaignResult& result) {
+  for (std::uint64_t index = 0; index < consumed; ++index) {
+    const auto slot = static_cast<std::size_t>(index);
+    if (config.collect_metrics) {
+      result.metrics.merge_from(prefix.run_metrics[slot]);
+    }
+    if (!prefix.verified.empty() && prefix.verified[slot] != 0) {
+      ++result.verified_runs;
+    }
+  }
+}
+
 } // namespace
 
 CampaignEngine::CampaignEngine(EngineOptions options)
@@ -255,6 +330,13 @@ unsigned CampaignEngine::resolved_workers(std::uint64_t runs) const {
 
 casestudy::CampaignResult
 CampaignEngine::run(const casestudy::CampaignConfig& config) const {
+  return run(config, StoredPrefix{});
+}
+
+casestudy::CampaignResult
+CampaignEngine::run(const casestudy::CampaignConfig& config,
+                    const StoredPrefix& prefix) const {
+  validate_prefix(config, prefix);
   casestudy::CampaignResult result;
   const std::uint64_t runs = config.runs;
   if (runs == 0) {
@@ -269,16 +351,40 @@ CampaignEngine::run(const casestudy::CampaignConfig& config) const {
     return result;
   }
 
-  const Plan execution_plan = plan(runs);
+  // Stored runs fill their slots directly; only the remainder executes.
+  const std::uint64_t stored =
+      std::min<std::uint64_t>(prefix.samples.size(), runs);
   result.times.resize(static_cast<std::size_t>(runs));
   result.samples.resize(static_cast<std::size_t>(runs));
+  splice_prefix(prefix, 0, stored, result);
   ProgressMeter meter(runs, options_.progress);
+  if (stored != 0) {
+    meter.add(stored);
+  }
+
+  if (stored == runs) {
+    // Fully served from the store: nothing executes, but the platform is
+    // still built once so the report's pass/code metadata matches a live
+    // run (the build pipeline is deterministic for a given config).
+    casestudy::CampaignRunner runner(config);
+    result.pass_report = runner.pass_report();
+    result.code_bytes = runner.code_bytes();
+    merge_prefix(config, prefix, stored, result);
+    return result;
+  }
+
+  Plan execution_plan = plan(runs - stored);
+  for (ShardRange& shard : execution_plan.shards) {
+    shard.begin += stored;
+    shard.end += stored;
+  }
   RunnerSlots runners(execution_plan.workers);
   std::vector<WorkerTelemetry> telemetry(
       config.collect_metrics ? execution_plan.workers : 0);
   const auto wall_start = std::chrono::steady_clock::now();
   execute_shards(config, execution_plan.shards, execution_plan.workers,
-                 result, meter, options_.shard_sink, options_.stop, runners,
+                 result, meter, options_.shard_sink, options_.sample_sink,
+                 options_.stop, runners,
                  config.collect_metrics ? &telemetry : nullptr);
   result.verified_runs = total_verified(runners);
   fill_metadata(runners, result);
@@ -286,12 +392,21 @@ CampaignEngine::run(const casestudy::CampaignConfig& config) const {
     merge_metrics(runners, telemetry, execution_plan.workers,
                   elapsed_us(wall_start), result);
   }
+  merge_prefix(config, prefix, stored, result);
   return result;
 }
 
 AdaptiveCampaignResult
 CampaignEngine::run_adaptive(const casestudy::CampaignConfig& config,
                              const ConvergenceOptions& options) const {
+  return run_adaptive(config, options, StoredPrefix{});
+}
+
+AdaptiveCampaignResult
+CampaignEngine::run_adaptive(const casestudy::CampaignConfig& config,
+                             const ConvergenceOptions& options,
+                             const StoredPrefix& prefix) const {
+  validate_prefix(config, prefix);
   if (options.batch_runs == 0) {
     throw std::invalid_argument("run_adaptive: batch_runs must be >= 1");
   }
@@ -322,6 +437,8 @@ CampaignEngine::run_adaptive(const casestudy::CampaignConfig& config,
   RunnerSlots runners; // persist across batches, grown to the widest batch
   std::vector<WorkerTelemetry> telemetry; // likewise, accumulated
   unsigned widest_workers = 1;
+  const std::uint64_t stored =
+      std::min<std::uint64_t>(prefix.samples.size(), budget);
   const auto wall_start = std::chrono::steady_clock::now();
 
   for (std::uint64_t begin = 0; begin < budget; begin += options.batch_runs) {
@@ -329,33 +446,44 @@ CampaignEngine::run_adaptive(const casestudy::CampaignConfig& config,
     campaign.times.resize(static_cast<std::size_t>(end));
     campaign.samples.resize(static_cast<std::size_t>(end));
 
-    // Shard this batch only (same worker-resolution policy as `run`); the
-    // plan is deterministic and the offsets put it at [begin, end) of the
-    // global run-index space.
-    Plan batch_plan = plan(end - begin);
-    for (ShardRange& shard : batch_plan.shards) {
-      shard.begin += begin;
-      shard.end += begin;
+    // Replay the stored part of this batch, execute only its uncovered
+    // tail — the controller below cannot tell the difference.
+    const std::uint64_t covered = std::min(stored, end);
+    if (covered > begin) {
+      splice_prefix(prefix, begin, covered, campaign);
+      meter.add(covered - begin);
     }
-    if (runners.size() < batch_plan.workers) {
-      runners.resize(batch_plan.workers);
-    }
-    widest_workers = std::max(widest_workers, batch_plan.workers);
-    if (config.collect_metrics && telemetry.size() < batch_plan.workers) {
-      telemetry.resize(batch_plan.workers);
-    }
-    const double batch_ts_us =
-        config.timeline != nullptr ? config.timeline->now_us() : 0.0;
-    const auto batch_start = std::chrono::steady_clock::now();
-    execute_shards(run_config, batch_plan.shards, batch_plan.workers,
-                   campaign, meter, options_.shard_sink, options_.stop,
-                   runners, config.collect_metrics ? &telemetry : nullptr);
-    if (config.timeline != nullptr) {
-      config.timeline->record(
-          "engine", "batches",
-          "batch " + std::to_string(out.batches) + " [" +
-              std::to_string(begin) + ", " + std::to_string(end) + ")",
-          batch_ts_us, elapsed_us(batch_start));
+    const std::uint64_t exec_begin = std::max(begin, covered);
+    if (exec_begin < end) {
+      // Shard the executed tail only (same worker-resolution policy as
+      // `run`); the plan is deterministic and the offsets put it at
+      // [exec_begin, end) of the global run-index space.
+      Plan batch_plan = plan(end - exec_begin);
+      for (ShardRange& shard : batch_plan.shards) {
+        shard.begin += exec_begin;
+        shard.end += exec_begin;
+      }
+      if (runners.size() < batch_plan.workers) {
+        runners.resize(batch_plan.workers);
+      }
+      widest_workers = std::max(widest_workers, batch_plan.workers);
+      if (config.collect_metrics && telemetry.size() < batch_plan.workers) {
+        telemetry.resize(batch_plan.workers);
+      }
+      const double batch_ts_us =
+          config.timeline != nullptr ? config.timeline->now_us() : 0.0;
+      const auto batch_start = std::chrono::steady_clock::now();
+      execute_shards(run_config, batch_plan.shards, batch_plan.workers,
+                     campaign, meter, options_.shard_sink,
+                     options_.sample_sink, options_.stop, runners,
+                     config.collect_metrics ? &telemetry : nullptr);
+      if (config.timeline != nullptr) {
+        config.timeline->record(
+            "engine", "batches",
+            "batch " + std::to_string(out.batches) + " [" +
+                std::to_string(exec_begin) + ", " + std::to_string(end) + ")",
+            batch_ts_us, elapsed_us(batch_start));
+      }
     }
 
     // Deterministic batch boundary: the controller sees this batch in
@@ -375,6 +503,16 @@ CampaignEngine::run_adaptive(const casestudy::CampaignConfig& config,
   out.estimates = controller.estimates();
   campaign.verified_runs = total_verified(runners);
   fill_metadata(runners, campaign);
+  if (campaign.code_bytes == 0) {
+    // Every batch was served from the prefix — no worker ever built a
+    // platform.  Build one for the pass/code metadata, as `run` does.
+    casestudy::CampaignRunner runner(run_config);
+    campaign.pass_report = runner.pass_report();
+    campaign.code_bytes = runner.code_bytes();
+  }
+  merge_prefix(config, prefix,
+               std::min<std::uint64_t>(stored, campaign.times.size()),
+               campaign);
   if (config.collect_metrics) {
     merge_metrics(runners, telemetry, widest_workers, elapsed_us(wall_start),
                   campaign);

@@ -24,6 +24,7 @@
 #include "exec/adaptive.hpp"
 #include "exec/progress.hpp"
 #include "exec/shard.hpp"
+#include "obs/metrics.hpp"
 
 #include <cstdint>
 #include <functional>
@@ -40,6 +41,32 @@ namespace proxima::exec {
 using ShardSink = std::function<void(const ShardRange& range,
                                      std::span<const double> times)>;
 
+/// Streaming per-shard persistence (the campaign store): invoked once per
+/// COMPLETED shard with the shard's full `RunSample`s in run-index order,
+/// plus — when the campaign collects metrics — the per-run metric deltas
+/// each sample contributed (`run_metrics[i]` belongs to run
+/// `range.begin + i`; the span is empty otherwise).  Calls are serialised
+/// by the engine.  A shard interrupted by a fault or cancellation is never
+/// emitted, so everything a sink persists is a valid contiguous record of
+/// the runs it covers — the property that makes resume-from-prefix sound.
+using SampleSink =
+    std::function<void(const ShardRange& range,
+                       std::span<const casestudy::RunSample> samples,
+                       std::span<const obs::MetricsShard> run_metrics)>;
+
+/// An already-materialised prefix of a campaign (from the on-disk store):
+/// samples for run indices [0, samples.size()).  `run_metrics` is empty or
+/// holds one per-run metrics delta per sample (required when the replayed
+/// config collects metrics); `verified` is empty or holds one golden-model
+/// verification flag per sample.  Because every run is a pure function of
+/// its index, splicing a stored prefix in front of freshly executed
+/// remainder runs reproduces the uninterrupted campaign bit-for-bit.
+struct StoredPrefix {
+  std::span<const casestudy::RunSample> samples;
+  std::span<const obs::MetricsShard> run_metrics;
+  std::span<const std::uint8_t> verified;
+};
+
 /// Thrown by `run`/`run_adaptive` when `EngineOptions::stop` fires before
 /// the campaign completes: a cancelled campaign must never be mistaken for
 /// a complete one.
@@ -54,8 +81,9 @@ struct EngineOptions {
   /// count never exceeds the number of planned shards.
   unsigned workers = 0;
   ShardOptions sharding;
-  ProgressFn progress;   // optional completed/total callback
-  ShardSink shard_sink;  // optional streaming aggregation
+  ProgressFn progress;    // optional completed/total callback
+  ShardSink shard_sink;   // optional streaming aggregation
+  SampleSink sample_sink; // optional streaming persistence (campaign store)
   /// Optional external cancellation: when the token fires, workers stop at
   /// the next per-run check and the engine throws `CampaignCancelled`
   /// (unless the campaign had already completed).  A default-constructed
@@ -73,6 +101,19 @@ public:
   /// not wait for the queue to drain.
   casestudy::CampaignResult run(const casestudy::CampaignConfig& config) const;
 
+  /// `run`, resuming from a stored prefix: result slots [0, n) are filled
+  /// from `prefix` (n = min(prefix size, config.runs)) without executing
+  /// them, only [n, runs) is sharded across the pool, and the prefix's
+  /// per-run metric deltas / verification flags are folded into the result
+  /// at the collection barrier.  Bit-identical times/samples/metrics
+  /// digests to an uninterrupted `run` at any worker count.  The
+  /// sample_sink only sees freshly executed shards; the shard_sink
+  /// likewise (a resuming aggregator already holds the prefix).  A prefix
+  /// covering every run executes nothing (the platform is still built once
+  /// for the pass report / code size).
+  casestudy::CampaignResult run(const casestudy::CampaignConfig& config,
+                                const StoredPrefix& prefix) const;
+
   /// Execute the campaign adaptively: grow in `options.batch_runs`-sized
   /// batches, feed each completed batch (in run-index order) to an
   /// `mbpta::ConvergenceController`, and stop at the first batch boundary
@@ -86,6 +127,19 @@ public:
   AdaptiveCampaignResult
   run_adaptive(const casestudy::CampaignConfig& config,
                const ConvergenceOptions& options) const;
+
+  /// `run_adaptive`, resuming from a stored prefix.  Batches fully covered
+  /// by the prefix are replayed straight into the controller without
+  /// executing anything; a batch the prefix covers partially executes only
+  /// its uncovered tail.  The controller still sees every batch in
+  /// run-index order at the same deterministic boundaries, so the stop
+  /// decision — and therefore the final length, estimates, and digests —
+  /// matches the uninterrupted campaign exactly.  Prefix samples beyond
+  /// the batch where the controller stops are left unconsumed.
+  AdaptiveCampaignResult
+  run_adaptive(const casestudy::CampaignConfig& config,
+               const ConvergenceOptions& options,
+               const StoredPrefix& prefix) const;
 
   /// The worker count `run` would use for a campaign of `runs` runs.
   unsigned resolved_workers(std::uint64_t runs) const;

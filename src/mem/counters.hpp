@@ -43,29 +43,39 @@ struct PerfCounters {
 
   /// Enumerate every counter as a (name, value) pair — the single place
   /// that knows the field list, used by the metrics registry so a new
-  /// counter added here shows up in `proxima profile` automatically.
+  /// counter added here shows up in `proxima profile` automatically.  The
+  /// mutable overload yields references (same order/names) so the campaign
+  /// store can rebuild a snapshot field-by-field from a serialised record
+  /// without a second field list.
   template <typename Fn> void for_each(Fn&& fn) const {
-    fn("icache_miss", icache_miss);
-    fn("dcache_miss", dcache_miss);
-    fn("l2_miss", l2_miss);
-    fn("fpu_ops", fpu_ops);
-    fn("instructions", instructions);
-    fn("icache_access", icache_access);
-    fn("dcache_access", dcache_access);
-    fn("l2_access", l2_access);
-    fn("loads", loads);
-    fn("stores", stores);
-    fn("itlb_miss", itlb_miss);
-    fn("dtlb_miss", dtlb_miss);
-    fn("dram_reads", dram_reads);
-    fn("dram_writes", dram_writes);
-    fn("l2_writebacks", l2_writebacks);
-    fn("coherence_violations", coherence_violations);
-    fn("window_overflows", window_overflows);
-    fn("window_underflows", window_underflows);
+    enumerate(*this, fn);
   }
+  template <typename Fn> void for_each(Fn&& fn) { enumerate(*this, fn); }
 
   friend bool operator==(const PerfCounters&, const PerfCounters&) = default;
+
+private:
+  template <typename Self, typename Fn> static void enumerate(Self& self,
+                                                              Fn&& fn) {
+    fn("icache_miss", self.icache_miss);
+    fn("dcache_miss", self.dcache_miss);
+    fn("l2_miss", self.l2_miss);
+    fn("fpu_ops", self.fpu_ops);
+    fn("instructions", self.instructions);
+    fn("icache_access", self.icache_access);
+    fn("dcache_access", self.dcache_access);
+    fn("l2_access", self.l2_access);
+    fn("loads", self.loads);
+    fn("stores", self.stores);
+    fn("itlb_miss", self.itlb_miss);
+    fn("dtlb_miss", self.dtlb_miss);
+    fn("dram_reads", self.dram_reads);
+    fn("dram_writes", self.dram_writes);
+    fn("l2_writebacks", self.l2_writebacks);
+    fn("coherence_violations", self.coherence_violations);
+    fn("window_overflows", self.window_overflows);
+    fn("window_underflows", self.window_underflows);
+  }
 };
 
 } // namespace proxima::mem

@@ -4,6 +4,7 @@
 // for the documented schema keys, the CSV for its header and row shape.
 #include "cli/cli.hpp"
 
+#include "cli/json_writer.hpp"
 #include "exec/registry.hpp"
 
 #include <gtest/gtest.h>
@@ -781,6 +782,261 @@ TEST(CliErrors, UsageErrorsExitTwo) {
   const CliResult help = invoke({"help"});
   EXPECT_EQ(help.code, 0);
   EXPECT_NE(help.out.find("usage: proxima"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// JSON writer -> reader round trip (the \b/\f escape bugfix).
+// ---------------------------------------------------------------------------
+
+TEST(CliJson, BackspaceAndFormfeedEscapesDecode) {
+  // \b and \f used to fall into the reader's pass-through default and
+  // decode to literal 'b'/'f'.
+  const cli::JsonValue doc = cli::JsonValue::parse(R"({"s": "\b\f"})");
+  const cli::JsonValue* s = doc.get("s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->string, "\b\f");
+}
+
+TEST(CliJson, WriterReaderRoundTripsHostileStrings) {
+  // Every escape the writer can emit, in names AND values: quotes,
+  // backslashes, the named control escapes, and a raw control byte that
+  // round-trips through .
+  const std::string hostile = "a\"b\\c/d\ne\tf\rg\bh\fi\x01j";
+  std::ostringstream out;
+  {
+    cli::JsonWriter json(out);
+    json.begin_object();
+    json.key(hostile).value(hostile);
+    json.key("plain").value("partition/control@seed=7");
+    json.end_object();
+  }
+  const cli::JsonValue doc = cli::JsonValue::parse(out.str());
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_EQ(doc.object.size(), 2u);
+  EXPECT_EQ(doc.object[0].first, hostile) << "key must round-trip";
+  EXPECT_EQ(doc.object[0].second.string, hostile) << "value must round-trip";
+  EXPECT_EQ(doc.object[1].second.string, "partition/control@seed=7");
+}
+
+// ---------------------------------------------------------------------------
+// Silently-ignored flags are now rejected (options bugfix sweep).
+// ---------------------------------------------------------------------------
+
+TEST(CliErrors, FlagsWithNoEffectAreRejectedNotIgnored) {
+  // --batch without --adaptive configured nothing: the campaign ran fixed.
+  EXPECT_EQ(invoke({"run", "--scenario", "control/operation-cots", "--runs",
+                    "4", "--batch", "50"})
+                .code,
+            2);
+  // --decades outside report/sweep rendered no curve to deepen.
+  EXPECT_EQ(invoke({"run", "--scenario", "control/operation-cots", "--runs",
+                    "4", "--decades", "6"})
+                .code,
+            2);
+  EXPECT_EQ(invoke({"profile", "--scenario", "control/operation-cots",
+                    "--runs", "4", "--decades", "6"})
+                .code,
+            2);
+  // A worker-count typo used to spawn that many threads, literally.
+  EXPECT_EQ(invoke({"run", "--scenario", "control/operation-cots", "--runs",
+                    "4", "--workers", "100000"})
+                .code,
+            2);
+  // Sweep-only flags outside sweep, and sweep without its store.
+  EXPECT_EQ(invoke({"run", "--scenario", "control/operation-cots", "--runs",
+                    "4", "--manifest", "m.json"})
+                .code,
+            2);
+  EXPECT_EQ(invoke({"sweep", "--scenario", "control/operation-cots"}).code,
+            2)
+      << "sweep requires --store";
+  EXPECT_EQ(invoke({"list", "--store", "/tmp/x"}).code, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Diff bugfixes: zero baselines and a vanished metrics digest.
+// ---------------------------------------------------------------------------
+
+/// A minimal but shape-complete run document with one scenario.
+std::string synthetic_run_doc(const char* min_time, bool metrics_digest) {
+  std::string doc = R"({
+  "command": "run",
+  "scenarios": [
+    {
+      "name": "synthetic",
+      "measured": "control",
+      "runs": 4,
+      "times": {"n": 4, "min": )" +
+                    std::string(min_time) +
+                    R"(, "mean": 10, "max": 20, "stddev": 1,
+                "digest": "0xfeed"},
+)";
+  if (metrics_digest) {
+    doc += R"(      "metrics": {"digest": "0xbeef"},
+)";
+  }
+  doc += R"(      "verified_runs": 4
+    }
+  ]
+})";
+  return doc;
+}
+
+TEST(CliDiff, ZeroBaselinePassesOnlyBitEqual) {
+  const TempReport zero("zero_a", synthetic_run_doc("0", true));
+  const TempReport nonzero("zero_b", synthetic_run_doc("5", true));
+  // tolerance 1.0 with scale = max(|lo|,|hi|) used to accept ANY candidate
+  // against a zero baseline: |0 - 5| <= 1.0 * 5.  A value moving off zero
+  // is structural and must drift regardless of tolerance.
+  const CliResult result = invoke({"diff", zero.path().c_str(),
+                                   nonzero.path().c_str(), "--tolerance",
+                                   "1.0"});
+  EXPECT_EQ(result.code, 1) << result.out;
+  EXPECT_NE(result.out.find("only bit-equality passes"), std::string::npos)
+      << result.out;
+  // Bit-equal zeros stay clean.
+  const TempReport zero2("zero_c", synthetic_run_doc("0", true));
+  EXPECT_EQ(
+      invoke({"diff", zero.path().c_str(), zero2.path().c_str()}).code, 0);
+}
+
+TEST(CliDiff, CandidateMissingMetricsDigestIsADrift) {
+  const TempReport with("md_a", synthetic_run_doc("1", true));
+  const TempReport without("md_b", synthetic_run_doc("1", false));
+  // Candidate lost the digest its baseline had: metrics stopped being
+  // collected — this used to be skipped silently.
+  const CliResult regression =
+      invoke({"diff", with.path().c_str(), without.path().c_str()});
+  EXPECT_EQ(regression.code, 1) << regression.out;
+  EXPECT_NE(regression.out.find("absent in candidate"), std::string::npos)
+      << regression.out;
+  // The reverse stays the single tolerated absence: legacy golden reports
+  // predate the metrics registry.
+  EXPECT_EQ(invoke({"diff", without.path().c_str(), with.path().c_str()})
+                .code,
+            0);
+}
+
+// ---------------------------------------------------------------------------
+// sweep
+// ---------------------------------------------------------------------------
+
+/// A unique, self-cleaning store root.
+class TempStoreDir {
+public:
+  explicit TempStoreDir(const char* tag)
+      : path_(std::filesystem::temp_directory_path() /
+              ("proxima_cli_sweep_" + std::to_string(::getpid()) + "_" +
+               tag)) {
+    std::filesystem::remove_all(path_);
+  }
+  ~TempStoreDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  std::string path() const { return path_.string(); }
+
+private:
+  std::filesystem::path path_;
+};
+
+TEST(CliSweep, SecondPassSimulatesNothingAndGatesAgainstItself) {
+  TempStoreDir store("warm");
+  // The path strings must outlive the argv vectors that point into them.
+  const std::string store_path = store.path();
+  const std::vector<const char*> sweep_args = {
+      "sweep",   "--store", store_path.c_str(),
+      "--scenario", "control/analysis-dsr", "--runs", "150",
+      "--workers", "2", "--seed", "7", "--format", "json"};
+
+  const CliResult cold = invoke(sweep_args);
+  ASSERT_EQ(cold.code, 0) << cold.err;
+  ASSERT_TRUE(JsonChecker(cold.out).valid()) << cold.out;
+  EXPECT_EQ(field_after(cold.out, "command"), "\"sweep\"");
+  EXPECT_EQ(field_after(cold.out, "name"),
+            "\"control/analysis-dsr@seed=7\"")
+      << "explicit seeds must be part of the cell identity";
+
+  // The manifest is the machine-checkable witness of what was simulated.
+  std::ifstream manifest_file(store.path() + "/sweep-manifest.json");
+  ASSERT_TRUE(manifest_file.good());
+  std::stringstream manifest;
+  manifest << manifest_file.rdbuf();
+  EXPECT_NE(manifest.str().find("\"total_simulated_runs\": 150"),
+            std::string::npos)
+      << manifest.str();
+
+  // Second pass: everything served from the store, and the baseline gate
+  // (against the first pass) reports zero drift.  The documents are not
+  // byte-identical — store counters and wall-clock gauges legitimately
+  // differ — but every determinism digest must match.
+  const TempReport baseline("sweep_base", cold.out);
+  const std::string baseline_path = baseline.path();
+  std::vector<const char*> warm_args = sweep_args;
+  warm_args.insert(warm_args.end(),
+                   {"--baseline", baseline_path.c_str()});
+  const CliResult warm = invoke(warm_args);
+  EXPECT_EQ(warm.code, 0) << warm.err;
+  const auto digests = [](const std::string& doc) {
+    std::vector<std::string> found;
+    std::size_t at = 0;
+    while ((at = doc.find("\"digest\": ", at)) != std::string::npos) {
+      const std::size_t end = doc.find('\n', at);
+      found.push_back(doc.substr(at, end - at));
+      at = end;
+    }
+    return found;
+  };
+  EXPECT_EQ(digests(warm.out), digests(cold.out))
+      << "re-rendered times/metrics digests must match the live sweep";
+  EXPECT_NE(warm.err.find("0 drift(s)"), std::string::npos) << warm.err;
+
+  std::ifstream manifest2_file(store.path() + "/sweep-manifest.json");
+  std::stringstream manifest2;
+  manifest2 << manifest2_file.rdbuf();
+  EXPECT_NE(manifest2.str().find("\"total_simulated_runs\": 0"),
+            std::string::npos)
+      << "warm sweep must not re-simulate:\n" + manifest2.str();
+  EXPECT_NE(manifest2.str().find("\"total_stored_runs\": 150"),
+            std::string::npos);
+}
+
+TEST(CliSweep, DriftAgainstTheBaselineExitsOne) {
+  TempStoreDir store("drift");
+  const CliResult first =
+      invoke({"sweep", "--store", store.path().c_str(), "--scenario",
+              "control/analysis-dsr", "--runs", "150", "--workers", "2",
+              "--seed", "7", "--format", "json"});
+  ASSERT_EQ(first.code, 0) << first.err;
+  const TempReport baseline("sweep_drift_base", first.out);
+  // A different seed is a different cell name: structural drift.
+  const CliResult drifted =
+      invoke({"sweep", "--store", store.path().c_str(), "--scenario",
+              "control/analysis-dsr", "--runs", "150", "--workers", "2",
+              "--seed", "8", "--baseline", baseline.path().c_str()});
+  EXPECT_EQ(drifted.code, 1);
+  EXPECT_NE(drifted.out.find("drift"), std::string::npos) << drifted.out;
+}
+
+TEST(CliRun, StoreBackedRunRerendersBitIdentically) {
+  TempStoreDir store("runstore");
+  const std::string store_path = store.path();
+  const std::vector<const char*> args = {
+      "run", "--scenario", "control/operation-cots", "--runs", "12",
+      "--seed", "3", "--format", "json", "--store", store_path.c_str()};
+  const CliResult live = invoke(args);
+  ASSERT_EQ(live.code, 0) << live.err;
+  EXPECT_NE(live.out.find("\"simulated_runs\": 12"), std::string::npos)
+      << live.out;
+  const CliResult rerender = invoke(args);
+  ASSERT_EQ(rerender.code, 0) << rerender.err;
+  EXPECT_NE(rerender.out.find("\"simulated_runs\": 0"), std::string::npos)
+      << rerender.out;
+  // The only JSON difference between live and re-rendered is the store
+  // section's counters and the wall-clock gauges: the digests — times AND
+  // metrics — must match exactly.
+  EXPECT_EQ(field_after(live.out, "digest"),
+            field_after(rerender.out, "digest"));
 }
 
 } // namespace
