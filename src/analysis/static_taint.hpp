@@ -1,0 +1,112 @@
+// Static address-leak analysis over pre-link programs (ISSUE 8 tentpole).
+//
+// DSR's security argument rests on the layout staying secret: a program
+// that writes any layout-derived value into its externally observable
+// output hands an observer the very bits the per-reboot randomisation is
+// supposed to hide.  This pass is a forward dataflow over each function of
+// an `isa::Program` on the two-point lattice {clean, layout-derived},
+// finding exactly those writes *before* the program ever runs.
+//
+// Sources (each individually switchable via TaintOptions):
+//   * return addresses — %o7 at function entry, and every kCall / kJmpl
+//     write (the return address IS a code address of the current layout);
+//   * code-symbol addresses — kHi19/kLo13 fixup pairs (sethi/orlo) whose
+//     symbol names a function: under DSR the linker/relocator rewrites
+//     those immediates per layout;
+//   * DSR table loads — loads through pointers to `__dsr_functab` /
+//     `__dsr_stackoff`, the runtime's own record of the current layout;
+//   * stack pointers — %sp/%fp at entry and everything derived from them
+//     (the DSR stack offset randomises where the stack lives).
+//
+// Sinks: stores through a resolved sethi/orlo pointer into one of the
+// caller-declared *observable* data symbols — the objects the measured
+// target exposes to the outside world (MeasuredTarget::observable_symbols).
+// A tainted store anywhere else (locals, scratch state, the DSR tables
+// themselves) is not a leak.
+//
+// The pass is intentionally a MAY-leak analysis on registers and a
+// best-effort one through memory: register/window/stack-slot flows are
+// tracked (including kSave/kRestore window shifts), but values that round
+// -trip through non-stack memory come back clean.  That trades false
+// negatives in exotic code for zero false positives on pointer-free data
+// flow — the right polarity for a lint gate wired to CI.
+//
+// The dynamic counterpart (vm/taint.hpp) checks the same property on real
+// executions; `proxima lint` runs both and requires them to agree.
+#pragma once
+
+#include "isa/program.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace proxima::analysis {
+
+enum class TaintSourceKind : std::uint8_t {
+  kReturnAddress, // %o7 at entry, or written by kCall/kJmpl
+  kCodeAddress,   // sethi/orlo fixup pair naming a function symbol
+  kDsrTableLoad,  // load through a pointer to a __dsr_* table
+  kStackPointer,  // %sp/%fp at entry (DSR randomises the stack offset)
+};
+
+const char* taint_source_kind_name(TaintSourceKind kind) noexcept;
+
+/// Where a tainted value was born.
+struct TaintSource {
+  TaintSourceKind kind = TaintSourceKind::kReturnAddress;
+  std::string function;
+  /// Instruction index within `function`; `kEntry` for values live-in at
+  /// function entry (%o7, %sp, %fp).
+  std::size_t instruction_index = 0;
+  std::string description;
+
+  static constexpr std::size_t kEntry = static_cast<std::size_t>(-1);
+
+  friend bool operator==(const TaintSource&, const TaintSource&) = default;
+};
+
+/// One confirmed static leak: a layout-derived value stored into an
+/// observable data object.
+struct LeakFinding {
+  std::string function;          // function containing the sink store
+  std::size_t instruction_index; // index of the store within the function
+  std::string sink_symbol;       // observable data object written
+  std::int32_t sink_offset = 0;  // byte offset into the object (addend+imm)
+  TaintSource source;            // where the leaked value originated
+  /// Human-readable propagation chain, source first, sink store last.
+  std::vector<std::string> chain;
+};
+
+struct TaintOptions {
+  bool call_return_addresses = true;
+  bool code_symbol_addresses = true;
+  bool dsr_table_loads = true;
+  bool stack_pointers = true;
+};
+
+struct TaintReport {
+  std::vector<LeakFinding> findings;
+  std::size_t functions_analysed = 0;
+  std::size_t instructions_analysed = 0;
+
+  bool clean() const noexcept { return findings.empty(); }
+};
+
+/// One-line render of a finding:
+///   "leak_step+17: %i7 -> lk_status+4 [return address in %o7 at entry]".
+std::string describe(const LeakFinding& finding);
+
+/// Analyse every function of `program` for stores of layout-derived values
+/// into `observable_symbols` (the measured target's externally visible
+/// data objects).  Pass the program AS THE CAMPAIGN RUNS IT — i.e. after
+/// `dsr::apply_pass` for DSR campaigns — so the analysed code matches the
+/// executed code.  Findings are ordered by (function order in the program,
+/// instruction index); deterministic for a given input.
+TaintReport analyse_address_leaks(
+    const isa::Program& program,
+    const std::vector<std::string>& observable_symbols,
+    const TaintOptions& options = {});
+
+} // namespace proxima::analysis

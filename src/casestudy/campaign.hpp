@@ -16,6 +16,7 @@
 
 #include "casestudy/control_task.hpp"
 #include "casestudy/image_task.hpp"
+#include "casestudy/leak_task.hpp"
 #include "casestudy/stressor_task.hpp"
 #include "core/dsr_pass.hpp"
 #include "core/dsr_runtime.hpp"
@@ -57,12 +58,23 @@ enum class PrngKind : std::uint8_t { kMwc, kLfsr };
 ///              duration is *input-dependent* (only the lit ~70% of lenses
 ///              are processed) — the workload class MBPTA struggles with
 ///              and where DSR's re-randomisation matters most.
+///   kLeakyBeacon / kHardenedBeacon — the address-leak beacon task (UoA
+///              `leak_step`, leak_task.hpp): the `leak/` family's subject
+///              for the static+dynamic taint analysis.  The leaky variant
+///              publishes its own return address in an observable field;
+///              the hardened variant publishes a constant.
 /// On the bare platform the selected target is simply the program under
 /// test; under the hypervisor it selects the measured partition, while the
 /// other tasks ride as interference guests.
-enum class MeasuredTargetKind : std::uint8_t { kControl, kImage };
+enum class MeasuredTargetKind : std::uint8_t {
+  kControl,
+  kImage,
+  kLeakyBeacon,
+  kHardenedBeacon,
+};
 
-/// Report label of a measured-target kind: "control" / "image".
+/// Report label of a measured-target kind: "control" / "image" /
+/// "leak-beacon" / "leak-hardened".
 const char* measured_target_name(MeasuredTargetKind kind) noexcept;
 
 /// Hypervisor partition name of the partition a target kind occupies
@@ -136,6 +148,10 @@ struct CampaignConfig {
   /// (`measured == kImage`); an hv campaign's image *guest* keeps its own
   /// params in HvCampaignConfig::image.
   ImageParams image;
+  /// Parameters of the leak-beacon task when it is the measured target
+  /// (`measured == kLeakyBeacon` / `kHardenedBeacon`; the hardened flag in
+  /// here is overridden by the target kind).
+  LeakParams leak;
   Layout layout = Layout::kCotsBad;
   Randomisation randomisation = Randomisation::kNone;
   /// Execution core for the guest activations.  The predecoded fast core
@@ -183,6 +199,12 @@ struct CampaignConfig {
   /// nothing.  Purely observational — enabling it never changes times,
   /// samples or any derived seed.
   bool collect_metrics = false;
+  /// Dynamic taint tracking (vm/taint.hpp): shadow every register and
+  /// guest-memory word with a layout-derived bit, with the DSR tables as
+  /// sources and the measured target's observable outputs as sinks.
+  /// Publishes the `leak.*` metrics family when `collect_metrics` is also
+  /// on.  Purely observational: times, samples and digests are unchanged.
+  bool taint = false;
   /// When non-null, producers record Chrome-trace spans here (engine
   /// worker runs, adaptive batches, hv partition frames).  Non-owning; the
   /// CLI owns the Timeline for the duration of the campaign.

@@ -44,6 +44,7 @@ isa::LinkOptions base_layout_options(const MeasuredTarget& target,
 vm::VmConfig vm_config_for(const CampaignConfig& config) {
   vm::VmConfig vm_config;
   vm_config.core = config.vm_core;
+  vm_config.taint = config.taint;
   return vm_config;
 }
 
@@ -79,6 +80,7 @@ CampaignRunner::CampaignRunner(const CampaignConfig& config)
     mix_base_.assign(opcodes, 0);
     cpu_.set_mix_counters(mix_.data());
   }
+  configure_taint_ranges();
   if (config_.hypervisor) {
     hv_build(); // hv_runner.cpp: guest images + PartitionedPlatform
   }
@@ -111,6 +113,7 @@ void CampaignRunner::apply_randomisation(std::uint64_t layout_seed) {
     memory_.clear();
     image_.load_into(memory_);
     hierarchy_.flush_all(); // a re-flashed board starts cold
+    configure_taint_ranges(); // the re-link moved every data object
     break;
   }
   case Randomisation::kHardware:
@@ -143,6 +146,30 @@ void CampaignRunner::note_staged_range(std::uint32_t addr,
                                        std::uint32_t length) {
   hierarchy_.note_memory_written(addr, length);
   hierarchy_.invalidate_range(addr, length);
+}
+
+void CampaignRunner::configure_taint_ranges() {
+  if (!config_.taint) {
+    return;
+  }
+  cpu_.taint_clear_ranges();
+  // Sinks: the measured target's externally observable output objects.
+  for (const std::string& name : target_->observable_symbols()) {
+    const isa::Symbol& symbol = image_.symbol(name);
+    cpu_.taint_add_sink_range(symbol.addr, symbol.size);
+  }
+  // Sources: the DSR tables hold the randomised layout verbatim — function
+  // addresses in the functab, per-function stack offsets alongside it.
+  // (kCall/kJmpl return addresses are sources unconditionally, handled in
+  // the transfer function itself.)
+  if (config_.randomisation == Randomisation::kDsr) {
+    for (const char* table : {dsr::kFunctabSymbol, dsr::kStackoffSymbol}) {
+      if (image_.has_symbol(table)) {
+        const isa::Symbol& symbol = image_.symbol(table);
+        cpu_.taint_add_source_range(symbol.addr, symbol.size);
+      }
+    }
+  }
 }
 
 void CampaignRunner::verify_measured() {
@@ -192,6 +219,9 @@ void CampaignRunner::execute() {
   if (!current_run_ || executed_) {
     throw std::logic_error("CampaignRunner::execute: no run staged");
   }
+  // Fresh taint shadows: per-run leak metrics are a pure function of the
+  // run's own activation(s), independent of how runs are sharded.
+  cpu_.taint_new_run();
   if (hv_) {
     hv_execute();
     executed_ = true;
@@ -264,11 +294,18 @@ void CampaignRunner::obs_begin_run() {
     dsr_base_ = runtime_->stats();
   }
   decode_base_ = cpu_.decode_stats();
+  taint_base_ = cpu_.taint_stats();
 }
 
 void CampaignRunner::obs_rebase_mix() {
   if (!mix_.empty()) {
     mix_base_ = mix_;
+  }
+  if (config_.collect_metrics && config_.taint) {
+    // Like vm.mix.*: the warm-up activation's taint events stay out of the
+    // published leak.* window (shadow *state* persists — the warm-up runs
+    // under this run's layout, so the final sink walk is unaffected).
+    taint_base_ = cpu_.taint_stats();
   }
 }
 
@@ -358,6 +395,22 @@ void CampaignRunner::obs_publish_run(const RunSample& sample) {
       "vm.decode.full_invalidations",
       static_cast<double>(decode_now.full_invalidations -
                           decode_base_.full_invalidations));
+  // leak.*: dynamic taint activity over the measured window (hv runs: the
+  // whole schedule — cross-partition exposure is the point there).  The
+  // per-run deltas and the end-of-run sink walk are pure functions of the
+  // run index, so the family is digest-stable across worker counts.
+  if (config_.taint) {
+    const vm::TaintStats taint_now = cpu_.taint_stats();
+    run_metrics_.add("leak.pc_taints",
+                     taint_now.pc_taints - taint_base_.pc_taints);
+    run_metrics_.add("leak.source_loads",
+                     taint_now.source_loads - taint_base_.source_loads);
+    run_metrics_.add("leak.tainted_stores",
+                     taint_now.tainted_stores - taint_base_.tainted_stores);
+    run_metrics_.add("leak.sink_stores",
+                     taint_now.sink_stores - taint_base_.sink_stores);
+    run_metrics_.record("leak.sink_bits", cpu_.taint_sink_bits());
+  }
   metrics_.merge_from(run_metrics_);
 }
 

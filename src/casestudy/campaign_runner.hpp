@@ -38,6 +38,7 @@
 #include "mem/guest_memory.hpp"
 #include "mem/hierarchy.hpp"
 #include "trace/trace.hpp"
+#include "vm/taint.hpp"
 #include "vm/vm.hpp"
 
 #include <cstdint>
@@ -114,6 +115,11 @@ private:
   /// target and every hv guest app) must notify the hierarchy and
   /// invalidate the range through this one helper.
   void note_staged_range(std::uint32_t addr, std::uint32_t length);
+  /// (Re-)declare the dynamic taint ranges on the VM: sinks from the
+  /// measured target's observable symbols, sources from the DSR tables.
+  /// No-op unless config_.taint; called again after a static re-link
+  /// (every data object moves).
+  void configure_taint_ranges();
   void verify_measured();
   [[noreturn]] void fault(const std::string& what) const;
 
@@ -172,6 +178,7 @@ private:
   std::vector<std::uint64_t> mix_base_; // snapshot at setup() entry
   dsr::DsrRuntime::Stats dsr_base_;
   vm::DecodeCache::Stats decode_base_;
+  vm::TaintStats taint_base_; // leak.* window baseline (config_.taint)
   // shared_ptr for its type-erased deleter: HvState stays incomplete
   // outside hv_runner.cpp.  Never actually shared.
   std::shared_ptr<HvState> hv_; // null on the bare platform

@@ -62,12 +62,21 @@ constexpr std::uint32_t kControlGuestStackTop = 0x4680'0000;
 constexpr std::uint32_t kControlSeedIndex = 0;
 constexpr std::uint32_t kImageSeedIndex = 1;
 constexpr std::uint32_t kStressorSeedIndex = 2;
+constexpr std::uint32_t kBeaconSeedIndex = 3;
 
 constexpr const char* kStressorPartition = "stressor";
 
 std::uint32_t measured_seed_index(MeasuredTargetKind kind) {
-  return kind == MeasuredTargetKind::kImage ? kImageSeedIndex
-                                            : kControlSeedIndex;
+  switch (kind) {
+  case MeasuredTargetKind::kImage:
+    return kImageSeedIndex;
+  case MeasuredTargetKind::kLeakyBeacon:
+  case MeasuredTargetKind::kHardenedBeacon:
+    return kBeaconSeedIndex;
+  case MeasuredTargetKind::kControl:
+    break;
+  }
+  return kControlSeedIndex;
 }
 
 isa::LinkOptions guest_link_options(std::uint32_t code_base,

@@ -6,11 +6,30 @@
 namespace proxima::casestudy {
 
 const char* measured_target_name(MeasuredTargetKind kind) noexcept {
-  return kind == MeasuredTargetKind::kImage ? "image" : "control";
+  switch (kind) {
+  case MeasuredTargetKind::kImage:
+    return "image";
+  case MeasuredTargetKind::kLeakyBeacon:
+    return "leak-beacon";
+  case MeasuredTargetKind::kHardenedBeacon:
+    return "leak-hardened";
+  case MeasuredTargetKind::kControl:
+    break;
+  }
+  return "control";
 }
 
 const char* measured_partition_name(MeasuredTargetKind kind) noexcept {
-  return kind == MeasuredTargetKind::kImage ? "processing" : "control";
+  switch (kind) {
+  case MeasuredTargetKind::kImage:
+    return "processing";
+  case MeasuredTargetKind::kLeakyBeacon:
+  case MeasuredTargetKind::kHardenedBeacon:
+    return "beacon";
+  case MeasuredTargetKind::kControl:
+    break;
+  }
+  return "control";
 }
 
 namespace {
@@ -100,6 +119,12 @@ public:
     return expected == actual;
   }
 
+  std::vector<std::string> observable_symbols() const override {
+    // Everything the golden model reads back: the actuator command block,
+    // the status record and the recovery mirror word.
+    return {"cs_commands", "cs_status", "cs_mirror"};
+  }
+
 private:
   const CampaignConfig& config_;
   rng::Mwc rng_;
@@ -176,6 +201,10 @@ public:
     return expected == actual;
   }
 
+  std::vector<std::string> observable_symbols() const override {
+    return {"im_status", "im_wavefront"};
+  }
+
 private:
   const CampaignConfig& config_;
   rng::Mwc rng_;
@@ -183,12 +212,93 @@ private:
   std::optional<ImageInputs> pinned_inputs_; // fixed_inputs analysis frame
 };
 
+/// The address-leak beacon as the measured target (leak_task.hpp): the
+/// `leak/` family's subject.  Input handling mirrors the image task — no
+/// persistent guest state, a fresh block per activation, so shard skips
+/// need no replay.  The kind decides leaky vs hardened; everything else is
+/// shared.
+class LeakTarget final : public MeasuredTarget {
+public:
+  explicit LeakTarget(const CampaignConfig& config)
+      : config_(config), rng_(config.input_seed) {
+    params_ = config.leak;
+    params_.hardened = config.measured == MeasuredTargetKind::kHardenedBeacon;
+  }
+
+  MeasuredTargetKind kind() const noexcept override {
+    return config_.measured;
+  }
+  const char* uoa_symbol() const noexcept override { return "leak_step"; }
+  bool input_dependent_duration() const noexcept override { return false; }
+
+  isa::Program build_program() const override {
+    isa::Program program = build_leak_program(params_);
+    trace::instrument_function(program, uoa_symbol());
+    return program;
+  }
+
+  isa::LinkOptions layout_options() const override {
+    return isa::LinkOptions{}; // plain sequential layout, like the image task
+  }
+
+  std::uint32_t stack_top() const noexcept override {
+    return kControlStackTop; // the measured program owns the bare platform
+  }
+
+  void advance_inputs(std::uint64_t activation) override {
+    if (config_.fixed_inputs) {
+      if (!pinned_inputs_) {
+        rng_.seed(exec::derive_run_seed(config_.input_seed,
+                                        exec::SeedStream::kInput, 0));
+        pinned_inputs_ = make_leak_inputs(rng_, params_);
+      }
+      inputs_ = *pinned_inputs_;
+      return;
+    }
+    rng_.seed(exec::derive_run_seed(config_.input_seed,
+                                    exec::SeedStream::kInput, activation));
+    inputs_ = make_leak_inputs(rng_, params_);
+  }
+
+  std::vector<std::pair<std::uint32_t, std::uint32_t>>
+  stage_inputs(mem::GuestMemory& memory, const isa::LinkedImage& image,
+               bool /*full_resync*/) override {
+    return stage_leak_inputs(memory, image, inputs_);
+  }
+
+  bool verify(const mem::GuestMemory& memory,
+              const isa::LinkedImage& image) const override {
+    // The beacon word is deliberately outside the golden model: under
+    // randomisation its value is the (unpredictable) layout.
+    const LeakOutputs expected = reference_leak(params_, inputs_);
+    const LeakOutputs actual = read_leak_outputs(memory, image);
+    return expected == actual;
+  }
+
+  std::vector<std::string> observable_symbols() const override {
+    return {"lk_status"};
+  }
+
+private:
+  const CampaignConfig& config_;
+  LeakParams params_;
+  rng::Mwc rng_;
+  LeakInputs inputs_;
+  std::optional<LeakInputs> pinned_inputs_;
+};
+
 } // namespace
 
 std::unique_ptr<MeasuredTarget> make_measured_target(
     const CampaignConfig& config) {
-  if (config.measured == MeasuredTargetKind::kImage) {
+  switch (config.measured) {
+  case MeasuredTargetKind::kImage:
     return std::make_unique<ImageTarget>(config);
+  case MeasuredTargetKind::kLeakyBeacon:
+  case MeasuredTargetKind::kHardenedBeacon:
+    return std::make_unique<LeakTarget>(config);
+  case MeasuredTargetKind::kControl:
+    break;
   }
   return std::make_unique<ControlTarget>(config);
 }

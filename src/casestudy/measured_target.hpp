@@ -39,6 +39,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
@@ -105,6 +106,13 @@ public:
   /// on divergence (the runner turns it into a campaign fault).
   virtual bool verify(const mem::GuestMemory& memory,
                       const isa::LinkedImage& image) const = 0;
+
+  /// Data symbols that make up the target's externally observable output —
+  /// the record another partition, the telemetry downlink or the host
+  /// reads back.  These become the *sinks* of the address-leak analysis
+  /// (static pass and dynamic taint mode): a layout-derived value stored
+  /// into one of these objects is a leak (ISSUE/ROADMAP item 4).
+  virtual std::vector<std::string> observable_symbols() const = 0;
 };
 
 /// Target for `config.measured`.  The returned target keeps a reference to

@@ -33,6 +33,8 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
       return cmd_diff(command.diff, out);
     case Command::Kind::kSweep:
       return cmd_sweep(command.options, command.sweep, out, err);
+    case Command::Kind::kLint:
+      return cmd_lint(command.options, out, err);
     }
   } catch (const UsageError& error) {
     // Some flags are only checkable against the selected scenario (e.g.

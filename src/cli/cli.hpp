@@ -41,6 +41,11 @@ int cmd_diff(const DiffOptions& options, std::ostream& out);
 /// 0 success, 1 baseline drift, 3 campaign fault.
 int cmd_sweep(const CampaignOptions& options, const SweepOptions& sweep,
               std::ostream& out, std::ostream& err);
+/// Address-leak analysis (lint.cpp): static taint pass over each selected
+/// scenario's guest program plus a dynamic-taint confirmation campaign.
+/// 0 every scenario clean, 1 any confirmed leak, 2 usage.
+int cmd_lint(const CampaignOptions& options, std::ostream& out,
+             std::ostream& err);
 
 /// Load and shape-check a saved run/report/sweep JSON document (diff.cpp).
 /// Throws UsageError on unreadable/unparseable/wrong-kind files.

@@ -51,8 +51,8 @@ vm::VmCore parse_vm_core(std::string_view text) {
 Command parse_command_line(std::span<const char* const> args) {
   Command command;
   if (args.empty()) {
-    throw UsageError(
-        "missing command: expected list|run|report|profile|sweep|diff|help");
+    throw UsageError("missing command: expected "
+                     "list|run|report|profile|lint|sweep|diff|help");
   }
   const std::string_view verb = args[0];
   if (verb == "help" || verb == "--help" || verb == "-h") {
@@ -71,9 +71,12 @@ Command parse_command_line(std::span<const char* const> args) {
     command.kind = Command::Kind::kProfile;
   } else if (verb == "sweep") {
     command.kind = Command::Kind::kSweep;
+  } else if (verb == "lint") {
+    command.kind = Command::Kind::kLint;
   } else {
-    throw UsageError("unknown command '" + std::string(verb) +
-                     "': expected list|run|report|profile|sweep|diff|help");
+    throw UsageError(
+        "unknown command '" + std::string(verb) +
+        "': expected list|run|report|profile|lint|sweep|diff|help");
   }
 
   if (command.kind == Command::Kind::kDiff) {
@@ -247,6 +250,20 @@ Command parse_command_line(std::span<const char* const> args) {
     }
   }
 
+  if (command.kind == Command::Kind::kLint) {
+    if (options.adaptive) {
+      throw UsageError("--adaptive: not applicable to lint (the dynamic "
+                       "confirmation runs a fixed-size campaign)");
+    }
+    if (!options.store_dir.empty()) {
+      throw UsageError("--store: not applicable to lint (taint-mode "
+                       "campaigns are not persisted)");
+    }
+    if (options.format == OutputFormat::kCsv) {
+      throw UsageError("lint --format: expected text|json");
+    }
+  }
+
   if (command.kind != Command::Kind::kList) {
     if (options.scenarios.empty() && !options.all) {
       throw UsageError("expected --scenario NAME (repeatable) or --all");
@@ -275,6 +292,11 @@ std::string usage() {
       "  profile              execute campaigns, render the merged metrics\n"
       "                       registry (instruction mix, hierarchy, DSR,\n"
       "                       hv occupancy, engine) as text/json/csv\n"
+      "  lint                 address-leak analysis of the selected\n"
+      "                       scenarios: static taint pass over the guest\n"
+      "                       program + dynamic taint campaign; exit 1 on\n"
+      "                       any confirmed leak of layout-derived bits\n"
+      "                       into the observable outputs\n"
       "  sweep                run the scenario × seed grid through the\n"
       "                       campaign store: stored cells are re-rendered\n"
       "                       without simulating, fresh cells are persisted;\n"
@@ -325,6 +347,12 @@ std::string usage() {
       "                       (default 0: bit-exact, digests included)\n"
       "  --format F           text|json (default text; exit codes identical)\n"
       "\n"
+      "options (lint):\n"
+      "  --scenario/--all, --runs, --workers, --seed, --vm-core as above\n"
+      "  --format F           text|json (default text)\n"
+      "                       (--runs sizes the dynamic confirmation\n"
+      "                       campaign only; the static pass needs none)\n"
+      "\n"
       "examples:\n"
       "  proxima list\n"
       "  proxima run --scenario control/operation-dsr --runs 500 --workers 8\n"
@@ -342,7 +370,9 @@ std::string usage() {
       "  proxima sweep --store .proxima-store --runs 200 \\\n"
       "              --baseline sweep-report.json --tolerance 0.001\n"
       "  proxima diff golden.json candidate.json --tolerance 0.001\n"
-      "  proxima diff golden.json candidate.json --format json\n";
+      "  proxima diff golden.json candidate.json --format json\n"
+      "  proxima lint --scenario leak/beacon-dsr --runs 40\n"
+      "  proxima lint --scenario leak/hardened-dsr --runs 40 --format json\n";
 }
 
 } // namespace proxima::cli

@@ -107,6 +107,7 @@ struct Command {
     kDiff,
     kProfile,
     kSweep,
+    kLint,
   };
   Kind kind = Kind::kHelp;
   CampaignOptions options;

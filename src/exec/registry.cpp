@@ -243,6 +243,18 @@ CampaignConfig hv_image_base(Randomisation randomisation,
   return config;
 }
 
+/// Leak-beacon campaigns (the `leak/` family): the address-leak analysis
+/// subject of `proxima lint`.  Fresh input blocks per activation (the task
+/// has no persistent state); the scenarios themselves leave dynamic taint
+/// OFF so their time digests stay lockable — lint and the tests flip
+/// `CampaignConfig::taint` on top of the same configs.
+CampaignConfig leak_base(MeasuredTargetKind kind, Randomisation randomisation,
+                         std::uint32_t runs) {
+  CampaignConfig config = operation_base(randomisation, runs);
+  config.measured = kind;
+  return config;
+}
+
 struct NamedRandomisation {
   const char* key;
   const char* label;
@@ -394,6 +406,52 @@ void register_default_scenarios(ScenarioRegistry& registry) {
           return image_analysis_base(randomisation, runs);
         }});
   }
+
+  // The address-leak beacon family (ISSUE 8: `proxima lint` subjects).
+  // beacon-* publish their own return address in an observable status
+  // field — under DSR that address is the per-reboot layout, the secrecy
+  // violation the analyzer exists to catch; hardened-dsr is the fixed
+  // variant (constant in the same field) and must lint clean.
+  registry.add(Scenario{
+      "leak/beacon-dsr",
+      "leaky beacon (return address in lk_status) under DSR — lint flags it",
+      [](std::uint32_t runs) {
+        return leak_base(MeasuredTargetKind::kLeakyBeacon, Randomisation::kDsr,
+                         runs);
+      }});
+  registry.add(Scenario{
+      "leak/hardened-dsr",
+      "hardened beacon (constant in the status field) under DSR — lint clean",
+      [](std::uint32_t runs) {
+        return leak_base(MeasuredTargetKind::kHardenedBeacon,
+                         Randomisation::kDsr, runs);
+      }});
+  registry.add(Scenario{
+      "leak/beacon-cots",
+      "leaky beacon on the fixed COTS layout (leak exists, nothing secret)",
+      [](std::uint32_t runs) {
+        return leak_base(MeasuredTargetKind::kLeakyBeacon, Randomisation::kNone,
+                         runs);
+      }});
+
+  // Cross-partition exposure: the leaky beacon measured on the cyclic
+  // schedule with the control task riding as an observer guest — the
+  // quantified version of "another partition can read the layout bits the
+  // beacon publishes" (the beacon's status block lives in shared guest
+  // memory).
+  registry.add(Scenario{
+      "leak/observer-hv",
+      "leaky beacon under DSR with a control-task observer partition",
+      [](std::uint32_t runs) {
+        CampaignConfig config =
+            leak_base(MeasuredTargetKind::kLeakyBeacon, Randomisation::kDsr,
+                      runs);
+        casestudy::HvCampaignConfig hv;
+        hv.frames = 10;
+        hv.control_guest = true;
+        config.hypervisor = hv;
+        return config;
+      }});
 
   // Hypervisor campaigns with the IMAGE partition measured under
   // control-task interference (ROADMAP "measured-partition selection"):

@@ -18,6 +18,7 @@
 // case in the reference `execute`; the differential suite
 // (tests/vm_differential_test.cpp) enforces the equivalence.
 #include "decode.hpp"
+#include "taint.hpp"
 #include "vm.hpp"
 
 #include <cmath>
@@ -25,6 +26,7 @@
 
 namespace proxima::vm {
 
+using isa::Instruction;
 using isa::Opcode;
 
 #if defined(__GNUC__) || defined(__clang__)
@@ -70,6 +72,9 @@ RunResult Vm::run_fast(std::uint64_t cycle_budget) {
   // Instruction-mix telemetry: hoisted so the off case is one never-taken
   // branch on a register, invisible next to the fetch/dispatch work.
   std::uint64_t* const mix = mix_;
+  // Dynamic taint tracking, gated the same way: null when VmConfig::taint
+  // is off, so the hot path pays one never-taken branch.
+  TaintState* const taint = taint_.get();
 
   // Inline register-file access, mirroring visible/visible_value/set_reg.
   auto vis = [&](std::uint8_t index) -> std::uint32_t& {
@@ -180,6 +185,12 @@ next_instruction:
   }
   if (mix != nullptr) {
     ++mix[op->handler];
+  }
+  if (taint != nullptr) {
+    // Same shared transfer function the reference core runs, before the
+    // handler mutates the operands (taint_vm.cpp).
+    taint_execute(Instruction{static_cast<Opcode>(op->handler), op->rd,
+                              op->rs1, op->rs2, op->imm});
   }
   VM_DISPATCH();
 

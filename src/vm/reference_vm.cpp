@@ -51,6 +51,9 @@ void Vm::step() {
   if (mix_ != nullptr) {
     ++mix_[static_cast<std::uint8_t>(instr.op)];
   }
+  if (taint_) {
+    taint_execute(instr); // before execute(): operands still hold sources
+  }
   execute(instr);
 }
 

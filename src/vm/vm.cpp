@@ -6,6 +6,7 @@
 #include "vm.hpp"
 
 #include "decode.hpp"
+#include "taint.hpp"
 
 #include <cmath>
 #include <sstream>
@@ -27,6 +28,9 @@ Vm::Vm(mem::GuestMemory& memory, mem::MemoryHierarchy& hierarchy,
   if (config_.core == VmCore::kFast) {
     decode_ = std::make_unique<DecodeCache>();
     memory_.add_write_listener(decode_.get());
+  }
+  if (config_.taint) {
+    taint_ = std::make_unique<TaintState>(config_.nwindows);
   }
 }
 
@@ -60,6 +64,9 @@ void Vm::reset(std::uint32_t entry_pc, std::uint32_t stack_top) {
   cycles_ = 0;
   instructions_ = 0;
   halted_ = false;
+  if (taint_) {
+    taint_->clear_registers(); // shadows match the zeroed register file
+  }
   set_reg(isa::kSp, stack_top);
 }
 

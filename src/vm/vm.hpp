@@ -32,6 +32,9 @@
 
 namespace proxima::vm {
 
+class TaintState; // vm/taint.hpp
+struct TaintStats;
+
 class VmError : public std::runtime_error {
 public:
   explicit VmError(const std::string& what) : std::runtime_error(what) {}
@@ -68,6 +71,11 @@ struct VmConfig {
   std::uint32_t ipoint_cycles = 2; // timestamp store to the uncached bank
   std::uint32_t flush_cycles = 2;
   std::uint64_t max_instructions = 2'000'000'000ULL;
+  /// Dynamic taint tracking (vm/taint.hpp): shadow bit per register and
+  /// per guest-memory word, maintained identically by both cores.  Purely
+  /// observational — cycles, counters and architectural state are
+  /// untouched, so times digests are identical with taint on or off.
+  bool taint = false;
 };
 
 struct RunResult {
@@ -158,6 +166,27 @@ public:
     return decode_ ? decode_->stats() : DecodeCache::Stats{};
   }
 
+  // ---- dynamic taint tracking (allocated when VmConfig::taint is set;
+  // every call below is a cheap no-op when it is off) ----
+
+  /// Declare a source range: loads from it produce layout-derived values
+  /// (the DSR function-table and stack-offset tables).
+  void taint_add_source_range(std::uint32_t base, std::uint32_t length);
+  /// Declare an observable sink range: storing a tainted value into it is
+  /// a confirmed address leak.
+  void taint_add_sink_range(std::uint32_t base, std::uint32_t length);
+  /// Drop declared ranges (static re-randomisation moves the image).
+  void taint_clear_ranges();
+  /// Clear register and memory shadows at the start of a measured run so
+  /// per-run leak metrics are a pure function of that run.
+  void taint_new_run();
+  /// Cumulative taint event counters (zeroes when taint is off).
+  TaintStats taint_stats() const;
+  /// Layout bits currently exposed in sink ranges (32 per tainted word).
+  std::uint64_t taint_sink_bits() const;
+  TaintState* taint_state() noexcept { return taint_.get(); }
+  const TaintState* taint_state() const noexcept { return taint_.get(); }
+
   const VmConfig& config() const noexcept { return config_; }
 
 private:
@@ -168,6 +197,9 @@ private:
   RunResult run_fast(std::uint64_t cycle_budget);
 
   void execute(const isa::Instruction& instr);
+  void taint_execute(const isa::Instruction& instr);
+  void taint_spill_oldest_window();
+  void taint_fill_window(std::uint32_t window);
   void do_save(std::uint8_t rd, std::uint32_t value);
   void do_restore(const isa::Instruction& instr);
   void spill_oldest_window();
@@ -197,6 +229,7 @@ private:
   RelocTrapSink reloc_trap_sink_;
   std::uint64_t* mix_ = nullptr;        // per-opcode counters, off by default
   std::unique_ptr<DecodeCache> decode_; // fast core only
+  std::unique_ptr<TaintState> taint_;   // only when config.taint is set
 };
 
 } // namespace proxima::vm

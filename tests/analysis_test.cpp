@@ -1,0 +1,254 @@
+// Unit tests for the static address-leak analysis (analysis/static_taint):
+// the forward taint dataflow that proves, before any run, whether a guest
+// program can store a layout-derived value into its observable outputs.
+#include "analysis/static_taint.hpp"
+#include "casestudy/leak_task.hpp"
+#include "core/dsr_pass.hpp"
+#include "isa/builder.hpp"
+#include "isa/program.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace {
+
+using namespace proxima;
+using analysis::LeakFinding;
+using analysis::TaintOptions;
+using analysis::TaintReport;
+using analysis::TaintSourceKind;
+using analysis::analyse_address_leaks;
+using isa::FunctionBuilder;
+using isa::Opcode;
+
+const std::vector<std::string> kLeakObservables{"lk_status"};
+
+TEST(StaticTaint, LeakyBeaconFlagged) {
+  casestudy::LeakParams params;
+  const isa::Program program = casestudy::build_leak_program(params);
+  const TaintReport report = analyse_address_leaks(program, kLeakObservables);
+  ASSERT_EQ(report.findings.size(), 1u);
+  const LeakFinding& finding = report.findings.front();
+  EXPECT_EQ(finding.function, "leak_step");
+  EXPECT_EQ(finding.sink_symbol, "lk_status");
+  EXPECT_EQ(finding.sink_offset, 4); // the beacon word
+  EXPECT_EQ(finding.source.kind, TaintSourceKind::kReturnAddress);
+  // The store itself is the chain's last step and the finding's anchor.
+  ASSERT_LT(finding.instruction_index, program.functions.size() == 0
+                ? 0u
+                : program.find_function("leak_step")->code.size());
+  EXPECT_EQ(program.find_function("leak_step")
+                ->code[finding.instruction_index]
+                .op,
+            Opcode::kSt);
+  ASSERT_FALSE(finding.chain.empty());
+}
+
+TEST(StaticTaint, HardenedBeaconClean) {
+  casestudy::LeakParams params;
+  params.hardened = true;
+  const isa::Program program = casestudy::build_leak_program(params);
+  const TaintReport report = analyse_address_leaks(program, kLeakObservables);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.functions_analysed, 2u);
+  EXPECT_GT(report.instructions_analysed, 0u);
+}
+
+TEST(StaticTaint, DsrTransformedLeakStillFlagged) {
+  // The DSR pass rewrites prologues and adds the relocation machinery;
+  // the leak must survive the transformation (lint analyses the program
+  // as the campaign runs it).
+  casestudy::LeakParams params;
+  isa::Program program = casestudy::build_leak_program(params);
+  dsr::apply_pass(program);
+  const TaintReport report = analyse_address_leaks(program, kLeakObservables);
+  const bool flagged = std::any_of(
+      report.findings.begin(), report.findings.end(),
+      [](const LeakFinding& finding) {
+        return finding.function == "leak_step" &&
+               finding.sink_symbol == "lk_status" && finding.sink_offset == 4;
+      });
+  EXPECT_TRUE(flagged);
+}
+
+TEST(StaticTaint, DsrTransformedHardenedStaysClean) {
+  // The DSR machinery itself (stub tables, relocation loops, the
+  // stack-offset load) moves plenty of layout-derived values around —
+  // none of them into an observable object.  No false positives.
+  casestudy::LeakParams params;
+  params.hardened = true;
+  isa::Program program = casestudy::build_leak_program(params);
+  dsr::apply_pass(program);
+  const TaintReport report = analyse_address_leaks(program, kLeakObservables);
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(StaticTaint, CodeSymbolAddressLeakDetected) {
+  // A function that publishes another function's ADDRESS (sethi/orlo pair
+  // against a code symbol) into an observable word.
+  isa::Program program;
+  program.entry = "publish";
+  program.functions.push_back(FunctionBuilder("helper").ret_leaf().build());
+  program.functions.push_back(FunctionBuilder("publish")
+                                  .load_address(isa::kL0, "helper")
+                                  .load_address(isa::kL1, "out_block")
+                                  .st(isa::kL0, isa::kL1, 0)
+                                  .halt()
+                                  .build());
+  program.data.push_back(isa::DataObject{"out_block", 16, 8, {}});
+  const TaintReport report = analyse_address_leaks(program, {"out_block"});
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings.front().source.kind,
+            TaintSourceKind::kCodeAddress);
+  EXPECT_EQ(report.findings.front().sink_symbol, "out_block");
+
+  // The same store is silent when code-address sources are off.
+  TaintOptions options;
+  options.code_symbol_addresses = false;
+  EXPECT_TRUE(analyse_address_leaks(program, {"out_block"}, options).clean());
+}
+
+TEST(StaticTaint, StackPointerLeakDetected) {
+  isa::Program program;
+  program.entry = "publish_sp";
+  program.functions.push_back(FunctionBuilder("publish_sp")
+                                  .load_address(isa::kL1, "out_block")
+                                  .st(isa::kSp, isa::kL1, 0)
+                                  .halt()
+                                  .build());
+  program.data.push_back(isa::DataObject{"out_block", 16, 8, {}});
+  const TaintReport report = analyse_address_leaks(program, {"out_block"});
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings.front().source.kind,
+            TaintSourceKind::kStackPointer);
+
+  TaintOptions options;
+  options.stack_pointers = false;
+  EXPECT_TRUE(analyse_address_leaks(program, {"out_block"}, options).clean());
+}
+
+TEST(StaticTaint, TaintFlowsThroughRegisterCopiesAndAlu) {
+  // %o7 -> mov -> xor with clean data -> store: still a leak (the lattice
+  // joins through ALU ops); storing only the clean operand is not.
+  isa::Program program;
+  program.entry = "mix";
+  program.functions.push_back(FunctionBuilder("mix")
+                                  .mov(isa::kL0, isa::kO7)
+                                  .li(isa::kL1, 123)
+                                  .op3(Opcode::kXor, isa::kL2, isa::kL0,
+                                       isa::kL1)
+                                  .load_address(isa::kL3, "out_block")
+                                  .st(isa::kL1, isa::kL3, 0) // clean value
+                                  .st(isa::kL2, isa::kL3, 4) // tainted mix
+                                  .halt()
+                                  .build());
+  program.data.push_back(isa::DataObject{"out_block", 16, 8, {}});
+  const TaintReport report = analyse_address_leaks(program, {"out_block"});
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings.front().sink_offset, 4);
+  EXPECT_EQ(report.findings.front().source.kind,
+            TaintSourceKind::kReturnAddress);
+}
+
+TEST(StaticTaint, WindowShiftMapsReturnAddressToI7) {
+  // After save, the caller's %o7 is visible as %i7 — the exact flow the
+  // leaky beacon uses.  Restore maps it back.
+  isa::Program program;
+  program.entry = "windowed";
+  program.functions.push_back(FunctionBuilder("windowed")
+                                  .prologue(96)
+                                  .load_address(isa::kL1, "out_block")
+                                  .st(isa::kI7, isa::kL1, 0)
+                                  .epilogue()
+                                  .build());
+  program.data.push_back(isa::DataObject{"out_block", 16, 8, {}});
+  const TaintReport report = analyse_address_leaks(program, {"out_block"});
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings.front().source.kind,
+            TaintSourceKind::kReturnAddress);
+}
+
+TEST(StaticTaint, StoresOutsideObservablesAreNotLeaks) {
+  // Tainted stores into private state are fine — only the declared
+  // observable objects are sinks.
+  isa::Program program;
+  program.entry = "private_store";
+  program.functions.push_back(FunctionBuilder("private_store")
+                                  .load_address(isa::kL1, "scratch")
+                                  .st(isa::kO7, isa::kL1, 0)
+                                  .halt()
+                                  .build());
+  program.data.push_back(isa::DataObject{"scratch", 16, 8, {}});
+  program.data.push_back(isa::DataObject{"out_block", 16, 8, {}});
+  EXPECT_TRUE(analyse_address_leaks(program, {"out_block"}).clean());
+}
+
+TEST(StaticTaint, TaintSurvivesStackSpillReload) {
+  // Spill the return address to a stack slot, reload it, store it: the
+  // slot map carries the taint across the round-trip.
+  isa::Program program;
+  program.entry = "spill";
+  program.functions.push_back(FunctionBuilder("spill")
+                                  .st(isa::kO7, isa::kSp, -8)
+                                  .ld(isa::kL0, isa::kSp, -8)
+                                  .load_address(isa::kL1, "out_block")
+                                  .st(isa::kL0, isa::kL1, 0)
+                                  .halt()
+                                  .build());
+  program.data.push_back(isa::DataObject{"out_block", 16, 8, {}});
+  const TaintReport report = analyse_address_leaks(program, {"out_block"});
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings.front().source.kind,
+            TaintSourceKind::kReturnAddress);
+}
+
+TEST(StaticTaint, BranchJoinKeepsMayLeak) {
+  // One path taints %l0, the other leaves it clean: the join must keep
+  // the may-taint (a leak on any path is a leak).
+  isa::Program program;
+  program.entry = "branchy";
+  program.functions.push_back(FunctionBuilder("branchy")
+                                  .li(isa::kL0, 0)
+                                  .subcci(isa::kO0, 5)
+                                  .bg("skip")
+                                  .mov(isa::kL0, isa::kO7) // tainting path
+                                  .label("skip")
+                                  .load_address(isa::kL1, "out_block")
+                                  .st(isa::kL0, isa::kL1, 0)
+                                  .halt()
+                                  .build());
+  program.data.push_back(isa::DataObject{"out_block", 16, 8, {}});
+  const TaintReport report = analyse_address_leaks(program, {"out_block"});
+  ASSERT_EQ(report.findings.size(), 1u);
+}
+
+TEST(StaticTaint, DescribeRendersFindings) {
+  casestudy::LeakParams params;
+  const isa::Program program = casestudy::build_leak_program(params);
+  const TaintReport report = analyse_address_leaks(program, kLeakObservables);
+  ASSERT_FALSE(report.findings.empty());
+  const std::string line = analysis::describe(report.findings.front());
+  EXPECT_NE(line.find("leak_step"), std::string::npos);
+  EXPECT_NE(line.find("lk_status+4"), std::string::npos);
+  EXPECT_NE(line.find("return-address"), std::string::npos);
+}
+
+TEST(StaticTaint, ReportIsDeterministic) {
+  casestudy::LeakParams params;
+  isa::Program program = casestudy::build_leak_program(params);
+  dsr::apply_pass(program);
+  const TaintReport a = analyse_address_leaks(program, kLeakObservables);
+  const TaintReport b = analyse_address_leaks(program, kLeakObservables);
+  ASSERT_EQ(a.findings.size(), b.findings.size());
+  for (std::size_t i = 0; i < a.findings.size(); ++i) {
+    EXPECT_EQ(a.findings[i].function, b.findings[i].function);
+    EXPECT_EQ(a.findings[i].instruction_index,
+              b.findings[i].instruction_index);
+    EXPECT_EQ(a.findings[i].sink_offset, b.findings[i].sink_offset);
+    EXPECT_EQ(a.findings[i].source.description,
+              b.findings[i].source.description);
+  }
+}
+
+} // namespace

@@ -772,6 +772,10 @@ TEST(CliErrors, UsageErrorsExitTwo) {
   EXPECT_EQ(invoke({"run", "--scenario", "x", "--all"}).code, 2);
   EXPECT_EQ(invoke({"run", "--scenario", "x", "--batch", "0"}).code, 2)
       << "--batch 0 must be rejected, not silently replaced by the default";
+  EXPECT_EQ(invoke({"run", "--scenario", "x", "--runs", "0"}).code, 2)
+      << "--runs 0 must be rejected, not silently replaced by the default";
+  EXPECT_EQ(invoke({"report", "--scenario", "x", "--runs", "0"}).code, 2);
+  EXPECT_EQ(invoke({"lint", "--scenario", "x", "--runs", "0"}).code, 2);
   EXPECT_EQ(invoke({"run", "--scenario", "x", "--frames", "0"}).code, 2);
   EXPECT_EQ(invoke({"run", "--scenario", "control/operation-cots", "--runs",
                     "2", "--frames", "4"})
@@ -1037,6 +1041,74 @@ TEST(CliRun, StoreBackedRunRerendersBitIdentically) {
   // metrics — must match exactly.
   EXPECT_EQ(field_after(live.out, "digest"),
             field_after(rerender.out, "digest"));
+}
+
+// ---------------------------------------------------------------------------
+// lint — the address-leak gate (static taint pass + dynamic taint runs).
+// ---------------------------------------------------------------------------
+
+TEST(CliLint, LeakyBeaconExitsOneWithAgreeingDetectors) {
+  const CliResult result = invoke({"lint", "--scenario", "leak/beacon-dsr",
+                                   "--runs", "8", "--workers", "2"});
+  EXPECT_EQ(result.code, 1) << result.out << result.err;
+  EXPECT_NE(result.out.find("LEAK"), std::string::npos) << result.out;
+  EXPECT_NE(result.out.find("lk_status+4"), std::string::npos) << result.out;
+  EXPECT_NE(result.out.find("return-address"), std::string::npos);
+  EXPECT_NE(result.out.find("static/dynamic agree: yes"), std::string::npos)
+      << result.out;
+}
+
+TEST(CliLint, HardenedBeaconExitsZeroClean) {
+  const CliResult result = invoke({"lint", "--scenario", "leak/hardened-dsr",
+                                   "--runs", "8", "--workers", "2"});
+  EXPECT_EQ(result.code, 0) << result.out << result.err;
+  EXPECT_NE(result.out.find("clean"), std::string::npos) << result.out;
+  EXPECT_EQ(result.out.find("LEAK"), std::string::npos) << result.out;
+  EXPECT_NE(result.out.find("static/dynamic agree: yes"), std::string::npos);
+}
+
+TEST(CliLint, JsonShapeCarriesBothDetectors) {
+  const CliResult result =
+      invoke({"lint", "--scenario", "leak/beacon-cots", "--runs", "6",
+              "--workers", "2", "--format", "json"});
+  EXPECT_EQ(result.code, 1) << result.out << result.err;
+  EXPECT_EQ(field_after(result.out, "kind"), "\"lint\"");
+  EXPECT_EQ(field_after(result.out, "leak"), "true");
+  EXPECT_EQ(field_after(result.out, "agree"), "true");
+  EXPECT_EQ(field_after(result.out, "source_kind"), "\"return-address\"");
+  EXPECT_EQ(field_after(result.out, "sink_symbol"), "\"lk_status\"");
+  EXPECT_EQ(field_after(result.out, "runs"), "6");
+  // Dynamic counters confirmed the leak: one beacon store per run.
+  EXPECT_EQ(field_after(result.out, "sink_stores"), "6");
+  EXPECT_NE(field_after(result.out, "pc_taints"), "0");
+}
+
+TEST(CliLint, CleanControlScenarioAgreesCleanly) {
+  // The full DSR-transformed control task: the DSR machinery moves layout
+  // values constantly, none into the observable outputs.  Both detectors
+  // must say clean — the static pass with zero false positives.
+  const CliResult result =
+      invoke({"lint", "--scenario", "control/operation-dsr", "--runs", "4",
+              "--workers", "2", "--format", "json"});
+  EXPECT_EQ(result.code, 0) << result.out << result.err;
+  EXPECT_EQ(field_after(result.out, "leak"), "false");
+  EXPECT_EQ(field_after(result.out, "agree"), "true");
+  EXPECT_EQ(field_after(result.out, "sink_stores"), "0");
+}
+
+TEST(CliLint, UsageErrorsExitTwo) {
+  EXPECT_EQ(invoke({"lint"}).code, 2) << "lint needs --scenario or --all";
+  EXPECT_EQ(invoke({"lint", "--scenario", "no/such"}).code, 2);
+  EXPECT_EQ(invoke({"lint", "--scenario", "leak/beacon-dsr", "--adaptive"})
+                .code,
+            2);
+  EXPECT_EQ(invoke({"lint", "--scenario", "leak/beacon-dsr", "--store", "d"})
+                .code,
+            2);
+  EXPECT_EQ(invoke({"lint", "--scenario", "leak/beacon-dsr", "--format",
+                    "csv"})
+                .code,
+            2);
 }
 
 } // namespace

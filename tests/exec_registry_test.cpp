@@ -32,9 +32,9 @@ TEST(ScenarioRegistry, DefaultCatalogue) {
   const exec::ScenarioRegistry& registry = fixture.get();
   // Operation + analysis for every randomisation technology, plus the
   // layout / PRNG / offset / relocation-scheme sweeps, the stress
-  // scenario, the hypervisor (partition-interference) family, and the
-  // image-task measured family.
-  EXPECT_EQ(registry.size(), 25u);
+  // scenario, the hypervisor (partition-interference) family, the
+  // image-task measured family, and the address-leak family.
+  EXPECT_EQ(registry.size(), 29u);
   for (const char* name :
        {"control/operation-cots", "control/operation-dsr",
         "control/operation-static", "control/operation-hwrand",
@@ -46,7 +46,8 @@ TEST(ScenarioRegistry, DefaultCatalogue) {
         "hv/image+control", "hv/image+control-dsr", "image/operation-cots",
         "image/operation-dsr", "image/operation-hwrand",
         "image/analysis-cots", "image/analysis-dsr",
-        "image/analysis-hwrand"}) {
+        "image/analysis-hwrand", "leak/beacon-dsr", "leak/hardened-dsr",
+        "leak/beacon-cots", "leak/observer-hv"}) {
     EXPECT_TRUE(registry.contains(name)) << name;
   }
 }
@@ -130,7 +131,7 @@ TEST(ScenarioRegistry, RejectsInvalidRegistrations) {
                    "control/operation-dsr", "duplicate",
                    [](std::uint32_t) { return CampaignConfig{}; }}),
                std::invalid_argument);
-  EXPECT_EQ(registry.size(), 25u) << "failed adds must not register";
+  EXPECT_EQ(registry.size(), 29u) << "failed adds must not register";
 }
 
 TEST(ScenarioRegistry, FactoriesHonourRunsAndScenarioKnobs) {

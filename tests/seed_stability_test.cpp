@@ -70,6 +70,19 @@ constexpr LockedDigest kSeed7Hv24[] = {
     {"hv/control-solo", "0x18f7db57e7a25025"},
 };
 
+/// The leak/ scenario family (ISSUE 8), locked at introduction.  The
+/// taint shadow machinery is observational by design: these digests must
+/// be identical whether `CampaignConfig::taint` is on or off
+/// (vm_differential_test locks that equivalence), and the beacon
+/// partition's frozen seed index (3, per kind) means new measured targets
+/// cannot shift them.
+constexpr LockedDigest kLeakDefaultSeeds30[] = {
+    {"leak/beacon-cots", "0x642db0bd273adfc5"},
+    {"leak/beacon-dsr", "0xade9ecaa3d3c4fb9"},
+    {"leak/hardened-dsr", "0x1f9d82ae84734b4e"},
+    {"leak/observer-hv", "0xa73dfd15f384d424"},
+};
+
 CampaignConfig scenario(const std::string& name, std::uint32_t runs) {
   return exec::ScenarioRegistry::global().at(name).make_config(runs);
 }
@@ -85,6 +98,23 @@ TEST(SeedStreamStability, DefaultSeedDigestsAreLocked) {
   for (const LockedDigest& locked : kDefaultSeeds30) {
     EXPECT_EQ(engine_digest(scenario(locked.scenario, 30)), locked.digest)
         << locked.scenario;
+  }
+}
+
+TEST(SeedStreamStability, LeakFamilyDigestsAreLocked) {
+  for (const LockedDigest& locked : kLeakDefaultSeeds30) {
+    EXPECT_EQ(engine_digest(scenario(locked.scenario, 30)), locked.digest)
+        << locked.scenario;
+  }
+}
+
+TEST(SeedStreamStability, LeakDigestsUnchangedByTaintShadow) {
+  // The whole secrecy argument rests on the taint machinery being
+  // invisible to the measurement: same digest with the shadow on.
+  for (const LockedDigest& locked : kLeakDefaultSeeds30) {
+    CampaignConfig config = scenario(locked.scenario, 30);
+    config.taint = true;
+    EXPECT_EQ(engine_digest(config), locked.digest) << locked.scenario;
   }
 }
 

@@ -198,6 +198,87 @@ TEST(VmDifferential, ArchitecturalStateMatchesOnHandwrittenProgram) {
   EXPECT_EQ(fast.cpu.pc(), reference.cpu.pc());
 }
 
+// Dynamic taint tracking (vm/taint.hpp) is maintained by one shared
+// transfer function called from both cores at the same point of the
+// dispatch loop — the reference interpreter is the taint oracle.  Every
+// leak.* counter and the sink-bits histogram must be bit-identical across
+// cores, on leaky and clean targets, bare and hypervisor, eager and lazy
+// DSR.
+TEST(VmDifferential, TaintShadowAgreesAcrossCores) {
+  exec::ScenarioRegistry registry;
+  exec::register_default_scenarios(registry);
+  for (const char* name :
+       {"leak/beacon-dsr", "leak/hardened-dsr", "leak/beacon-cots",
+        "control/operation-dsr", "control/dsr-lazy", "leak/observer-hv"}) {
+    CampaignConfig config = registry.at(name).make_config(4);
+    config.taint = true;
+    config.collect_metrics = true;
+    const CampaignResult fast = run_with_core(config, vm::VmCore::kFast);
+    const CampaignResult reference =
+        run_with_core(config, vm::VmCore::kReference);
+    expect_bit_identical(fast, reference, name);
+    EXPECT_EQ(fast.metrics.counters, reference.metrics.counters) << name;
+    EXPECT_EQ(fast.metrics.histograms, reference.metrics.histograms) << name;
+    EXPECT_EQ(obs::metrics_digest_hex(fast.metrics),
+              obs::metrics_digest_hex(reference.metrics))
+        << name;
+  }
+}
+
+// The leak verdict itself: the leaky beacon's tainted %i7 store reaches
+// the sink every run, the hardened variant never does — on both cores.
+TEST(VmDifferential, TaintVerdictLeakyVsHardened) {
+  exec::ScenarioRegistry registry;
+  exec::register_default_scenarios(registry);
+  for (const vm::VmCore core : {vm::VmCore::kFast, vm::VmCore::kReference}) {
+    CampaignConfig leaky = registry.at("leak/beacon-dsr").make_config(4);
+    leaky.taint = true;
+    leaky.collect_metrics = true;
+    const CampaignResult flagged = run_with_core(leaky, core);
+    EXPECT_EQ(flagged.metrics.counters.at("leak.sink_stores"), 4u);
+    const obs::Histogram& bits =
+        flagged.metrics.histograms.at("leak.sink_bits");
+    EXPECT_EQ(bits.count, 4u);
+    EXPECT_EQ(bits.max, 32u); // one leaked beacon word per run
+
+    CampaignConfig hardened = registry.at("leak/hardened-dsr").make_config(4);
+    hardened.taint = true;
+    hardened.collect_metrics = true;
+    const CampaignResult clean = run_with_core(hardened, core);
+    EXPECT_EQ(clean.metrics.counters.at("leak.sink_stores"), 0u);
+    EXPECT_EQ(clean.metrics.histograms.at("leak.sink_bits").max, 0u);
+    // Both still exercised the taint machinery (calls taint %o7).
+    EXPECT_GT(clean.metrics.counters.at("leak.pc_taints"), 0u);
+  }
+}
+
+// Taint is purely observational: enabling it must not change times,
+// samples, or any pre-existing metric — only add the leak.* family.
+TEST(VmDifferential, TaintOffAndOnProduceIdenticalMeasurements) {
+  exec::ScenarioRegistry registry;
+  exec::register_default_scenarios(registry);
+  for (const char* name : {"leak/beacon-dsr", "control/operation-cots"}) {
+    CampaignConfig config = registry.at(name).make_config(4);
+    config.collect_metrics = true;
+    const CampaignResult off = run_with_core(config, vm::VmCore::kFast);
+    config.taint = true;
+    const CampaignResult on = run_with_core(config, vm::VmCore::kFast);
+    ASSERT_EQ(off.times, on.times) << name;
+    ASSERT_EQ(off.samples.size(), on.samples.size()) << name;
+    for (std::size_t run = 0; run < off.samples.size(); ++run) {
+      EXPECT_TRUE(off.samples[run] == on.samples[run]) << name << " " << run;
+    }
+    for (const auto& [key, value] : on.metrics.counters) {
+      if (key.rfind("leak.", 0) == 0) {
+        EXPECT_FALSE(off.metrics.counters.contains(key)) << key;
+      } else {
+        ASSERT_TRUE(off.metrics.counters.contains(key)) << name << " " << key;
+        EXPECT_EQ(off.metrics.counters.at(key), value) << name << " " << key;
+      }
+    }
+  }
+}
+
 // Self-modifying code: a guest store overwrites an instruction that was
 // predecoded by the warm pass.  The guest-memory write listener must
 // invalidate the decoded slot so the next dispatch sees the new word,
