@@ -30,7 +30,7 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
     case Command::Kind::kProfile:
       return cmd_profile(command.options, out, err);
     case Command::Kind::kDiff:
-      return cmd_diff(command.diff, out);
+      return cmd_diff(command.diff, out, err);
     case Command::Kind::kSweep:
       return cmd_sweep(command.options, command.sweep, out, err);
     case Command::Kind::kLint:

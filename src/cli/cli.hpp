@@ -36,7 +36,8 @@ int cmd_report(const CampaignOptions& options, std::ostream& out,
 int cmd_profile(const CampaignOptions& options, std::ostream& out,
                 std::ostream& err);
 /// Compare two saved JSON reports (diff.cpp); 0 no drift, 1 drift.
-int cmd_diff(const DiffOptions& options, std::ostream& out);
+int cmd_diff(const DiffOptions& options, std::ostream& out,
+             std::ostream& err);
 /// Run the scenario × seed grid through the campaign store (sweep.cpp);
 /// 0 success, 1 baseline drift, 3 campaign fault.
 int cmd_sweep(const CampaignOptions& options, const SweepOptions& sweep,

@@ -203,7 +203,15 @@ std::vector<Execution> execute_selected(const CampaignOptions& options,
 }
 
 const char* vm_core_name(vm::VmCore core) {
-  return core == vm::VmCore::kFast ? "fast" : "reference";
+  switch (core) {
+  case vm::VmCore::kFast:
+    return "fast";
+  case vm::VmCore::kFastSb:
+    return "fast-sb";
+  case vm::VmCore::kReference:
+    return "reference";
+  }
+  return "?";
 }
 
 void write_adaptive_json(JsonWriter& json, const Execution& execution) {

@@ -19,12 +19,21 @@
 // `--format json` renders the same comparison as a machine-readable drift
 // report (per-drift records plus the summary); exit codes are identical.
 //
+// `--against SCENARIO` replaces the baseline file with a fresh execution
+// of the named registry scenario, mirroring the campaign knobs the
+// candidate document records (runs, seed, frames, vm-core) and rendered
+// through the same JSON sections `proxima run`/`report`/`sweep` emit — so
+// the comparison below sees two documents of identical shape and the
+// golden-number workflow needs no baseline file at all.
+//
 // Exit codes: 0 no drift, 1 drift, 2 usage (unreadable path, malformed or
 // non-report JSON) via UsageError.
 #include "cli.hpp"
 
+#include "cli/exec_common.hpp"
 #include "cli/json_reader.hpp"
 #include "cli/json_writer.hpp"
+#include "exec/seed.hpp"
 
 #include <cmath>
 #include <fstream>
@@ -402,6 +411,138 @@ ComparisonResult compare_documents(const JsonValue& baseline,
   return result;
 }
 
+// --- `--against SCENARIO`: the on-the-fly baseline ------------------------
+
+/// Mirror the campaign knobs the candidate's (first) scenario records into
+/// the options the baseline execution runs under.  The knobs live in the
+/// header every document kind emits: runs, seed{input,layout}, frames,
+/// vm_core.
+CampaignOptions mirror_candidate_options(const std::string& against,
+                                         const JsonValue& scenario) {
+  CampaignOptions options;
+  options.scenarios = {against};
+  if (const JsonValue* runs = scenario.get("runs");
+      runs && runs->is_number()) {
+    options.runs = static_cast<std::uint32_t>(runs->number);
+  }
+  if (const JsonValue* core = scenario.get("vm_core");
+      core && core->is_string()) {
+    if (core->string == "fast") {
+      options.vm_core = vm::VmCore::kFast;
+    } else if (core->string == "fast-sb") {
+      options.vm_core = vm::VmCore::kFastSb;
+    } else if (core->string == "reference") {
+      options.vm_core = vm::VmCore::kReference;
+    } else {
+      throw UsageError("diff --against: candidate records unknown vm_core '" +
+                       core->string + "'");
+    }
+  }
+  if (const JsonValue* frames = scenario.get("frames");
+      frames && frames->is_number()) {
+    options.frames = static_cast<std::uint32_t>(frames->number);
+  }
+  // The seed pair is reproducible through the single `--seed` knob only
+  // when it IS a `--seed` derivation (layout = splitmix64_mix(input)) or
+  // the scenario's own defaults.  Anything else cannot be mirrored — fail
+  // loudly instead of diffing against the wrong campaign.  (The layout
+  // seed is compared in double space: JSON numbers round-trip through
+  // double, so an exact uint64 comparison would spuriously fail for mixed
+  // seeds above 2^53.)
+  const JsonValue* input = scenario.get("seed", "input");
+  const JsonValue* layout = scenario.get("seed", "layout");
+  if (input && input->is_number() && layout && layout->is_number()) {
+    const auto in = static_cast<std::uint64_t>(input->number);
+    const casestudy::CampaignConfig defaults =
+        detail::scenario_config(against, options); // options.seed unset
+    if (static_cast<double>(defaults.input_seed) != input->number ||
+        static_cast<double>(defaults.layout_seed) != layout->number) {
+      if (static_cast<double>(exec::splitmix64_mix(in)) == layout->number) {
+        options.seed = in;
+      } else {
+        throw UsageError(
+            "diff --against: the candidate's seed pair is neither scenario '" +
+            against + "' defaults nor a --seed derivation; rerun the "
+            "baseline scenario manually and diff the two files");
+      }
+    }
+  }
+  return options;
+}
+
+/// The `--decades` depth the candidate's pWCET curve was rendered at: the
+/// deepest exceedance is always 10^-decades (only SHALLOW points are
+/// dropped as body probabilities).
+int infer_decades(const JsonValue& scenario, int fallback) {
+  const JsonValue* curve = scenario.get("analysis", "curve");
+  if (!curve || !curve->is_array()) {
+    return fallback;
+  }
+  double min_p = 1.0;
+  for (const JsonValue& point : curve->array) {
+    if (const JsonValue* p = point.get("exceedance");
+        p && p->is_number() && p->number > 0.0 && p->number < min_p) {
+      min_p = p->number;
+    }
+  }
+  return min_p < 1.0 ? static_cast<int>(std::lround(-std::log10(min_p)))
+                     : fallback;
+}
+
+/// Run `against` with the candidate's campaign knobs and render the result
+/// as a document of the SAME kind as the candidate (run / report / sweep),
+/// using the same write_* sections those commands use — `diff_analysis`
+/// treats a one-sided MBPTA fit as a structural drift, so the shapes must
+/// match before the comparison starts.
+JsonValue synthesize_baseline(const std::string& against,
+                              const JsonValue& candidate, std::ostream& err) {
+  const JsonValue& scenarios = *candidate.get("scenarios");
+  if (scenarios.array.empty()) {
+    throw UsageError("diff --against: candidate document has no scenarios");
+  }
+  const JsonValue& mirror = scenarios.array.front();
+  if (const JsonValue* adaptive = mirror.get("adaptive");
+      adaptive && adaptive->is_object()) {
+    // An adaptive campaign's run count is convergence-driven; replaying it
+    // faithfully would need the full controller state, not four knobs.
+    throw UsageError("diff --against: adaptive candidate documents are not "
+                     "supported; save the baseline to a file instead");
+  }
+  const std::string& kind = candidate.get("command")->string;
+  CampaignOptions options = mirror_candidate_options(against, mirror);
+  const detail::Execution execution =
+      detail::execute_scenario(against, options, nullptr, err);
+
+  std::ostringstream text;
+  {
+    JsonWriter json(text);
+    json.begin_object();
+    json.key("command").value(kind);
+    json.key("scenarios").begin_array();
+    json.begin_object();
+    detail::write_execution_header_json(json, execution, options);
+    detail::write_adaptive_json(json, execution);
+    detail::write_times_json(json, execution);
+    detail::write_partitions_json(json, execution, options);
+    if (kind != "report") { // run + sweep documents carry throughput
+      detail::write_throughput_json(json, execution);
+    }
+    detail::write_metrics_json(json, execution);
+    if (kind == "run") {
+      json.key("verified_runs").value(execution.result.verified_runs);
+    } else { // report + sweep documents carry the MBPTA analysis
+      const detail::Analysed analysed =
+          detail::analyse_execution(execution, options);
+      detail::write_analysis_json(json, analysed,
+                                  infer_decades(mirror, options.decades));
+    }
+    json.end_object();
+    json.end_array();
+    json.end_object();
+  }
+  return JsonValue::parse(text.str());
+}
+
 } // namespace
 
 int diff_drift_count(const JsonValue& baseline, const JsonValue& candidate,
@@ -417,9 +558,17 @@ int diff_drift_count(const JsonValue& baseline, const JsonValue& candidate,
   return result.differ.drifts();
 }
 
-int cmd_diff(const DiffOptions& options, std::ostream& out) {
-  const JsonValue baseline = load_report_document(options.baseline);
-  const JsonValue candidate = load_report_document(options.candidate);
+int cmd_diff(const DiffOptions& options, std::ostream& out,
+             std::ostream& err) {
+  JsonValue baseline;
+  JsonValue candidate;
+  if (options.against.empty()) {
+    baseline = load_report_document(options.baseline);
+    candidate = load_report_document(options.candidate);
+  } else {
+    candidate = load_report_document(options.candidate);
+    baseline = synthesize_baseline(options.against, candidate, err);
+  }
 
   const ComparisonResult result =
       compare_documents(baseline, candidate, options.tolerance);
@@ -430,7 +579,11 @@ int cmd_diff(const DiffOptions& options, std::ostream& out) {
     JsonWriter json(out);
     json.begin_object();
     json.key("command").value("diff");
-    json.key("baseline").value(options.baseline);
+    // With `--against` the baseline is the freshly-run scenario, not a
+    // file; the key renders what was actually compared against.
+    json.key("baseline").value(options.against.empty()
+                                   ? options.baseline
+                                   : "--against " + options.against);
     json.key("candidate").value(options.candidate);
     json.key("tolerance").value(options.tolerance);
     json.key("compared_scenarios").value(scenarios);

@@ -1,5 +1,6 @@
 #include "options.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <cmath>
 #include <cstring>
@@ -35,15 +36,57 @@ OutputFormat parse_format(std::string_view text) {
                    std::string(text) + "'");
 }
 
+/// Levenshtein edit distance, small-string DP (core names are short) —
+/// the same did-you-mean treatment unknown scenarios get in the registry.
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) {
+    row[j] = j;
+  }
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diagonal = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t substitution =
+          diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diagonal = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitution});
+    }
+  }
+  return row[b.size()];
+}
+
 vm::VmCore parse_vm_core(std::string_view text) {
-  if (text == "fast") {
-    return vm::VmCore::kFast;
+  static constexpr std::pair<std::string_view, vm::VmCore> kCores[] = {
+      {"fast", vm::VmCore::kFast},
+      {"fast-sb", vm::VmCore::kFastSb},
+      {"reference", vm::VmCore::kReference},
+  };
+  for (const auto& [name, core] : kCores) {
+    if (text == name) {
+      return core;
+    }
   }
-  if (text == "reference") {
-    return vm::VmCore::kReference;
+  std::string message = "--vm-core: expected fast|fast-sb|reference, got '" +
+                        std::string(text) + "'";
+  const std::size_t threshold = std::max<std::size_t>(2, text.size() / 3);
+  std::vector<std::pair<std::size_t, std::string_view>> scored;
+  for (const auto& [name, core] : kCores) {
+    const std::size_t distance = edit_distance(text, name);
+    if (distance <= threshold) {
+      scored.emplace_back(distance, name);
+    }
   }
-  throw UsageError("--vm-core: expected fast|reference, got '" +
-                   std::string(text) + "'");
+  std::sort(scored.begin(), scored.end());
+  if (!scored.empty()) {
+    message += "; did you mean:";
+    for (const auto& [distance, name] : scored) {
+      message += ' ';
+      message += name;
+    }
+    message += '?';
+  }
+  throw UsageError(message);
 }
 
 } // namespace
@@ -80,12 +123,20 @@ Command parse_command_line(std::span<const char* const> args) {
   }
 
   if (command.kind == Command::Kind::kDiff) {
-    // diff takes two positional report paths plus --tolerance; none of the
-    // campaign flags apply (there is no campaign to execute).
+    // diff takes two positional report paths (or one plus --against) and
+    // --tolerance; none of the campaign flags apply.
     std::vector<std::string> paths;
     for (std::size_t i = 1; i < args.size(); ++i) {
       const std::string_view flag = args[i];
-      if (flag == "--tolerance") {
+      if (flag == "--against") {
+        if (i + 1 >= args.size()) {
+          throw UsageError("--against: missing value");
+        }
+        command.diff.against = std::string(args[++i]);
+        if (command.diff.against.empty()) {
+          throw UsageError("--against: expected a scenario name");
+        }
+      } else if (flag == "--tolerance") {
         if (i + 1 >= args.size()) {
           throw UsageError("--tolerance: missing value");
         }
@@ -110,10 +161,20 @@ Command parse_command_line(std::span<const char* const> args) {
         paths.emplace_back(flag);
       }
     }
+    if (!command.diff.against.empty()) {
+      if (paths.size() != 1) {
+        throw UsageError(
+            "diff --against: expected exactly one report path "
+            "(proxima diff <candidate.json> --against SCENARIO)");
+      }
+      command.diff.candidate = std::move(paths[0]);
+      return command;
+    }
     if (paths.size() != 2) {
       throw UsageError(
           "diff: expected exactly two report paths "
-          "(proxima diff <baseline.json> <candidate.json>)");
+          "(proxima diff <baseline.json> <candidate.json>), or one plus "
+          "--against SCENARIO");
     }
     command.diff.baseline = std::move(paths[0]);
     command.diff.candidate = std::move(paths[1]);
@@ -303,6 +364,8 @@ std::string usage() {
       "                       writes a machine-readable sweep manifest\n"
       "  diff A.json B.json   compare two saved JSON reports; exit 1 when\n"
       "                       pWCET/MOET/counter shifts exceed --tolerance\n"
+      "                       (or: diff B.json --against SCENARIO to run\n"
+      "                       the baseline scenario on the fly)\n"
       "  help                 this text\n"
       "\n"
       "options (run/report):\n"
@@ -317,7 +380,8 @@ std::string usage() {
       "  --workers W          engine worker threads (default: hardware)\n"
       "  --seed S             campaign seed (input seed S, layout seed\n"
       "                       splitmix64(S); default: the paper's 2017/611085)\n"
-      "  --vm-core C          fast|reference (default fast)\n"
+      "  --vm-core C          fast-sb|fast|reference (default fast-sb, the\n"
+      "                       superblock tier; all three are bit-identical)\n"
       "  --format F           text|json|csv (default text; list: text|json)\n"
       "  --decades D          report: pWCET curve depth (default 16)\n"
       "  --frames N           hv/ scenarios: minor frames per measured run\n"
@@ -343,6 +407,9 @@ std::string usage() {
       "  --tolerance F        baseline gate tolerance (default 0: bit-exact)\n"
       "\n"
       "options (diff):\n"
+      "  --against SCENARIO   run SCENARIO fresh as the baseline (mirrors\n"
+      "                       the candidate's runs/seed/frames/vm-core)\n"
+      "                       instead of reading a baseline file\n"
       "  --tolerance F        max relative metric shift treated as equal\n"
       "                       (default 0: bit-exact, digests included)\n"
       "  --format F           text|json (default text; exit codes identical)\n"
@@ -371,6 +438,7 @@ std::string usage() {
       "              --baseline sweep-report.json --tolerance 0.001\n"
       "  proxima diff golden.json candidate.json --tolerance 0.001\n"
       "  proxima diff golden.json candidate.json --format json\n"
+      "  proxima diff candidate.json --against control/operation-dsr\n"
       "  proxima lint --scenario leak/beacon-dsr --runs 40\n"
       "  proxima lint --scenario leak/hardened-dsr --runs 40 --format json\n";
 }

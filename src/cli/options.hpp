@@ -40,7 +40,7 @@ struct CampaignOptions {
   /// `--seed S`: input seed S, layout seed splitmix64_mix(S) — one knob
   /// reseeds the whole campaign deterministically.
   std::optional<std::uint64_t> seed;
-  vm::VmCore vm_core = vm::VmCore::kFast;
+  vm::VmCore vm_core = vm::VmCore::kFastSb;
   OutputFormat format = OutputFormat::kText;
   /// `report`: pWCET curve depth in decades.
   int decades = 16;
@@ -88,6 +88,11 @@ struct SweepOptions {
 struct DiffOptions {
   std::string baseline;
   std::string candidate;
+  /// `--against SCENARIO`: instead of a baseline file, run the named
+  /// registry scenario on the fly — mirroring the candidate report's
+  /// runs/seed/frames/vm-core — and diff the candidate against the fresh
+  /// result.  Mutually exclusive with a second positional path.
+  std::string against;
   /// Maximum relative shift |a-b| / max(|a|,|b|) that still counts as
   /// equal.  0 (default) demands bit-exact numbers AND matching digests;
   /// with a tolerance > 0 the digests are informational only (times may

@@ -25,8 +25,12 @@ Vm::Vm(mem::GuestMemory& memory, mem::MemoryHierarchy& hierarchy,
   globals_.assign(8, 0);
   windowed_.assign(static_cast<std::size_t>(config_.nwindows) * 16, 0);
   fregs_.assign(isa::kFpRegisterCount, 0.0);
-  if (config_.core == VmCore::kFast) {
+  if (config_.core != VmCore::kReference) {
     decode_ = std::make_unique<DecodeCache>();
+    decode_->set_superblock_costs(DecodeCache::SuperblockCosts{
+        .mul_cycles = config_.mul_cycles,
+        .fetch_line_words = hierarchy_.il1().config().line_bytes / 4,
+    });
     memory_.add_write_listener(decode_.get());
   }
   if (config_.taint) {

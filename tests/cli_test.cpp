@@ -300,6 +300,34 @@ TEST(CliRun, SeedAndVmCoreFlagsReachTheConfig) {
   EXPECT_EQ(field_after(result.out, "input"), "7");
   EXPECT_NE(field_after(result.out, "layout"), "7")
       << "layout stream must get a mixed companion seed";
+  // The default core is the superblock tier; all three are bit-identical,
+  // so the --vm-core choice shows up in the header and nowhere else.
+  const CliResult default_core =
+      invoke({"run", "--scenario", "control/operation-cots", "--runs", "8",
+              "--seed", "7", "--format", "json"});
+  ASSERT_EQ(default_core.code, 0) << default_core.err;
+  EXPECT_EQ(field_after(default_core.out, "vm_core"), "\"fast-sb\"");
+  EXPECT_EQ(field_after(default_core.out, "digest"),
+            field_after(result.out, "digest"))
+      << "fast-sb and reference must produce the same times digest";
+}
+
+TEST(CliErrors, UnknownVmCoreSuggestsClosestMatch) {
+  // The did-you-mean treatment the scenario names get, applied to
+  // --vm-core: a typo exits 2 with the expected values and a suggestion.
+  const CliResult result =
+      invoke({"run", "--scenario", "control/operation-cots", "--runs", "2",
+              "--vm-core", "fsat"});
+  EXPECT_EQ(result.code, 2);
+  EXPECT_NE(result.err.find("expected fast|fast-sb|reference"),
+            std::string::npos)
+      << result.err;
+  EXPECT_NE(result.err.find("did you mean: fast?"), std::string::npos)
+      << result.err;
+  const CliResult sb = invoke({"run", "--scenario", "control/operation-cots",
+                               "--runs", "2", "--vm-core", "fastsb"});
+  EXPECT_EQ(sb.code, 2);
+  EXPECT_NE(sb.err.find("fast-sb"), std::string::npos) << sb.err;
 }
 
 TEST(CliRun, AdaptiveIsBitIdenticalAcrossWorkerCounts) {
@@ -519,6 +547,54 @@ TEST(CliDiff, FlagsDriftAndHonoursTolerance) {
       invoke({"diff", baseline.path().c_str(), candidate.path().c_str(),
               "--tolerance", "1.0"});
   EXPECT_EQ(loose.code, 0) << loose.out;
+}
+
+TEST(CliDiff, AgainstRunsTheBaselineScenarioOnTheFly) {
+  // No baseline file: `--against` re-runs the scenario mirroring the
+  // candidate's runs/seed (the candidate above ran with --workers 2; the
+  // fresh baseline uses the default worker count — bit-identity across
+  // worker counts is part of the contract being exercised).
+  const TempReport candidate("against_ok",
+                             run_json("control/operation-cots", "8", "5"));
+  const CliResult clean = invoke(
+      {"diff", candidate.path().c_str(), "--against",
+       "control/operation-cots"});
+  EXPECT_EQ(clean.code, 0) << clean.out << clean.err;
+  EXPECT_NE(clean.out.find("0 drift(s)"), std::string::npos) << clean.out;
+
+  // Same exit-code contract as the two-file form: a drift exits 1.
+  const CliResult drift = invoke(
+      {"diff", candidate.path().c_str(), "--against",
+       "control/operation-dsr"});
+  EXPECT_EQ(drift.code, 1) << drift.out;
+  EXPECT_NE(drift.out.find("drift:"), std::string::npos) << drift.out;
+}
+
+TEST(CliDiff, AgainstJsonFormatAndUsageErrors) {
+  const TempReport candidate("against_json",
+                             run_json("control/operation-cots", "8", "5"));
+  const CliResult json =
+      invoke({"diff", candidate.path().c_str(), "--against",
+              "control/operation-cots", "--format", "json"});
+  EXPECT_EQ(json.code, 0) << json.out << json.err;
+  EXPECT_EQ(field_after(json.out, "command"), "\"diff\"");
+  EXPECT_EQ(field_after(json.out, "baseline"),
+            "\"--against control/operation-cots\"");
+  EXPECT_EQ(field_after(json.out, "drift_count"), "0") << json.out;
+
+  // Unknown scenario: usage-error exit 2, like every bad name.
+  EXPECT_EQ(invoke({"diff", candidate.path().c_str(), "--against",
+                    "no/such-scenario"})
+                .code,
+            2);
+  // --against replaces the baseline path: two positionals reject it.
+  EXPECT_EQ(invoke({"diff", candidate.path().c_str(),
+                    candidate.path().c_str(), "--against",
+                    "control/operation-cots"})
+                .code,
+            2);
+  EXPECT_EQ(invoke({"diff", "--against", "control/operation-cots"}).code, 2)
+      << "--against still needs the candidate path";
 }
 
 TEST(CliDiff, ComparesPerPartitionRowsAndMeasuredTarget) {

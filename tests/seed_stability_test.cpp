@@ -83,6 +83,23 @@ constexpr LockedDigest kLeakDefaultSeeds30[] = {
     {"leak/observer-hv", "0xa73dfd15f384d424"},
 };
 
+/// The remaining registry scenarios — the image/ family and the
+/// image-measured hypervisor pair — locked with the introduction of the
+/// superblock execution tier (ISSUE 9), completing digest coverage of the
+/// whole catalogue.  Captured under the new `fast-sb` default core; the
+/// three-core bit-identity contract (vm_differential_test) makes these
+/// equally the `fast` and `reference` digests.
+constexpr LockedDigest kImageFamilyDefaultSeeds30[] = {
+    {"hv/image+control", "0xeae6d549b6108787"},
+    {"hv/image+control-dsr", "0xb23d5f5923688e88"},
+    {"image/analysis-cots", "0x9b2905c8484b2295"},
+    {"image/analysis-dsr", "0x175aff333fdbf5d3"},
+    {"image/analysis-hwrand", "0x435a5da5446f5217"},
+    {"image/operation-cots", "0xf812944f94a29a24"},
+    {"image/operation-dsr", "0xc52a219b5df60291"},
+    {"image/operation-hwrand", "0xe8db53a24b9276c9"},
+};
+
 CampaignConfig scenario(const std::string& name, std::uint32_t runs) {
   return exec::ScenarioRegistry::global().at(name).make_config(runs);
 }
@@ -96,6 +113,13 @@ std::string engine_digest(const CampaignConfig& config) {
 
 TEST(SeedStreamStability, DefaultSeedDigestsAreLocked) {
   for (const LockedDigest& locked : kDefaultSeeds30) {
+    EXPECT_EQ(engine_digest(scenario(locked.scenario, 30)), locked.digest)
+        << locked.scenario;
+  }
+}
+
+TEST(SeedStreamStability, ImageFamilyDigestsAreLocked) {
+  for (const LockedDigest& locked : kImageFamilyDefaultSeeds30) {
     EXPECT_EQ(engine_digest(scenario(locked.scenario, 30)), locked.digest)
         << locked.scenario;
   }
