@@ -4,18 +4,20 @@
 // execution but by the per-run partition reboot: relocating every managed
 // function into fresh pool chunks, rewriting the metadata tables, running
 // the SPARC invalidation routine over the touched ranges, and — on the
-// fast core — invalidating the predecoded dispatch entries for every
-// rewritten word.  This bench isolates exactly that path (no activations
-// are executed) so the ROADMAP "throughput" item has a baseline number
-// before anyone optimises it:
+// decode-cached cores — invalidating the predecoded dispatch entries for
+// every rewritten word.  This bench isolates exactly that path (no
+// activations are executed) and compares the batched relocation fast path
+// (host-word block moves, range invalidations) against the original
+// per-word store loop on every core:
 //
-//   * per-rerandomise wall time, host-side, for the fast core (decode
-//     cache attached, every relocation invalidates predecoded lines) and
-//     the reference core (no decode cache) — the delta is the decode-cache
-//     coherence cost;
+//   * per-rerandomise wall time for the fast-sb core (superblock tier,
+//     the default), the fast core, and the reference core (no decode
+//     cache) — the fast-vs-reference delta is the decode-cache coherence
+//     cost, the batched-vs-per-word delta is what the fast path buys;
 //   * the guest-side work metered by DsrRuntime::Stats (relocations, bytes
 //     copied, cache lines invalidated) per reboot, which is layout-
-//     independent and so also serves as a correctness gate.
+//     independent, identical across relocation paths by construction, and
+//     so also serves as a correctness gate.
 //
 //   PROXIMA_RUNS  re-randomisations per leg (default 2000)
 #include "bench_util.hpp"
@@ -48,19 +50,31 @@ struct Leg {
   }
 };
 
+/// The guest-visible relocation work: identical across cores AND across
+/// the batched/per-word relocation paths (the batched path is a host-side
+/// optimisation only).
+bool same_guest_work(const dsr::DsrRuntime::Stats& a,
+                     const dsr::DsrRuntime::Stats& b) {
+  return a.reseeds == b.reseeds && a.relocations == b.relocations &&
+         a.bytes_copied == b.bytes_copied &&
+         a.lines_invalidated == b.lines_invalidated &&
+         a.ondemand_reseeds == b.ondemand_reseeds;
+}
+
 /// Build the control-task DSR platform exactly like a campaign runner and
 /// time `reseeds` partition reboots without executing any activation.
-Leg run_leg(vm::VmCore core, const char* label, std::uint64_t reseeds) {
-  const casestudy::CampaignConfig config = [] {
+Leg run_leg(vm::VmCore core, bool batched, const char* label,
+            std::uint64_t reseeds) {
+  const casestudy::CampaignConfig config = [batched] {
     casestudy::CampaignConfig c;
     c.randomisation = casestudy::Randomisation::kDsr;
+    c.dsr_options.batched_relocation = batched;
     return c;
   }();
 
   isa::Program program = casestudy::build_control_program(config.control);
   trace::instrument_function(program, "control_step");
-  const dsr::PassReport pass_report =
-      dsr::apply_pass(program, config.pass_options);
+  dsr::apply_pass(program, config.pass_options);
   const isa::LinkedImage image =
       isa::link(program, casestudy::control_layout(config.control,
                                                    config.layout,
@@ -116,10 +130,21 @@ int main() {
       "DSR re-randomisation path (relocation + decode-cache invalidation), " +
       std::to_string(reseeds) + " reboots per leg");
 
-  const Leg fast = run_leg(vm::VmCore::kFast, "fast core (decode cache)",
-                           reseeds);
+  std::printf("batched relocation (default):\n");
+  const Leg fast_sb = run_leg(vm::VmCore::kFastSb, true,
+                              "fast-sb core (superblocks)", reseeds);
+  const Leg fast = run_leg(vm::VmCore::kFast, true,
+                           "fast core (decode cache)", reseeds);
   const Leg reference =
-      run_leg(vm::VmCore::kReference, "reference core", reseeds);
+      run_leg(vm::VmCore::kReference, true, "reference core", reseeds);
+
+  std::printf("\nper-word relocation (--no-batch path):\n");
+  const Leg fast_sb_pw = run_leg(vm::VmCore::kFastSb, false,
+                                 "fast-sb core (superblocks)", reseeds);
+  const Leg fast_pw = run_leg(vm::VmCore::kFast, false,
+                              "fast core (decode cache)", reseeds);
+  const Leg reference_pw =
+      run_leg(vm::VmCore::kReference, false, "reference core", reseeds);
 
   std::printf("\ndecode-cache coherence cost: %+.2f us/reseed (%+.1f%%)\n",
               fast.micros_per_reseed() - reference.micros_per_reseed(),
@@ -128,18 +153,33 @@ int main() {
                   : 100.0 * (fast.micros_per_reseed() /
                                  reference.micros_per_reseed() -
                              1.0));
+  const auto speedup = [](const Leg& batched, const Leg& per_word) {
+    return batched.micros_per_reseed() <= 0.0
+               ? 0.0
+               : per_word.micros_per_reseed() / batched.micros_per_reseed();
+  };
+  std::printf("batched speedup: fast-sb %.2fx, fast %.2fx, reference %.2fx\n",
+              speedup(fast_sb, fast_sb_pw), speedup(fast, fast_pw),
+              speedup(reference, reference_pw));
 
   // Gates: the guest-side work is a pure function of the layout stream, so
-  // both cores must meter identical relocation work; and the layouts must
-  // actually vary (a stuck entry address means the reseed is a no-op).
-  const bool same_work =
-      fast.stats.relocations == reference.stats.relocations &&
-      fast.stats.bytes_copied == reference.stats.bytes_copied &&
-      fast.stats.lines_invalidated == reference.stats.lines_invalidated;
-  const bool layouts_vary = fast.distinct_entries > reseeds / 4;
+  // every core and both relocation paths must meter identical work; the
+  // batched path must not be slower than the loop it replaces; and the
+  // layouts must actually vary (a stuck entry address means the reseed is
+  // a no-op).
+  const bool same_work = same_guest_work(fast_sb.stats, fast.stats) &&
+                         same_guest_work(fast_sb.stats, reference.stats);
+  const bool same_paths = same_guest_work(fast_sb.stats, fast_sb_pw.stats) &&
+                          same_guest_work(fast.stats, fast_pw.stats) &&
+                          same_guest_work(reference.stats, reference_pw.stats);
+  const bool batched_wins =
+      fast_sb.micros_per_reseed() <= fast_sb_pw.micros_per_reseed();
+  const bool layouts_vary = fast_sb.distinct_entries > reseeds / 4;
   std::printf("shape check: identical guest-side work across cores: %s; "
-              "layouts vary (%zu distinct entries): %s\n",
-              same_work ? "yes" : "NO", fast.distinct_entries,
+              "across relocation paths: %s; batched <= per-word on "
+              "fast-sb: %s; layouts vary (%zu distinct entries): %s\n",
+              same_work ? "yes" : "NO", same_paths ? "yes" : "NO",
+              batched_wins ? "yes" : "NO", fast_sb.distinct_entries,
               layouts_vary ? "yes" : "NO");
-  return same_work && layouts_vary ? 0 : 1;
+  return same_work && same_paths && batched_wins && layouts_vary ? 0 : 1;
 }

@@ -132,6 +132,7 @@ inline const char* randomisation_key(casestudy::Randomisation randomisation) {
   switch (randomisation) {
   case casestudy::Randomisation::kNone: return "cots";
   case casestudy::Randomisation::kDsr: return "dsr";
+  case casestudy::Randomisation::kDsrOnDemand: return "dsr-ondemand";
   case casestudy::Randomisation::kStatic: return "static";
   case casestudy::Randomisation::kHardware: return "hwrand";
   }

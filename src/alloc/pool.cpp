@@ -12,8 +12,9 @@ PageAllocator::PageAllocator(Region region, rng::RandomSource& random)
   if (region_.size == 0) {
     throw AllocError("pool region must not be empty");
   }
-  used_.assign(region_.size / kPageBytes, false);
-  free_count_ = static_cast<std::uint32_t>(used_.size());
+  total_pages_ = region_.size / kPageBytes;
+  free_.push_back(Extent{0, total_pages_});
+  free_count_ = total_pages_;
 }
 
 std::uint32_t PageAllocator::take_pages(std::uint32_t pages,
@@ -24,37 +25,75 @@ std::uint32_t PageAllocator::take_pages(std::uint32_t pages,
   if (align_pages == 0) {
     align_pages = 1;
   }
-  const std::uint32_t total = total_pages();
+  const std::uint32_t total = total_pages_;
   if (pages > free_count_ || align_pages > total) {
     throw AllocError("pool exhausted");
   }
-  // Random first-fit over aligned candidate bases, wrapping once.  The
-  // region base is page-aligned; candidates are relative to it, so a
-  // way-aligned region yields way-aligned chunks.
+  // Random first-fit over aligned candidate bases, wrapping once: the
+  // winner is the aligned free run whose candidate index is cyclically
+  // closest to the random start — the same run a linear probe over
+  // candidates (start, start+1, ... mod candidates) finds, computed per
+  // extent instead of per page.  The region base is page-aligned;
+  // candidates are relative to it, so a way-aligned region yields
+  // way-aligned chunks.
   const std::uint32_t candidates = total / align_pages;
   const std::uint32_t start = random_.next_below(candidates);
-  for (std::uint32_t step = 0; step < candidates; ++step) {
-    const std::uint32_t first = ((start + step) % candidates) * align_pages;
-    if (first + pages > total) {
-      continue; // must not wrap the region boundary
-    }
-    bool free_run = true;
-    for (std::uint32_t p = first; p < first + pages; ++p) {
-      if (used_[p]) {
-        free_run = false;
-        break;
-      }
-    }
-    if (!free_run) {
+  bool found = false;
+  std::uint32_t best_distance = 0;
+  std::uint32_t best_candidate = 0;
+  std::size_t best_extent = 0;
+  for (std::size_t i = 0; i < free_.size(); ++i) {
+    const Extent& extent = free_[i];
+    if (extent.count < pages) {
       continue;
     }
-    for (std::uint32_t p = first; p < first + pages; ++p) {
-      used_[p] = true;
+    // Candidate indices whose aligned run fits inside this extent; the
+    // probe never visits indices >= candidates, so clamp there too.
+    const std::uint32_t lo = (extent.first + align_pages - 1) / align_pages;
+    std::uint32_t hi = (extent.first + extent.count - pages) / align_pages;
+    if (hi >= candidates) {
+      hi = candidates - 1;
     }
-    free_count_ -= pages;
-    return region_.base + first * kPageBytes;
+    if (lo > hi) {
+      continue;
+    }
+    std::uint32_t candidate;
+    std::uint32_t distance;
+    if (hi >= start) {
+      candidate = std::max(lo, start);
+      distance = candidate - start;
+    } else {
+      candidate = lo; // only reachable after the probe wraps
+      distance = lo + (candidates - start);
+    }
+    if (!found || distance < best_distance) {
+      found = true;
+      best_distance = distance;
+      best_candidate = candidate;
+      best_extent = i;
+    }
   }
-  throw AllocError("pool fragmented: no contiguous run of requested size");
+  if (!found) {
+    throw AllocError("pool fragmented: no contiguous run of requested size");
+  }
+  const std::uint32_t first = best_candidate * align_pages;
+  Extent& extent = free_[best_extent];
+  const std::uint32_t left = first - extent.first;
+  const std::uint32_t right = extent.first + extent.count - (first + pages);
+  if (left == 0 && right == 0) {
+    free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(best_extent));
+  } else if (left == 0) {
+    extent.first = first + pages;
+    extent.count = right;
+  } else if (right == 0) {
+    extent.count = left;
+  } else {
+    extent.count = left;
+    free_.insert(free_.begin() + static_cast<std::ptrdiff_t>(best_extent) + 1,
+                 Extent{first + pages, right});
+  }
+  free_count_ -= pages;
+  return region_.base + first * kPageBytes;
 }
 
 void PageAllocator::release(std::uint32_t addr, std::uint32_t pages) {
@@ -62,21 +101,61 @@ void PageAllocator::release(std::uint32_t addr, std::uint32_t pages) {
     throw AllocError("release of address not owned by this pool");
   }
   const std::uint32_t first = (addr - region_.base) / kPageBytes;
-  if (first + pages > total_pages()) {
+  if (first + pages > total_pages_) {
     throw AllocError("release beyond pool region");
   }
-  for (std::uint32_t p = first; p < first + pages; ++p) {
-    if (!used_[p]) {
+  if (pages == 0) {
+    return;
+  }
+  const auto it = std::lower_bound(
+      free_.begin(), free_.end(), first,
+      [](const Extent& e, std::uint32_t value) { return e.first < value; });
+  // Any overlap with a free extent means some page in the range is already
+  // free — reject before mutating, so a bad release leaves the pool intact.
+  if (it != free_.begin()) {
+    const Extent& prev = *(it - 1);
+    if (prev.first + prev.count > first) {
       throw AllocError("double release of pool page");
     }
-    used_[p] = false;
+  }
+  if (it != free_.end() && it->first < first + pages) {
+    throw AllocError("double release of pool page");
+  }
+  const bool merge_prev =
+      it != free_.begin() && (it - 1)->first + (it - 1)->count == first;
+  const bool merge_next = it != free_.end() && it->first == first + pages;
+  if (merge_prev && merge_next) {
+    (it - 1)->count += pages + it->count;
+    free_.erase(it);
+  } else if (merge_prev) {
+    (it - 1)->count += pages;
+  } else if (merge_next) {
+    it->first = first;
+    it->count += pages;
+  } else {
+    free_.insert(it, Extent{first, pages});
   }
   free_count_ += pages;
 }
 
 void PageAllocator::reset() {
-  std::fill(used_.begin(), used_.end(), false);
-  free_count_ = total_pages();
+  free_.clear();
+  free_.push_back(Extent{0, total_pages_});
+  free_count_ = total_pages_;
+}
+
+bool PageAllocator::page_free(std::uint32_t index) const {
+  if (index >= total_pages_) {
+    throw std::out_of_range("PageAllocator::page_free: index out of range");
+  }
+  const auto it = std::upper_bound(
+      free_.begin(), free_.end(), index,
+      [](std::uint32_t value, const Extent& e) { return value < e.first; });
+  if (it == free_.begin()) {
+    return false;
+  }
+  const Extent& extent = *(it - 1);
+  return index < extent.first + extent.count;
 }
 
 RandomObjectPool::RandomObjectPool(PageAllocator& pages,

@@ -37,8 +37,15 @@ struct Region {
 };
 
 /// Page-granular allocator with randomised placement (DieHard-flavoured):
-/// each request probes the page bitmap from a random position, so
-/// successive chunks land on unpredictable, diverse pages.
+/// each request starts from a random candidate position, so successive
+/// chunks land on unpredictable, diverse pages.
+///
+/// The free space is kept as a sorted free-extent list rather than a page
+/// bitmap: take_pages picks, among all free runs, the aligned base closest
+/// (cyclically) to the random start — exactly the run the old bitmap probe
+/// would have found, so placements are bit-identical for the same random
+/// stream — and reset() is O(1) instead of O(pages).  This is what makes
+/// the per-reboot DSR pool reset disappear from the reseed profile.
 class PageAllocator {
 public:
   static constexpr std::uint32_t kPageBytes = 4096;
@@ -56,17 +63,23 @@ public:
   /// Release everything (partition reboot resets the pools).
   void reset();
 
-  std::uint32_t total_pages() const noexcept {
-    return static_cast<std::uint32_t>(used_.size());
-  }
+  std::uint32_t total_pages() const noexcept { return total_pages_; }
   std::uint32_t free_pages() const noexcept { return free_count_; }
-  bool page_free(std::uint32_t index) const { return !used_.at(index); }
+  bool page_free(std::uint32_t index) const;
   const Region& region() const noexcept { return region_; }
 
 private:
+  /// A maximal run of free pages [first, first + count), page indices
+  /// relative to the region base.
+  struct Extent {
+    std::uint32_t first = 0;
+    std::uint32_t count = 0;
+  };
+
   Region region_;
   rng::RandomSource& random_;
-  std::vector<bool> used_;
+  std::vector<Extent> free_; // sorted by first, never adjacent
+  std::uint32_t total_pages_ = 0;
   std::uint32_t free_count_ = 0;
 };
 

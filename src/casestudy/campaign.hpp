@@ -43,7 +43,20 @@ enum class Randomisation : std::uint8_t {
   kDsr,      // dynamic software randomisation (the paper's technology)
   kStatic,   // static software randomisation: re-link per run (TASA-style)
   kHardware, // hardware time-randomised caches (random placement/replacement)
+  /// DSR plus MARDU-style mid-run reseeds on a configured event: a taint
+  /// sink store on the bare platform (the runner forces taint tracking on),
+  /// a partition switch under the hypervisor.  Reboot-time behaviour is
+  /// identical to kDsr; the extra reseeds continue the per-run layout
+  /// stream, so runs stay pure functions of their index.
+  kDsrOnDemand,
 };
+
+/// Both DSR arms: the pass is applied, a DsrRuntime manages the layout, and
+/// the per-reboot reseed protocol of kDsr runs unchanged.
+constexpr bool uses_dsr(Randomisation randomisation) noexcept {
+  return randomisation == Randomisation::kDsr ||
+         randomisation == Randomisation::kDsrOnDemand;
+}
 
 enum class PrngKind : std::uint8_t { kMwc, kLfsr };
 

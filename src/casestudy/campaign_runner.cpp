@@ -28,10 +28,20 @@ isa::Program make_program(const MeasuredTarget& target,
                           const CampaignConfig& config,
                           dsr::PassReport& pass_report) {
   isa::Program program = target.build_program();
-  if (config.randomisation == Randomisation::kDsr) {
+  if (uses_dsr(config.randomisation)) {
     pass_report = dsr::apply_pass(program, config.pass_options);
   }
   return program;
+}
+
+/// kDsrOnDemand's bare-platform trigger is the taint sink-store detector,
+/// so that arm runs with taint tracking on even when the campaign did not
+/// ask for it.  Under the hypervisor the trigger is the partition switch
+/// instead, and taint stays as configured.
+bool taint_enabled(const CampaignConfig& config) {
+  return config.taint ||
+         (config.randomisation == Randomisation::kDsrOnDemand &&
+          !config.hypervisor);
 }
 
 isa::LinkOptions base_layout_options(const MeasuredTarget& target,
@@ -44,7 +54,7 @@ isa::LinkOptions base_layout_options(const MeasuredTarget& target,
 vm::VmConfig vm_config_for(const CampaignConfig& config) {
   vm::VmConfig vm_config;
   vm_config.core = config.vm_core;
-  vm_config.taint = config.taint;
+  vm_config.taint = taint_enabled(config);
   return vm_config;
 }
 
@@ -67,10 +77,19 @@ CampaignRunner::CampaignRunner(const CampaignConfig& config)
   // decode cache stays coherent through DSR relocation and re-links via
   // the guest-memory write listener, so this is purely a warm start.
   cpu_.predecode(image_.code_begin(), image_.code_end() - image_.code_begin());
-  if (config_.randomisation == Randomisation::kDsr) {
+  if (uses_dsr(config_.randomisation)) {
     runtime_ = std::make_unique<dsr::DsrRuntime>(
         memory_, hierarchy_, image_, *layout_rng_, config_.dsr_options);
     runtime_->attach(cpu_);
+  }
+  if (config_.randomisation == Randomisation::kDsrOnDemand &&
+      !config_.hypervisor) {
+    // Bare-platform on-demand trigger: a detected taint sink store (the
+    // PR 8 analyzer's leak event) reseeds the layout mid-run.  The copy
+    // charge mirrors the lazy-relocation cost model and lands on the
+    // running activation's cycle count.
+    cpu_.set_sink_store_sink(
+        [this](std::uint32_t) { return runtime_->rerandomise_on_demand(); });
   }
   if (config_.collect_metrics) {
     // Instruction-mix telemetry: the VM's hook stays null (and the fast
@@ -99,8 +118,11 @@ void CampaignRunner::apply_randomisation(std::uint64_t layout_seed) {
   case Randomisation::kNone:
     break;
   case Randomisation::kDsr:
+  case Randomisation::kDsrOnDemand:
     // Partition reboot: a fresh layout drawn from this run's derived seed
-    // (the first call doubles as the runtime's initialisation).
+    // (the first call doubles as the runtime's initialisation).  On-demand
+    // reseeds later in the run continue this stream, so the whole run stays
+    // a pure function of the derived seed.
     layout_rng_->seed(layout_seed);
     runtime_->rerandomise();
     break;
@@ -149,7 +171,7 @@ void CampaignRunner::note_staged_range(std::uint32_t addr,
 }
 
 void CampaignRunner::configure_taint_ranges() {
-  if (!config_.taint) {
+  if (!taint_enabled(config_)) {
     return;
   }
   cpu_.taint_clear_ranges();
@@ -162,7 +184,7 @@ void CampaignRunner::configure_taint_ranges() {
   // addresses in the functab, per-function stack offsets alongside it.
   // (kCall/kJmpl return addresses are sources unconditionally, handled in
   // the transfer function itself.)
-  if (config_.randomisation == Randomisation::kDsr) {
+  if (uses_dsr(config_.randomisation)) {
     for (const char* table : {dsr::kFunctabSymbol, dsr::kStackoffSymbol}) {
       if (image_.has_symbol(table)) {
         const isa::Symbol& symbol = image_.symbol(table);
@@ -227,7 +249,7 @@ void CampaignRunner::execute() {
     executed_ = true;
     return;
   }
-  const bool use_dsr = config_.randomisation == Randomisation::kDsr;
+  const bool use_dsr = uses_dsr(config_.randomisation);
   const std::uint32_t entry =
       use_dsr ? runtime_->entry_address() : image_.entry_addr();
   const std::uint32_t stack_top = target_->stack_top();
@@ -247,8 +269,17 @@ void CampaignRunner::execute() {
   obs_rebase_mix(); // warm-up instructions stay out of vm.mix.*
   trace_buffer_.clear();
 
-  // The measured activation.
-  cpu_.reset(entry, stack_top);
+  // The measured activation.  A bare kDsrOnDemand sink store fires the
+  // reseed trigger during the warm-up too, so that arm re-queries the
+  // entry point under the layout now in force.  Every other arm reuses the
+  // reboot-time entry — under the lazy scheme the warm-up's first-call
+  // trap moves entry_address(), and the measured activation must still
+  // enter through the stub exactly as it always has.
+  const std::uint32_t measured_entry =
+      config_.randomisation == Randomisation::kDsrOnDemand
+          ? runtime_->entry_address()
+          : entry;
+  cpu_.reset(measured_entry, stack_top);
   if (cpu_.run().stop != vm::RunResult::Stop::kHalt) {
     fault("activation did not halt");
   }
@@ -363,6 +394,8 @@ void CampaignRunner::obs_publish_run(const RunSample& sample) {
   if (runtime_) {
     const dsr::DsrRuntime::Stats now = runtime_->stats();
     run_metrics_.add("dsr.reseeds", now.reseeds - dsr_base_.reseeds);
+    run_metrics_.add("dsr.ondemand_reseeds",
+                     now.ondemand_reseeds - dsr_base_.ondemand_reseeds);
     run_metrics_.add("dsr.relocations",
                      now.relocations - dsr_base_.relocations);
     run_metrics_.add("dsr.bytes_copied",

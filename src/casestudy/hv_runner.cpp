@@ -98,7 +98,9 @@ struct CampaignRunner::HvState {
   public:
     explicit MeasuredApp(CampaignRunner& runner) : runner_(runner) {}
     std::uint32_t entry_address() override {
-      return runner_.config_.randomisation == Randomisation::kDsr
+      // Queried at activation time, so an on-demand reseed earlier in the
+      // schedule is picked up here.
+      return uses_dsr(runner_.config_.randomisation)
                  ? runner_.runtime_->entry_address()
                  : runner_.image_.entry_addr();
     }
@@ -378,6 +380,15 @@ void CampaignRunner::hv_build() {
         "it cannot also run as an interference guest");
   }
   hv_ = std::make_shared<HvState>(*this, hv);
+  if (config_.randomisation == Randomisation::kDsrOnDemand) {
+    // Hypervisor on-demand trigger: every granted partition activation
+    // (every partition switch the schedule performs) reseeds the measured
+    // partition's layout.  The reseed is the hypervisor's own work — host
+    // side, charged to no partition budget; the measured partition picks
+    // the fresh layout up through entry_address()/its function table.
+    hv_->platform.set_activation_hook(
+        [this] { (void)runtime_->rerandomise_on_demand(); });
+  }
 }
 
 void CampaignRunner::hv_setup(std::uint64_t activation) {
@@ -404,7 +415,7 @@ void CampaignRunner::hv_setup(std::uint64_t activation) {
 }
 
 void CampaignRunner::hv_execute() {
-  const bool use_dsr = config_.randomisation == Randomisation::kDsr;
+  const bool use_dsr = uses_dsr(config_.randomisation);
   const std::uint32_t entry =
       use_dsr ? runtime_->entry_address() : image_.entry_addr();
 

@@ -54,6 +54,9 @@ casestudy::CampaignConfig scenario_config(const std::string& name,
   casestudy::CampaignConfig config =
       exec::ScenarioRegistry::global().at(name).make_config(options.runs);
   config.vm_core = options.vm_core;
+  if (options.randomisation) {
+    config.randomisation = *options.randomisation;
+  }
   if (options.seed) {
     // One knob reseeds the whole campaign: the layout stream gets a
     // SplitMix64-mixed companion so the two streams never coincide.

@@ -37,6 +37,8 @@ const char* randomisation_name(casestudy::Randomisation randomisation) {
   switch (randomisation) {
   case casestudy::Randomisation::kDsr:
     return "dsr";
+  case casestudy::Randomisation::kDsrOnDemand:
+    return "dsr-ondemand";
   case casestudy::Randomisation::kStatic:
     return "static";
   case casestudy::Randomisation::kHardware:
@@ -86,7 +88,7 @@ LintResult lint_scenario(const std::string& name,
   const std::unique_ptr<casestudy::MeasuredTarget> target =
       casestudy::make_measured_target(config);
   isa::Program program = target->build_program();
-  if (config.randomisation == casestudy::Randomisation::kDsr) {
+  if (casestudy::uses_dsr(config.randomisation)) {
     dsr::apply_pass(program, config.pass_options);
   }
   result.static_report =

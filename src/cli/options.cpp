@@ -89,6 +89,43 @@ vm::VmCore parse_vm_core(std::string_view text) {
   throw UsageError(message);
 }
 
+casestudy::Randomisation parse_randomisation(std::string_view text) {
+  static constexpr std::pair<std::string_view, casestudy::Randomisation>
+      kArms[] = {
+          {"cots", casestudy::Randomisation::kNone},
+          {"dsr", casestudy::Randomisation::kDsr},
+          {"dsr-ondemand", casestudy::Randomisation::kDsrOnDemand},
+          {"static", casestudy::Randomisation::kStatic},
+          {"hwrand", casestudy::Randomisation::kHardware},
+      };
+  for (const auto& [name, arm] : kArms) {
+    if (text == name) {
+      return arm;
+    }
+  }
+  std::string message =
+      "--randomisation: expected cots|dsr|dsr-ondemand|static|hwrand, got '" +
+      std::string(text) + "'";
+  const std::size_t threshold = std::max<std::size_t>(2, text.size() / 3);
+  std::vector<std::pair<std::size_t, std::string_view>> scored;
+  for (const auto& [name, arm] : kArms) {
+    const std::size_t distance = edit_distance(text, name);
+    if (distance <= threshold) {
+      scored.emplace_back(distance, name);
+    }
+  }
+  std::sort(scored.begin(), scored.end());
+  if (!scored.empty()) {
+    message += "; did you mean:";
+    for (const auto& [distance, name] : scored) {
+      message += ' ';
+      message += name;
+    }
+    message += '?';
+  }
+  throw UsageError(message);
+}
+
 } // namespace
 
 Command parse_command_line(std::span<const char* const> args) {
@@ -256,6 +293,8 @@ Command parse_command_line(std::span<const char* const> args) {
       }
     } else if (flag == "--vm-core") {
       options.vm_core = parse_vm_core(value());
+    } else if (flag == "--randomisation") {
+      options.randomisation = parse_randomisation(value());
     } else if (flag == "--format") {
       options.format = parse_format(value());
     } else if (flag == "--decades") {
@@ -382,6 +421,9 @@ std::string usage() {
       "                       splitmix64(S); default: the paper's 2017/611085)\n"
       "  --vm-core C          fast-sb|fast|reference (default fast-sb, the\n"
       "                       superblock tier; all three are bit-identical)\n"
+      "  --randomisation R    cots|dsr|dsr-ondemand|static|hwrand: override\n"
+      "                       the scenario's randomisation technology\n"
+      "                       (default: the scenario's registered arm)\n"
       "  --format F           text|json|csv (default text; list: text|json)\n"
       "  --decades D          report: pWCET curve depth (default 16)\n"
       "  --frames N           hv/ scenarios: minor frames per measured run\n"

@@ -5,6 +5,7 @@
 // `UsageError` with the offending flag in the message.
 #pragma once
 
+#include "casestudy/campaign.hpp"
 #include "vm/vm.hpp"
 
 #include <cstdint>
@@ -41,6 +42,10 @@ struct CampaignOptions {
   /// reseeds the whole campaign deterministically.
   std::optional<std::uint64_t> seed;
   vm::VmCore vm_core = vm::VmCore::kFastSb;
+  /// `--randomisation R`: override the scenario's randomisation technology
+  /// (cots|dsr|dsr-ondemand|static|hwrand); unset keeps the scenario's
+  /// registered arm.
+  std::optional<casestudy::Randomisation> randomisation;
   OutputFormat format = OutputFormat::kText;
   /// `report`: pWCET curve depth in decades.
   int decades = 16;

@@ -52,6 +52,13 @@ struct RuntimeOptions {
   /// The cache invalidation routine of Section III.B.1.  Disabling it is a
   /// *failure injection*: stale-line fetches become coherence violations.
   bool run_invalidation_routine = true;
+  /// MARDU-style reseed fast path: stage the metadata tables host-side and
+  /// flush them as bulk word spans, and run the invalidation routine once
+  /// over the coalesced touched ranges instead of per store.  Bit-identical
+  /// to the per-word path (same RNG draws, same final memory/cache state,
+  /// same Stats); disable to run the original per-word sequence, which the
+  /// differential tests and bench compare against.
+  bool batched_relocation = true;
   /// Guest region backing the code pool (disjoint from the linked image).
   alloc::Region code_pool{0x4100'0000, 32 * 1024 * 1024};
   /// Cycle cost per copied word charged to a lazy first-call relocation.
@@ -62,6 +69,7 @@ class DsrRuntime {
 public:
   struct Stats {
     std::uint64_t reseeds = 0; // initialise() + every rerandomise()
+    std::uint64_t ondemand_reseeds = 0; // rerandomise_on_demand() calls
     std::uint64_t relocations = 0;
     std::uint64_t bytes_copied = 0;
     std::uint64_t lines_invalidated = 0;
@@ -82,6 +90,18 @@ public:
   /// which is how the measurement protocol obtains execution-time
   /// randomisation across runs (Section IV).
   void rerandomise();
+
+  /// Mid-run reseed (the kDsrOnDemand arm): draw a fresh layout WITHOUT a
+  /// partition reboot.  The outgoing copies are quarantined, not freed —
+  /// in-flight guest code keeps executing its current (bit-identical) copy
+  /// and picks up the new layout at its next function-table load, so no
+  /// cache line over the old copies is invalidated (they are still valid
+  /// code).  The new copies and the rewritten tables go through the same
+  /// batched invalidation routine as a reboot.  Quarantined chunks are
+  /// released (and their lines invalidated) by the next initialise().
+  /// Returns the guest cycle charge for the copy loop, mirroring the lazy
+  /// trap cost model (`lazy_copy_cycles_per_word` per copied word).
+  std::uint64_t rerandomise_on_demand();
 
   /// Register the lazy-relocation trap handler on a core.
   void attach(vm::Vm& cpu);
@@ -111,6 +131,27 @@ private:
                        std::uint32_t value);
   bool is_real(std::uint32_t id) const;
 
+  /// The original reseed sequence: per-word table stores, one invalidation
+  /// routine call per touched range, in draw order.  Kept as the
+  /// differential baseline for the batched path.
+  void initialise_per_word();
+  /// Draw the new layout (stack offsets + relocations), staging table
+  /// values host-side and collecting invalidation ranges.  Consumes the
+  /// random stream in exactly the per-word order: per real function, the
+  /// stack-offset draw, then the pool draws.
+  void draw_layout();
+  void relocate_batched(const isa::FunctionRecord& record);
+  /// Flush one staged table as bulk word spans over the contiguous runs of
+  /// ids written this round (one memory notification per run).
+  void flush_table(std::uint32_t table_addr,
+                   const std::vector<std::uint32_t>& values);
+  /// Sort + coalesce the pending ranges (merging only adjacent/overlapping
+  /// ranges) and run the invalidation routine once per merged range.  The
+  /// line count is identical to per-range invalidation: a line, once
+  /// invalidated, is never re-validated within one reseed, so each valid
+  /// line in the union is counted exactly once either way.
+  void flush_invalidations();
+
   mem::GuestMemory& memory_;
   mem::MemoryHierarchy& hierarchy_;
   const isa::LinkedImage& image_;
@@ -130,7 +171,16 @@ private:
   /// invalidated on the next reboot (they go back to the pool, and stale
   /// code lines must never linger in the warm L2).
   std::vector<std::pair<std::uint32_t, std::uint32_t>> live_chunks_;
+  /// Chunks displaced by an on-demand reseed: still valid code (in-flight
+  /// guest execution may be inside them), still allocated in the pool, so
+  /// nothing rewrites them until the next reboot releases everything.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> quarantined_chunks_;
   std::vector<std::optional<std::uint32_t>> stub_of_; // id -> stub id
+  // Batched-reseed staging (reused across reseeds to avoid reallocating).
+  std::vector<std::uint32_t> staged_functab_;
+  std::vector<std::uint32_t> staged_stackoff_;
+  std::vector<bool> staged_valid_; // ids whose table slots get written
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pending_ranges_;
   Stats stats_;
   bool initialised_ = false;
 };

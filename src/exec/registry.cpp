@@ -347,6 +347,21 @@ void register_default_scenarios(ScenarioRegistry& registry) {
         return config;
       }});
 
+  // On-demand re-randomisation (MARDU-style, ISSUE 10): the DSR arm that
+  // also reseeds MID-RUN whenever the configured trigger fires — a taint
+  // sink-store on the bare platform (the runner forces taint tracking on),
+  // a partition switch under the hypervisor.  The control task never
+  // stores a layout-derived value into its observable outputs, so this
+  // scenario prices the always-armed trigger machinery itself; the
+  // leak/beacon-ondemand scenario below is the one where the bare trigger
+  // actually fires.
+  registry.add(Scenario{
+      "control/dsr-ondemand",
+      "DSR with the on-demand reseed trigger armed (taint sink-store)",
+      [](std::uint32_t runs) {
+        return operation_base(Randomisation::kDsrOnDemand, runs);
+      }});
+
   // Hypervisor campaigns (Section IV's PikeOS setting): the control task
   // measured on the cyclic schedule, solo and under guest interference.
   // hv/control-solo reproduces the bare analysis protocol (no guests run
@@ -370,6 +385,16 @@ void register_default_scenarios(ScenarioRegistry& registry) {
       "control task with the image guest, DSR-randomised per reboot",
       [](std::uint32_t runs) {
         CampaignConfig config = hv_base(Randomisation::kDsr, runs);
+        config.hypervisor->image_guest = true;
+        config.hypervisor->image = hv_image_params();
+        return config;
+      }});
+  registry.add(Scenario{
+      "hv/control+image-ondemand",
+      "control task with the image guest, layout reseeded at every "
+      "partition switch (on-demand DSR)",
+      [](std::uint32_t runs) {
+        CampaignConfig config = hv_base(Randomisation::kDsrOnDemand, runs);
         config.hypervisor->image_guest = true;
         config.hypervisor->image = hv_image_params();
         return config;
@@ -432,6 +457,19 @@ void register_default_scenarios(ScenarioRegistry& registry) {
       [](std::uint32_t runs) {
         return leak_base(MeasuredTargetKind::kLeakyBeacon, Randomisation::kNone,
                          runs);
+      }});
+
+  // The leaky beacon under on-demand DSR: every detected sink-store
+  // reseeds the layout mid-run, so the published address is stale by the
+  // time an observer could read it — the MARDU-style moving-target answer
+  // to the leak the lint verb reports.
+  registry.add(Scenario{
+      "leak/beacon-ondemand",
+      "leaky beacon with on-demand DSR: each detected leak reseeds the "
+      "layout mid-run",
+      [](std::uint32_t runs) {
+        return leak_base(MeasuredTargetKind::kLeakyBeacon,
+                         Randomisation::kDsrOnDemand, runs);
       }});
 
   // Cross-partition exposure: the leaky beacon measured on the cyclic

@@ -1,5 +1,6 @@
 #include "cache.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <stdexcept>
 
@@ -211,6 +212,56 @@ void Cache::invalidate_range(std::uint32_t addr, std::uint32_t length,
     }
     if (line == last) {
       break;
+    }
+  }
+}
+
+void Cache::invalidate_ranges(
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& ranges,
+    std::vector<std::uint32_t>* writebacks) {
+  std::uint64_t span_lines = 0;
+  for (const auto& [addr, length] : ranges) {
+    if (length != 0) {
+      span_lines += (line_base(addr + length - 1) - line_base(addr)) /
+                        config_.line_bytes +
+                    1;
+    }
+  }
+  if (span_lines < lines_.size()) {
+    // Small batch: the per-address probes visit fewer lines than a full
+    // tag walk would.
+    for (const auto& [addr, length] : ranges) {
+      invalidate_range(addr, length, writebacks);
+    }
+    return;
+  }
+  // Tag walk: visit each line once and test membership against the sorted
+  // disjoint ranges.  Only the closest range starting at or below the
+  // line's last byte can cover it (every earlier range ends below that
+  // range's start, hence below the line).
+  for (Line& line : lines_) {
+    if (!line.valid) {
+      continue;
+    }
+    const std::uint32_t base = addr_of_tag(line.tag);
+    const auto it = std::upper_bound(
+        ranges.begin(), ranges.end(),
+        std::make_pair(base + config_.line_bytes - 1,
+                       ~std::uint32_t{0}));
+    if (it == ranges.begin()) {
+      continue;
+    }
+    const auto& [addr, length] = *std::prev(it);
+    if (addr + length <= base) {
+      continue;
+    }
+    ++stats_.invalidations;
+    line.valid = false;
+    if (line.dirty) {
+      line.dirty = false;
+      if (writebacks != nullptr) {
+        writebacks->push_back(base);
+      }
     }
   }
 }

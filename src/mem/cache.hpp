@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace proxima::mem {
@@ -222,6 +223,17 @@ public:
   /// base addresses are appended to `writebacks` if non-null.
   void invalidate_range(std::uint32_t addr, std::uint32_t length,
                         std::vector<std::uint32_t>* writebacks = nullptr);
+
+  /// Invalidate every line intersecting any of `ranges` — sorted by
+  /// address and pairwise disjoint (addr, length) pairs.  State-equivalent
+  /// to one `invalidate_range` call per range; the writeback order is
+  /// unspecified (callers count, they do not replay).  When the ranges
+  /// span more lines than the cache holds, the tag array is walked once
+  /// instead of probing per line address — the reseed fast path for the
+  /// DSR invalidation routine over a whole retired layout.
+  void invalidate_ranges(
+      const std::vector<std::pair<std::uint32_t, std::uint32_t>>& ranges,
+      std::vector<std::uint32_t>* writebacks = nullptr);
 
   /// Invalidate everything.  Dirty lines are appended to `writebacks` if
   /// non-null (PikeOS flushes write-back caches on partition start).

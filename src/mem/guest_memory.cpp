@@ -1,5 +1,6 @@
 #include "guest_memory.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 
@@ -98,8 +99,27 @@ void GuestMemory::write_f64(std::uint32_t addr, double value) {
 
 void GuestMemory::copy(std::uint32_t dst, std::uint32_t src,
                        std::uint32_t length) {
-  // Byte loop is fine: relocation copies a few KB once per run.
-  if (dst <= src) {
+  const bool overlaps =
+      length != 0 && dst < src + length && src < dst + length;
+  if (!overlaps) {
+    // Relocation hot path: move whole page spans with memcpy.  An absent
+    // source page reads as zero, matching the byte loop's read_u8.
+    std::uint32_t done = 0;
+    while (done < length) {
+      const std::uint32_t s = src + done;
+      const std::uint32_t d = dst + done;
+      const std::uint32_t span =
+          std::min({length - done, kPageBytes - s % kPageBytes,
+                    kPageBytes - d % kPageBytes});
+      std::uint8_t* out = page_for(d).data() + d % kPageBytes;
+      if (const Page* page = page_if_present(s)) {
+        std::memcpy(out, page->data() + s % kPageBytes, span);
+      } else {
+        std::memset(out, 0, span);
+      }
+      done += span;
+    }
+  } else if (dst <= src) {
     for (std::uint32_t i = 0; i < length; ++i) {
       poke_u8(dst + i, read_u8(src + i));
     }
@@ -110,6 +130,31 @@ void GuestMemory::copy(std::uint32_t dst, std::uint32_t src,
   }
   if (length != 0 && !listeners_.empty()) {
     notify_written(dst, length);
+  }
+}
+
+void GuestMemory::write_u32_span(std::uint32_t addr,
+                                 const std::uint32_t* values,
+                                 std::uint32_t count) {
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t word_addr = addr + 4 * i;
+    const std::uint32_t value = values[i];
+    if (word_addr % kPageBytes <= kPageBytes - 4) {
+      Page& page = page_for(word_addr);
+      const std::uint32_t offset = word_addr % kPageBytes;
+      page[offset] = static_cast<std::uint8_t>(value >> 24);
+      page[offset + 1] = static_cast<std::uint8_t>(value >> 16);
+      page[offset + 2] = static_cast<std::uint8_t>(value >> 8);
+      page[offset + 3] = static_cast<std::uint8_t>(value);
+    } else {
+      poke_u8(word_addr, static_cast<std::uint8_t>(value >> 24));
+      poke_u8(word_addr + 1, static_cast<std::uint8_t>(value >> 16));
+      poke_u8(word_addr + 2, static_cast<std::uint8_t>(value >> 8));
+      poke_u8(word_addr + 3, static_cast<std::uint8_t>(value));
+    }
+  }
+  if (count != 0 && !listeners_.empty()) {
+    notify_written(addr, 4 * count);
   }
 }
 

@@ -44,8 +44,17 @@ public:
   void write_f64(std::uint32_t addr, double value);
 
   /// Copy `length` bytes from `src` to `dst` inside guest memory.  Used by
-  /// the DSR runtime's eager relocation loop.
+  /// the DSR runtime's eager relocation loop.  Non-overlapping ranges take
+  /// a page-span memmove fast path (the relocation hot loop); overlapping
+  /// ranges fall back to the ordered byte loop.
   void copy(std::uint32_t dst, std::uint32_t src, std::uint32_t length);
+
+  /// Store `count` consecutive big-endian words starting at `addr` (the
+  /// DSR metadata-table flush).  Exactly equivalent to `count` calls of
+  /// write_u32 except that listeners get ONE notification for the whole
+  /// span instead of one per word.
+  void write_u32_span(std::uint32_t addr, const std::uint32_t* values,
+                      std::uint32_t count);
 
   /// Fill a range with a byte value (e.g. zeroing a fresh pool chunk).
   void fill(std::uint32_t addr, std::uint32_t length, std::uint8_t value);

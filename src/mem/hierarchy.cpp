@@ -198,6 +198,23 @@ std::uint32_t MemoryHierarchy::invalidate_range(std::uint32_t addr,
   return static_cast<std::uint32_t>(after - before);
 }
 
+std::uint32_t MemoryHierarchy::invalidate_ranges(
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& ranges) {
+  const std::uint64_t before = il1_.stats().invalidations +
+                               dl1_.stats().invalidations +
+                               l2_.stats().invalidations;
+  std::vector<std::uint32_t> writebacks;
+  il1_.invalidate_ranges(ranges);
+  dl1_.invalidate_ranges(ranges);
+  l2_.invalidate_ranges(ranges, &writebacks);
+  counters_.l2_writebacks += writebacks.size();
+  counters_.dram_writes += writebacks.size();
+  const std::uint64_t after = il1_.stats().invalidations +
+                              dl1_.stats().invalidations +
+                              l2_.stats().invalidations;
+  return static_cast<std::uint32_t>(after - before);
+}
+
 void MemoryHierarchy::note_memory_written(std::uint32_t addr,
                                           std::uint32_t length) {
   il1_.mark_stale(addr, length);

@@ -179,6 +179,13 @@ public:
   /// caller at relocation time, outside the unit of analysis).
   std::uint32_t invalidate_range(std::uint32_t addr, std::uint32_t length);
 
+  /// Batched invalidation routine: equivalent to one `invalidate_range`
+  /// call per entry of `ranges` (sorted by address, pairwise disjoint),
+  /// but each level may satisfy a large batch with a single tag walk
+  /// instead of per-line-address probes — the DSR reseed fast path.
+  std::uint32_t invalidate_ranges(
+      const std::vector<std::pair<std::uint32_t, std::uint32_t>>& ranges);
+
   /// Declare that memory [addr, addr+length) was rewritten behind the
   /// caches (DSR relocation, partition loader).  Marks covering lines stale.
   void note_memory_written(std::uint32_t addr, std::uint32_t length);

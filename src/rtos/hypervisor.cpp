@@ -154,6 +154,10 @@ std::vector<ActivationRecord> Hypervisor::run_frames(std::uint64_t frames) {
         continue;
       }
 
+      if (activation_hook_) {
+        activation_hook_(); // granted activations only; host-side cost
+      }
+
       switch (slot.config.flush_on_start) {
       case FlushScope::kNone:
         break;

@@ -115,6 +115,15 @@ public:
   /// Temporal-isolation violations observed so far (budget overruns).
   std::uint64_t violations() const noexcept { return violations_; }
 
+  /// Hook fired once per *granted* activation, before the partition-start
+  /// flush and `before_activation` — i.e. at every partition switch the
+  /// schedule actually performs (denied zero-budget activations do not
+  /// fire it).  The kDsrOnDemand arm reseeds the measured layout here; the
+  /// hook's own work is host-side and charged to no partition budget.
+  void set_activation_hook(std::function<void()> hook) {
+    activation_hook_ = std::move(hook);
+  }
+
   const HypervisorConfig& config() const noexcept { return config_; }
 
 private:
@@ -131,6 +140,7 @@ private:
   std::uint64_t frame_counter_ = 0;
   std::uint64_t timeline_cycles_ = 0;
   std::uint64_t violations_ = 0;
+  std::function<void()> activation_hook_;
 };
 
 } // namespace proxima::rtos

@@ -43,6 +43,12 @@ public:
     return hypervisor_.violations();
   }
 
+  /// Forwarded to Hypervisor::set_activation_hook: fired at every granted
+  /// partition activation (the kDsrOnDemand reseed point).
+  void set_activation_hook(std::function<void()> hook) {
+    hypervisor_.set_activation_hook(std::move(hook));
+  }
+
   /// Registered partition names, in registration order (the stable order
   /// per-partition reports are rendered in).
   const std::vector<std::string>& partition_names() const noexcept {

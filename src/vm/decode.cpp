@@ -153,6 +153,13 @@ void DecodeCache::on_memory_written(std::uint32_t addr, std::uint32_t length) {
     return;
   }
   ++stats_.write_invalidation_events;
+  invalidate_range(addr, length);
+}
+
+void DecodeCache::invalidate_range(std::uint32_t addr, std::uint32_t length) {
+  if (length == 0) {
+    return;
+  }
   const std::uint32_t first_word = addr >> 2;
   const std::uint32_t last_word = (addr + length - 1) >> 2;
   const std::uint32_t first_page = first_word >> (kPageShift - 2);

@@ -220,6 +220,14 @@ public:
 
   void invalidate_all();
 
+  /// Reset every decoded slot covering [addr, addr+length) and kill every
+  /// live superblock overlapping it, in one walk.  This is the body of
+  /// on_memory_written without the listener-event accounting: batching
+  /// callers (the DSR runtime's coalesced reseed ranges) invalidate the
+  /// same slots and blocks as the equivalent per-word notifications,
+  /// bit-exactly, with one traversal per range instead of one per store.
+  void invalidate_range(std::uint32_t addr, std::uint32_t length);
+
   /// Decoded pages currently materialised (observability/tests).
   std::size_t resident_pages() const noexcept { return pages_.size(); }
 

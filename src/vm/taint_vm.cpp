@@ -49,13 +49,21 @@ void Vm::taint_execute(const Instruction& instr) {
     }
     return t.mem_word(addr);
   };
-  // Program store: shadow update plus leak accounting.
+  // Program store: shadow update plus leak accounting.  A detected sink
+  // store latches the address so the on-demand reseed hook fires at most
+  // once per instruction, after the whole transfer function ran.
+  std::uint32_t sink_store_addr = 0;
+  bool sink_store_hit = false;
   const auto store_word = [&](std::uint32_t addr, bool tainted) {
     t.set_mem_word(addr, tainted);
     if (tainted) {
       ++t.stats().tainted_stores;
       if (t.in_sink(addr)) {
         ++t.stats().sink_stores;
+        if (!sink_store_hit) {
+          sink_store_hit = true;
+          sink_store_addr = addr;
+        }
       }
     }
   };
@@ -225,6 +233,14 @@ void Vm::taint_execute(const Instruction& instr) {
   // register or memory data flow to track.
   default:
     break;
+  }
+
+  if (sink_store_hit && sink_store_sink_) {
+    // The reseed (or whatever the hook does) touches only the DSR tables
+    // and pool memory — never the registers this instruction read — and
+    // both cores call taint_execute at the same point of the retire
+    // sequence with `cycles_` live, so the charge lands identically.
+    cycles_ += sink_store_sink_(sink_store_addr);
   }
 }
 

@@ -105,6 +105,14 @@ public:
   /// Handler for kTrapReloc: receives the function id and returns the cycle
   /// cost of the (lazy) relocation work, charged to the running program.
   using RelocTrapSink = std::function<std::uint64_t(std::uint32_t id)>;
+  /// Handler fired when taint tracking detects a sink store (a tainted
+  /// value written into an observable range): receives the store address
+  /// and returns a cycle cost charged to the running program — the
+  /// kDsrOnDemand arm's reseed trigger.  Fired from the shared taint
+  /// transfer function, at most once per retired instruction (the first
+  /// sink word of a double/FP store), identically on every core.  Requires
+  /// VmConfig::taint.
+  using SinkStoreSink = std::function<std::uint64_t(std::uint32_t addr)>;
 
   Vm(mem::GuestMemory& memory, mem::MemoryHierarchy& hierarchy,
      VmConfig config = {});
@@ -155,6 +163,9 @@ public:
   void set_ipoint_sink(IpointSink sink) { ipoint_sink_ = std::move(sink); }
   void set_reloc_trap_sink(RelocTrapSink sink) {
     reloc_trap_sink_ = std::move(sink);
+  }
+  void set_sink_store_sink(SinkStoreSink sink) {
+    sink_store_sink_ = std::move(sink);
   }
 
   /// Instruction-mix telemetry hook: when non-null, both cores increment
@@ -233,6 +244,7 @@ private:
   bool halted_ = true;
   IpointSink ipoint_sink_;
   RelocTrapSink reloc_trap_sink_;
+  SinkStoreSink sink_store_sink_;
   std::uint64_t* mix_ = nullptr;        // per-opcode counters, off by default
   std::unique_ptr<DecodeCache> decode_; // fast cores only
   std::unique_ptr<TaintState> taint_;   // only when config.taint is set

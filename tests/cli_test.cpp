@@ -330,6 +330,40 @@ TEST(CliErrors, UnknownVmCoreSuggestsClosestMatch) {
   EXPECT_NE(sb.err.find("fast-sb"), std::string::npos) << sb.err;
 }
 
+TEST(CliErrors, UnknownRandomisationSuggestsClosestMatch) {
+  // Same did-you-mean treatment for --randomisation: a typo exits 2 with
+  // the expected values and the closest arm.
+  const CliResult result =
+      invoke({"run", "--scenario", "control/operation-cots", "--runs", "2",
+              "--randomisation", "dsr-ondemnd"});
+  EXPECT_EQ(result.code, 2);
+  EXPECT_NE(result.err.find("expected cots|dsr|dsr-ondemand|static|hwrand"),
+            std::string::npos)
+      << result.err;
+  EXPECT_NE(result.err.find("did you mean: dsr-ondemand?"), std::string::npos)
+      << result.err;
+  const CliResult hw = invoke({"run", "--scenario", "control/operation-cots",
+                               "--runs", "2", "--randomisation", "hwrnd"});
+  EXPECT_EQ(hw.code, 2);
+  EXPECT_NE(hw.err.find("hwrand"), std::string::npos) << hw.err;
+}
+
+TEST(CliRun, RandomisationOverrideReachesTheConfig) {
+  // The operation-family scenarios differ only in their randomisation arm,
+  // so overriding the cots scenario to dsr must reproduce the registered
+  // dsr scenario bit-exactly.
+  const CliResult overridden =
+      invoke({"run", "--scenario", "control/operation-cots", "--runs", "8",
+              "--randomisation", "dsr", "--format", "json"});
+  ASSERT_EQ(overridden.code, 0) << overridden.err;
+  const CliResult registered =
+      invoke({"run", "--scenario", "control/operation-dsr", "--runs", "8",
+              "--format", "json"});
+  ASSERT_EQ(registered.code, 0) << registered.err;
+  EXPECT_EQ(field_after(overridden.out, "digest"),
+            field_after(registered.out, "digest"));
+}
+
 TEST(CliRun, AdaptiveIsBitIdenticalAcrossWorkerCounts) {
   // The CLI-level acceptance check: same seed, workers 1 vs 8 -> same stop
   // count and bit-identical times (visible as the digest).

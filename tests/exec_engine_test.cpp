@@ -156,6 +156,8 @@ INSTANTIATE_TEST_SUITE_P(AllRandomisations, EngineDeterminism,
                            switch (info.param) {
                            case Randomisation::kNone: return "cots";
                            case Randomisation::kDsr: return "dsr";
+                           case Randomisation::kDsrOnDemand:
+                             return "dsr_ondemand";
                            case Randomisation::kStatic: return "static";
                            case Randomisation::kHardware: return "hwrand";
                            }

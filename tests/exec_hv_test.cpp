@@ -51,7 +51,7 @@ TEST(HvScenarios, FamilyIsRegistered) {
   exec::ScenarioRegistry registry;
   exec::register_default_scenarios(registry);
   const std::vector<std::string> hv = registry.names("hv/");
-  EXPECT_EQ(hv.size(), 6u);
+  EXPECT_EQ(hv.size(), 7u);
   EXPECT_TRUE(registry.contains("hv/control-solo"));
   EXPECT_TRUE(registry.contains("hv/control+image"));
   EXPECT_TRUE(registry.contains("hv/control+image-dsr"));
@@ -60,6 +60,7 @@ TEST(HvScenarios, FamilyIsRegistered) {
   // behaviour is covered by measured_target_test.
   EXPECT_TRUE(registry.contains("hv/image+control"));
   EXPECT_TRUE(registry.contains("hv/image+control-dsr"));
+  EXPECT_TRUE(registry.contains("hv/control+image-ondemand"));
 }
 
 TEST(HvScenarios, SoloReproducesTheBareAnalysisProtocol) {

@@ -34,7 +34,7 @@ TEST(ScenarioRegistry, DefaultCatalogue) {
   // layout / PRNG / offset / relocation-scheme sweeps, the stress
   // scenario, the hypervisor (partition-interference) family, the
   // image-task measured family, and the address-leak family.
-  EXPECT_EQ(registry.size(), 29u);
+  EXPECT_EQ(registry.size(), 32u);
   for (const char* name :
        {"control/operation-cots", "control/operation-dsr",
         "control/operation-static", "control/operation-hwrand",
@@ -47,7 +47,8 @@ TEST(ScenarioRegistry, DefaultCatalogue) {
         "image/operation-dsr", "image/operation-hwrand",
         "image/analysis-cots", "image/analysis-dsr",
         "image/analysis-hwrand", "leak/beacon-dsr", "leak/hardened-dsr",
-        "leak/beacon-cots", "leak/observer-hv"}) {
+        "leak/beacon-cots", "leak/observer-hv", "control/dsr-ondemand",
+        "hv/control+image-ondemand", "leak/beacon-ondemand"}) {
     EXPECT_TRUE(registry.contains(name)) << name;
   }
 }
@@ -88,7 +89,7 @@ TEST(ScenarioRegistry, LookupSemantics) {
         << "the error must list the known names";
     EXPECT_NE(what.find("families:"), std::string::npos)
         << "the error must name the registered families";
-    EXPECT_NE(what.find("control/(13)"), std::string::npos);
+    EXPECT_NE(what.find("control/(14)"), std::string::npos);
     EXPECT_NE(what.find("image/(6)"), std::string::npos);
   }
 }
@@ -131,7 +132,7 @@ TEST(ScenarioRegistry, RejectsInvalidRegistrations) {
                    "control/operation-dsr", "duplicate",
                    [](std::uint32_t) { return CampaignConfig{}; }}),
                std::invalid_argument);
-  EXPECT_EQ(registry.size(), 29u) << "failed adds must not register";
+  EXPECT_EQ(registry.size(), 32u) << "failed adds must not register";
 }
 
 TEST(ScenarioRegistry, FactoriesHonourRunsAndScenarioKnobs) {

@@ -100,6 +100,18 @@ constexpr LockedDigest kImageFamilyDefaultSeeds30[] = {
     {"image/operation-hwrand", "0xe8db53a24b9276c9"},
 };
 
+/// The on-demand reseed arm (ISSUE 10), locked at introduction.  Note
+/// control/dsr-ondemand's digest equals control/operation-dsr's: the
+/// control task never stores to an observable sink, so the armed trigger
+/// never fires and the arm prices only the (timing-invisible) machinery.
+/// The beacon and hv scenarios DO fire mid-run reseeds; their digests lock
+/// the quarantine semantics and the reseed draw order.
+constexpr LockedDigest kOnDemandDefaultSeeds30[] = {
+    {"control/dsr-ondemand", "0x121cfec29f10efba"},
+    {"hv/control+image-ondemand", "0xfc31a6cfe6c3f753"},
+    {"leak/beacon-ondemand", "0x446dd61db53040a4"},
+};
+
 CampaignConfig scenario(const std::string& name, std::uint32_t runs) {
   return exec::ScenarioRegistry::global().at(name).make_config(runs);
 }
@@ -140,6 +152,16 @@ TEST(SeedStreamStability, LeakDigestsUnchangedByTaintShadow) {
     config.taint = true;
     EXPECT_EQ(engine_digest(config), locked.digest) << locked.scenario;
   }
+}
+
+TEST(SeedStreamStability, OnDemandFamilyDigestsAreLocked) {
+  for (const LockedDigest& locked : kOnDemandDefaultSeeds30) {
+    EXPECT_EQ(engine_digest(scenario(locked.scenario, 30)), locked.digest)
+        << locked.scenario;
+  }
+  // The armed-but-silent arm must price exactly like plain eager DSR.
+  EXPECT_EQ(engine_digest(scenario("control/dsr-ondemand", 30)),
+            engine_digest(scenario("control/operation-dsr", 30)));
 }
 
 TEST(SeedStreamStability, HvPartitionStreamsAreLockedAtSeed7) {
